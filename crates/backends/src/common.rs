@@ -1,0 +1,307 @@
+//! Shared backend infrastructure: the [`Backend`] trait, taxonomy
+//! metadata (the paper's Table 1), synthesis options, design containers,
+//! and the sequential preparation pipeline (inline → unroll → pointer
+//! elimination → IR → simplify) that compiler-scheduled backends share.
+
+use chls_frontend::hir::{FuncId, HirProgram};
+use chls_ir::Function;
+use chls_opt::dep::AliasPrecision;
+use chls_opt::ptr::PtrStats;
+use chls_opt::unroll::{UnrollOptions, UnrollStats};
+use chls_rtl::cost::CostModel;
+use chls_rtl::fsmd::Fsmd;
+use chls_rtl::netlist::Netlist;
+use chls_sched::Resources;
+use std::fmt;
+
+/// The concurrency model a language exposes (paper, Section on
+/// concurrency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcurrencyModel {
+    /// The compiler finds all parallelism in sequential C.
+    CompilerDriven,
+    /// The programmer writes explicit parallel constructs.
+    Explicit,
+    /// Structural: the user instantiates parallel hardware directly.
+    Structural,
+}
+
+impl fmt::Display for ConcurrencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConcurrencyModel::CompilerDriven => "compiler-driven",
+            ConcurrencyModel::Explicit => "explicit (par/channels)",
+            ConcurrencyModel::Structural => "structural",
+        })
+    }
+}
+
+/// How a language divides time into cycles (paper, Section on time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingModel {
+    /// No clock at all: a combinational network.
+    Combinational,
+    /// No clock: asynchronous/self-timed dataflow.
+    Asynchronous,
+    /// Implicit rule: each assignment takes exactly one cycle.
+    RulePerAssignment,
+    /// Implicit rule: each loop iteration (and call) takes one cycle.
+    RulePerIteration,
+    /// The compiler schedules under constraints outside the language.
+    CompilerScheduled,
+    /// In-language relative timing constraints drive the schedule.
+    ConstraintDriven,
+    /// The designer states the cycles explicitly (one state = one cycle).
+    ExplicitStates,
+}
+
+impl fmt::Display for TimingModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TimingModel::Combinational => "none (combinational)",
+            TimingModel::Asynchronous => "none (asynchronous)",
+            TimingModel::RulePerAssignment => "rule: 1 cycle per assignment",
+            TimingModel::RulePerIteration => "rule: 1 cycle per loop iteration/call",
+            TimingModel::CompilerScheduled => "compiler-scheduled (external constraints)",
+            TimingModel::ConstraintDriven => "in-language timing constraints",
+            TimingModel::ExplicitStates => "explicit states (1 cycle each)",
+        })
+    }
+}
+
+/// Taxonomy metadata — one row of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendInfo {
+    /// Our backend name.
+    pub name: &'static str,
+    /// The surveyed language/compiler it models.
+    pub models: &'static str,
+    /// Publication year of the modeled system.
+    pub year: u16,
+    /// The paper's one-line characterization (Table 1 column 2).
+    pub comment: &'static str,
+    /// Concurrency model.
+    pub concurrency: ConcurrencyModel,
+    /// Timing model.
+    pub timing: TimingModel,
+    /// Supports pointers (possibly via monolithic memory).
+    pub pointers: bool,
+    /// Supports data-dependent (unbounded) loops.
+    pub data_dependent_loops: bool,
+    /// Supports `par`/channels.
+    pub parallel_constructs: bool,
+}
+
+/// Synthesis options shared by all backends.
+#[derive(Debug, Clone)]
+pub struct SynthOptions {
+    /// Target clock period in ns (ignored by combinational/async backends).
+    pub clock_period_ns: f64,
+    /// The cost model.
+    pub model: CostModel,
+    /// Functional-unit and memory-port limits for scheduled backends.
+    pub resources: Resources,
+    /// Memory-dependence precision.
+    pub precision: AliasPrecision,
+    /// Enable loop pipelining (modulo scheduling) where supported.
+    pub pipeline_loops: bool,
+    /// If-convert pure branchy loop bodies before pipelining (on by
+    /// default; an ablation knob — turning it off leaves conditional
+    /// bodies to the sequential fallback).
+    pub pipeline_if_convert: bool,
+    /// Narrow every datapath register to the bit-width the value-range
+    /// analysis proves sufficient (the "compiler recovers bit-precision
+    /// from C types" escape hatch of E8). Sound: a register narrower than
+    /// its value never occurs, by the analysis' soundness property.
+    pub narrow_widths: bool,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            clock_period_ns: 2.0,
+            model: CostModel::new(),
+            resources: Resources::typical(),
+            precision: AliasPrecision::Basic,
+            pipeline_loops: false,
+            pipeline_if_convert: true,
+            narrow_widths: false,
+        }
+    }
+}
+
+/// A synthesized design.
+#[derive(Debug, Clone)]
+pub enum Design {
+    /// A purely combinational netlist (Cones).
+    Comb(Netlist),
+    /// A clocked FSMD.
+    Fsmd(Fsmd),
+    /// An asynchronous dataflow circuit (CASH).
+    Dataflow(chls_dataflow::graph::DataflowGraph),
+}
+
+impl Design {
+    /// The design's area in NAND2-equivalent gates.
+    pub fn area(&self, model: &CostModel) -> f64 {
+        match self {
+            Design::Comb(nl) => nl.area(model),
+            Design::Fsmd(f) => f.area(model),
+            Design::Dataflow(g) => g.area(model),
+        }
+    }
+
+    /// The FSMD, if this is one.
+    pub fn as_fsmd(&self) -> Option<&Fsmd> {
+        match self {
+            Design::Fsmd(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The netlist, if this is one.
+    pub fn as_netlist(&self) -> Option<&Netlist> {
+        match self {
+            Design::Comb(nl) => Some(nl),
+            _ => None,
+        }
+    }
+}
+
+/// Synthesis errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// The entry function was not found.
+    NoSuchFunction(String),
+    /// A frontend-level transformation failed.
+    Transform(String),
+    /// The program uses a construct this backend's language lacks.
+    Unsupported {
+        /// Which backend.
+        backend: &'static str,
+        /// What was not supported.
+        what: String,
+    },
+    /// A loop could not be handled (e.g. Cones needs full unrolling).
+    Loop(String),
+    /// A HardwareC timing constraint could not be met.
+    ConstraintInfeasible {
+        /// Requested budget in cycles.
+        requested: u32,
+        /// Best achievable cycles.
+        achieved: u32,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::NoSuchFunction(n) => write!(f, "no function named `{n}`"),
+            SynthError::Transform(m) => write!(f, "transformation failed: {m}"),
+            SynthError::Unsupported { backend, what } => {
+                write!(f, "{backend} does not support {what}")
+            }
+            SynthError::Loop(m) => write!(f, "loop not synthesizable: {m}"),
+            SynthError::ConstraintInfeasible {
+                requested,
+                achieved,
+            } => write!(
+                f,
+                "timing constraint of {requested} cycles infeasible; best is {achieved}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// A synthesis backend — one row of Table 1, implemented.
+pub trait Backend {
+    /// Taxonomy metadata.
+    fn info(&self) -> BackendInfo;
+
+    /// Synthesizes `entry` of `prog` into hardware.
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthError`].
+    fn synthesize(
+        &self,
+        prog: &HirProgram,
+        entry: &str,
+        opts: &SynthOptions,
+    ) -> Result<Design, SynthError>;
+}
+
+/// Result of the shared sequential preparation pipeline.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Inlined, pointer-free, simplified IR of the entry function.
+    pub func: Function,
+    /// Pointer-analysis statistics.
+    pub ptr_stats: PtrStats,
+    /// Unrolling statistics.
+    pub unroll_stats: UnrollStats,
+}
+
+/// Runs the sequential pipeline: inline → unroll (per `force_full_unroll`)
+/// → pointer elimination → IR lowering → simplify.
+///
+/// # Errors
+///
+/// See [`SynthError`].
+pub fn prepare_sequential(
+    prog: &HirProgram,
+    entry: &str,
+    force_full_unroll: bool,
+) -> Result<Prepared, SynthError> {
+    let (entry_id, _) = prog
+        .func_by_name(entry)
+        .ok_or_else(|| SynthError::NoSuchFunction(entry.to_string()))?;
+    let mut inlined = chls_opt::inline_program(prog, entry_id)
+        .map_err(|e| SynthError::Transform(e.to_string()))?;
+    let (unrolled, unroll_stats) = chls_opt::unroll::unroll_function(
+        &inlined.funcs[0],
+        UnrollOptions {
+            force_full: force_full_unroll,
+        },
+    );
+    inlined.funcs[0] = unrolled;
+    let mut ptr_stats = PtrStats::default();
+    chls_opt::ptr::lower_pointers(&mut inlined.funcs[0], &mut ptr_stats)
+        .map_err(|e| SynthError::Transform(e.to_string()))?;
+    let mut func = chls_ir::lower_function(&inlined, FuncId(0))
+        .map_err(|e| SynthError::Transform(e.to_string()))?;
+    chls_opt::memory::merge_monolithic(&mut func);
+    chls_opt::memory::split_banks(&mut func);
+    chls_opt::simplify::simplify(&mut func);
+    chls_ir::verify::verify(&func).map_err(|e| SynthError::Transform(e.to_string()))?;
+    Ok(Prepared {
+        func,
+        ptr_stats,
+        unroll_stats,
+    })
+}
+
+/// Runs inline → unroll (pragmas) → pointer elimination, staying at HIR
+/// (for the structured backends: Handel-C, HardwareC).
+///
+/// # Errors
+///
+/// See [`SynthError`].
+pub fn prepare_structured(prog: &HirProgram, entry: &str) -> Result<HirProgram, SynthError> {
+    let (entry_id, _) = prog
+        .func_by_name(entry)
+        .ok_or_else(|| SynthError::NoSuchFunction(entry.to_string()))?;
+    let mut inlined = chls_opt::inline_program(prog, entry_id)
+        .map_err(|e| SynthError::Transform(e.to_string()))?;
+    let (unrolled, _) = chls_opt::unroll::unroll_function(
+        &inlined.funcs[0],
+        UnrollOptions { force_full: false },
+    );
+    inlined.funcs[0] = unrolled;
+    let mut ptr_stats = PtrStats::default();
+    chls_opt::ptr::lower_pointers(&mut inlined.funcs[0], &mut ptr_stats)
+        .map_err(|e| SynthError::Transform(e.to_string()))?;
+    Ok(inlined)
+}

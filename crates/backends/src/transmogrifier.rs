@@ -1,0 +1,713 @@
+//! The Transmogrifier C backend.
+//!
+//! Galloway's Transmogrifier C (FCCM 1995) "places cycle boundaries at
+//! function calls and at the beginning of *while* loops": everything
+//! between loop-iteration boundaries executes combinationally in a single
+//! clock cycle. The paper's point: "only loop iterations and function
+//! calls take a cycle. While simple to understand, such rules can require
+//! recoding to meet timing … loops may need to be unrolled."
+//!
+//! Model here: the CFG is partitioned into *regions* anchored at the
+//! entry block, every natural-loop header, and any block entered from
+//! more than one region. Each region executes in exactly one state (one
+//! cycle): its acyclic block DAG is flattened with predicates into
+//! combinational expression trees; a loop iteration is one trip through
+//! its header's region. Values crossing regions live in registers; stores
+//! commit at cycle end with store-to-load forwarding inside the region.
+//! Calls are fully inlined (our whole-program pipeline), so the
+//! call-boundary rule does not arise — noted in DESIGN.md.
+//!
+//! The flip side the paper highlights is visible in the numbers: big
+//! unrolled regions produce long critical paths (slow clocks) and wide
+//! multi-ported memory access, while small regions waste cycles.
+
+use crate::common::*;
+use chls_frontend::hir::HirProgram;
+use chls_frontend::IntType;
+use chls_ir::ir::{BlockId, Function, InstKind, MemSource, Term, Value};
+use chls_ir::BinKind;
+use chls_rtl::fsmd::{Action, Fsmd, FsmdMem, MemId, NextState, RegId, Rv, RvKind, StateId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The Transmogrifier C backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Transmogrifier;
+
+impl Backend for Transmogrifier {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: "transmogrifier",
+            models: "Transmogrifier C (Galloway)",
+            year: 1995,
+            comment: "Limited scope",
+            concurrency: ConcurrencyModel::CompilerDriven,
+            timing: TimingModel::RulePerIteration,
+            pointers: true,
+            data_dependent_loops: true,
+            parallel_constructs: false,
+        }
+    }
+
+    fn synthesize(
+        &self,
+        prog: &HirProgram,
+        entry: &str,
+        _opts: &SynthOptions,
+    ) -> Result<Design, SynthError> {
+        let prepared = prepare_sequential(prog, entry, false)?;
+        let fsmd = build(&prepared.func)?;
+        Ok(Design::Fsmd(fsmd))
+    }
+}
+
+fn u1() -> IntType {
+    IntType::new(1, false)
+}
+
+/// Region assignment: every block belongs to the region of exactly one
+/// head. Returns (region head of each block, ordered head list).
+fn assign_regions(f: &Function) -> (Vec<BlockId>, Vec<BlockId>) {
+    let forest = chls_ir::loops::LoopForest::compute(f);
+    let mut heads: BTreeSet<BlockId> = BTreeSet::new();
+    heads.insert(f.entry);
+    for l in &forest.loops {
+        heads.insert(l.header);
+    }
+    loop {
+        // Assign by BFS from each head, not entering other heads.
+        let mut region: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
+        for &h in &heads {
+            let mut queue = vec![h];
+            region[h.0 as usize] = Some(h);
+            while let Some(b) = queue.pop() {
+                for s in f.block(b).term.successors() {
+                    if heads.contains(&s) || region[s.0 as usize].is_some() {
+                        continue;
+                    }
+                    region[s.0 as usize] = Some(h);
+                    queue.push(s);
+                }
+            }
+        }
+        // A block reached from two different regions must become a head.
+        let mut changed = false;
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let Some(rb) = region[bi] else { continue };
+            for s in block.term.successors() {
+                if heads.contains(&s) {
+                    continue;
+                }
+                if let Some(rs) = region[s.0 as usize] {
+                    if rs != rb {
+                        heads.insert(s);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            let assigned: Vec<BlockId> = region
+                .iter()
+                .enumerate()
+                .map(|(bi, r)| r.unwrap_or(BlockId(bi as u32)))
+                .collect();
+            return (assigned, heads.into_iter().collect());
+        }
+    }
+}
+
+fn build(f: &Function) -> Result<Fsmd, SynthError> {
+    let (region_of, heads) = assign_regions(f);
+    let mut out = Fsmd::new(f.name.clone());
+
+    // Inputs and memories.
+    let mut input_idx: HashMap<usize, usize> = HashMap::new();
+    for inst in &f.insts {
+        if let InstKind::Param(p) = &inst.kind {
+            input_idx
+                .entry(*p)
+                .or_insert_with(|| out.add_input(format!("arg{p}"), inst.ty, *p));
+        }
+    }
+    for m in &f.mems {
+        out.add_mem(FsmdMem {
+            name: m.name.clone(),
+            elem: m.elem,
+            len: m.len,
+            rom: m.rom.clone(),
+            param_index: match m.source {
+                MemSource::Param(p) => Some(p),
+                _ => None,
+            },
+        });
+    }
+
+    // Registers: values used outside their defining region, plus phis at
+    // region heads.
+    let mut needs_reg: BTreeSet<Value> = BTreeSet::new();
+    for (i, inst) in f.insts.iter().enumerate() {
+        let v = Value(i as u32);
+        let def_region = region_of[inst.block.0 as usize];
+        if matches!(inst.kind, InstKind::Phi(_)) && heads.contains(&inst.block) {
+            needs_reg.insert(v);
+            continue;
+        }
+        if matches!(inst.kind, InstKind::Const(_) | InstKind::Param(_)) {
+            continue;
+        }
+        // Used in another region?
+        for (j, other) in f.insts.iter().enumerate() {
+            let mut used = false;
+            match &other.kind {
+                InstKind::Phi(args) => {
+                    for (pred, pv) in args {
+                        if *pv == v && region_of[pred.0 as usize] != def_region {
+                            used = true;
+                        }
+                    }
+                }
+                kind => kind.for_each_operand(|o| used |= o == v),
+            }
+            if used {
+                let use_region = match &other.kind {
+                    InstKind::Phi(_) => def_region, // handled above per-edge
+                    _ => region_of[f.insts[j].block.0 as usize],
+                };
+                if use_region != def_region {
+                    needs_reg.insert(v);
+                }
+            }
+        }
+        // Terminator uses in other regions.
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let r = region_of[bi];
+            if r == def_region {
+                continue;
+            }
+            match &block.term {
+                Term::Br { cond, .. } if *cond == v => {
+                    needs_reg.insert(v);
+                }
+                Term::Ret(Some(rv)) if *rv == v => {
+                    needs_reg.insert(v);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut reg_of: HashMap<Value, RegId> = HashMap::new();
+    for &v in &needs_reg {
+        let ty = f.inst(v).ty;
+        reg_of.insert(v, out.add_reg(format!("v{}", v.0), ty, 0));
+    }
+    let ret_reg = f.ret_ty.map(|ty| out.add_reg("ret_value", ty, 0));
+
+    // One state per region + done.
+    let mut state_of: HashMap<BlockId, StateId> = HashMap::new();
+    for &h in &heads {
+        state_of.insert(h, out.add_state());
+    }
+    let done_state = out.add_state();
+    out.state_mut(done_state).next = NextState::Done;
+    out.entry = state_of[&f.entry];
+
+    // Flatten each region.
+    let rpo = f.reverse_postorder();
+    for &head in &heads {
+        let region_blocks: Vec<BlockId> = rpo
+            .iter()
+            .copied()
+            .filter(|b| region_of[b.0 as usize] == head)
+            .collect();
+        let state = state_of[&head];
+        let mut values: HashMap<Value, Rv> = HashMap::new();
+        let mut block_pred: HashMap<BlockId, Rv> = HashMap::new();
+        let mut edge_pred: HashMap<(BlockId, BlockId), Rv> = HashMap::new();
+        // Pending (uncommitted) stores for in-region forwarding:
+        // (guard, addr, value) per memory, in program order.
+        let mut pending: BTreeMap<u32, Vec<(Rv, Rv, Rv)>> = BTreeMap::new();
+        // Exit edges: (guard predicate, target head or Ret value).
+        enum Exit {
+            To(BlockId, Rv),
+            Ret(Option<Value>, Rv, BlockId),
+        }
+        let mut exits: Vec<Exit> = Vec::new();
+
+        // Helper to read a value inside this region.
+        let rv_of = |v: Value,
+                     values: &HashMap<Value, Rv>,
+                     reg_of: &HashMap<Value, RegId>,
+                     input_idx: &HashMap<usize, usize>|
+         -> Rv {
+            let inst = f.inst(v);
+            match &inst.kind {
+                InstKind::Const(c) => Rv::konst(*c, inst.ty),
+                InstKind::Param(p) => Rv {
+                    kind: RvKind::Input(input_idx[p]),
+                    ty: inst.ty,
+                },
+                _ => {
+                    if let Some(rv) = values.get(&v) {
+                        rv.clone()
+                    } else {
+                        Rv::reg(reg_of[&v], inst.ty)
+                    }
+                }
+            }
+        };
+
+        for &b in &region_blocks {
+            // Block predicate.
+            let pred = if b == head {
+                Rv::konst(1, u1())
+            } else {
+                let mut acc: Option<Rv> = None;
+                for (edge, p) in &edge_pred {
+                    if edge.1 == b {
+                        acc = Some(match acc {
+                            None => p.clone(),
+                            Some(a) => Rv::bin(BinKind::Or, u1(), a, p.clone()),
+                        });
+                    }
+                }
+                acc.unwrap_or_else(|| Rv::konst(0, u1()))
+            };
+            block_pred.insert(b, pred.clone());
+
+            // Instructions.
+            for &v in &f.block(b).insts {
+                let inst = f.inst(v);
+                let rv = match &inst.kind {
+                    InstKind::Const(_) | InstKind::Param(_) => continue,
+                    InstKind::Phi(args) => {
+                        if b == head {
+                            // Head phi: lives in its register.
+                            Rv::reg(reg_of[&v], inst.ty)
+                        } else {
+                            // Interior join: priority mux over edges.
+                            let mut acc: Option<Rv> = None;
+                            for (p, pv) in args {
+                                let ep = edge_pred
+                                    .get(&(*p, b))
+                                    .cloned()
+                                    .unwrap_or_else(|| Rv::konst(0, u1()));
+                                let src = rv_of(*pv, &values, &reg_of, &input_idx);
+                                acc = Some(match acc {
+                                    None => src,
+                                    Some(prev) => Rv {
+                                        kind: RvKind::Mux(
+                                            Box::new(ep),
+                                            Box::new(src),
+                                            Box::new(prev),
+                                        ),
+                                        ty: inst.ty,
+                                    },
+                                });
+                            }
+                            acc.ok_or_else(|| {
+                                SynthError::Transform("empty phi".to_string())
+                            })?
+                        }
+                    }
+                    InstKind::Bin(op, a, bb) => Rv {
+                        kind: RvKind::Bin(
+                            *op,
+                            Box::new(rv_of(*a, &values, &reg_of, &input_idx)),
+                            Box::new(rv_of(*bb, &values, &reg_of, &input_idx)),
+                        ),
+                        ty: if op.is_comparison() { u1() } else { inst.ty },
+                    },
+                    InstKind::Un(op, a) => Rv {
+                        kind: RvKind::Un(*op, Box::new(rv_of(*a, &values, &reg_of, &input_idx))),
+                        ty: inst.ty,
+                    },
+                    InstKind::Select { cond, t, f: fv } => Rv {
+                        kind: RvKind::Mux(
+                            Box::new(rv_of(*cond, &values, &reg_of, &input_idx)),
+                            Box::new(rv_of(*t, &values, &reg_of, &input_idx)),
+                            Box::new(rv_of(*fv, &values, &reg_of, &input_idx)),
+                        ),
+                        ty: inst.ty,
+                    },
+                    InstKind::Cast { val, .. } => Rv {
+                        kind: RvKind::Cast(Box::new(rv_of(*val, &values, &reg_of, &input_idx))),
+                        ty: inst.ty,
+                    },
+                    InstKind::Load { mem, addr } => {
+                        let raw = rv_of(*addr, &values, &reg_of, &input_idx);
+                        // Loads evaluate speculatively even on not-taken
+                        // paths; gate the address so a dead path cannot
+                        // read out of bounds (one mux of hardware).
+                        let a = if matches!(pred.kind, RvKind::Const(1)) {
+                            raw
+                        } else {
+                            Rv {
+                                kind: RvKind::Mux(
+                                    Box::new(pred.clone()),
+                                    Box::new(raw),
+                                    Box::new(Rv::konst(0, f.inst(*addr).ty)),
+                                ),
+                                ty: f.inst(*addr).ty,
+                            }
+                        };
+                        // Base read, then forward pending same-cycle stores.
+                        let mut rv = Rv {
+                            kind: RvKind::MemRead {
+                                mem: MemId(mem.0),
+                                addr: Box::new(a.clone()),
+                            },
+                            ty: inst.ty,
+                        };
+                        if let Some(writes) = pending.get(&mem.0) {
+                            for (g, wa, wv) in writes {
+                                let same = Rv {
+                                    kind: RvKind::Bin(
+                                        BinKind::Eq,
+                                        Box::new(wa.clone()),
+                                        Box::new(a.clone()),
+                                    ),
+                                    ty: u1(),
+                                };
+                                let hit = Rv::bin(BinKind::And, u1(), g.clone(), same);
+                                rv = Rv {
+                                    kind: RvKind::Mux(
+                                        Box::new(hit),
+                                        Box::new(wv.clone()),
+                                        Box::new(rv),
+                                    ),
+                                    ty: inst.ty,
+                                };
+                            }
+                        }
+                        rv
+                    }
+                    InstKind::Store { mem, addr, value } => {
+                        let a = rv_of(*addr, &values, &reg_of, &input_idx);
+                        let val = rv_of(*value, &values, &reg_of, &input_idx);
+                        pending.entry(mem.0).or_default().push((
+                            pred.clone(),
+                            a,
+                            val,
+                        ));
+                        continue;
+                    }
+                };
+                values.insert(v, rv);
+            }
+
+            // Terminator: edge predicates within the region, exits across.
+            let mk_and = |a: Rv, b: Rv| Rv::bin(BinKind::And, u1(), a, b);
+            match &f.block(b).term {
+                Term::Jump(t) => {
+                    if region_of[t.0 as usize] == head && !heads.contains(t) {
+                        merge_edge(&mut edge_pred, (b, *t), pred.clone());
+                    } else {
+                        exits.push(Exit::To(*t, pred.clone()));
+                    }
+                }
+                Term::Br { cond, then, els } => {
+                    let c = rv_of(*cond, &values, &reg_of, &input_idx);
+                    let not_c = Rv {
+                        kind: RvKind::Bin(
+                            BinKind::Eq,
+                            Box::new(c.clone()),
+                            Box::new(Rv::konst(0, u1())),
+                        ),
+                        ty: u1(),
+                    };
+                    for (target, gate) in [(*then, c), (*els, not_c)] {
+                        let ep = mk_and(pred.clone(), gate);
+                        if region_of[target.0 as usize] == head && !heads.contains(&target) {
+                            merge_edge(&mut edge_pred, (b, target), ep);
+                        } else {
+                            exits.push(Exit::To(target, ep));
+                        }
+                    }
+                }
+                Term::Ret(v) => exits.push(Exit::Ret(*v, pred.clone(), b)),
+                Term::Unreachable => {}
+            }
+        }
+
+        // Commit pending stores (guarded).
+        for (m, writes) in pending {
+            for (g, a, val) in writes {
+                out.state_mut(state)
+                    .actions
+                    .push(Action::write_if(g, MemId(m), a, val));
+            }
+        }
+        // Commit registers for cross-region values defined here.
+        for (&v, &r) in &reg_of {
+            let inst = f.inst(v);
+            if region_of[inst.block.0 as usize] != head {
+                continue;
+            }
+            if matches!(inst.kind, InstKind::Phi(_)) && inst.block == head {
+                continue; // head phis are written by incoming edges below
+            }
+            if let Some(rv) = values.get(&v) {
+                let guard = block_pred[&inst.block].clone();
+                out.state_mut(state)
+                    .actions
+                    .push(Action::set_if(guard, r, rv.clone()));
+            }
+        }
+        // Head-phi updates for every exit edge targeting a head, plus the
+        // head's own phis fed by in-region back edges.
+        let mut cases: Vec<(Rv, StateId)> = Vec::new();
+        for exit in &exits {
+            match exit {
+                Exit::To(target, guard) => {
+                    // The target is a head (or becomes one): write its phis.
+                    let tgt_head = if heads.contains(target) {
+                        *target
+                    } else {
+                        region_of[target.0 as usize]
+                    };
+                    for &pv in &f.block(tgt_head).insts {
+                        if let InstKind::Phi(args) = &f.inst(pv).kind {
+                            for (pred_blk, incoming) in args {
+                                if region_of[pred_blk.0 as usize] == head
+                                    && edge_sources_match(f, *pred_blk, *target)
+                                {
+                                    let src = rv_of(*incoming, &values, &reg_of, &input_idx);
+                                    out.state_mut(state).actions.push(Action::set_if(
+                                        guard.clone(),
+                                        reg_of[&pv],
+                                        src,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    cases.push((guard.clone(), state_of[&tgt_head]));
+                }
+                Exit::Ret(v, guard, _b) => {
+                    if let (Some(rr), Some(v)) = (ret_reg, v) {
+                        let src = rv_of(*v, &values, &reg_of, &input_idx);
+                        out.state_mut(state)
+                            .actions
+                            .push(Action::set_if(guard.clone(), rr, src));
+                    }
+                    cases.push((guard.clone(), done_state));
+                }
+            }
+        }
+        out.state_mut(state).next = match cases.len() {
+            0 => NextState::Goto(done_state),
+            1 => NextState::Goto(cases[0].1),
+            _ => {
+                let default = cases.last().expect("nonempty").1;
+                NextState::Cases {
+                    cases: cases[..cases.len() - 1].to_vec(),
+                    default,
+                }
+            }
+        };
+    }
+
+    out.ret = ret_reg.map(|rr| Rv::reg(rr, f.ret_ty.expect("typed")));
+    Ok(out)
+}
+
+/// True when `pred_blk`'s terminator actually targets `target` (a phi arg
+/// records the predecessor block; the exit edge we are processing may be a
+/// different edge out of the same region).
+fn edge_sources_match(f: &Function, pred_blk: BlockId, target: BlockId) -> bool {
+    f.block(pred_blk).term.successors().contains(&target)
+}
+
+fn merge_edge(
+    edge_pred: &mut HashMap<(BlockId, BlockId), Rv>,
+    key: (BlockId, BlockId),
+    pred: Rv,
+) {
+    match edge_pred.remove(&key) {
+        Some(existing) => {
+            edge_pred.insert(key, Rv::bin(BinKind::Or, u1(), existing, pred));
+        }
+        None => {
+            edge_pred.insert(key, pred);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chls_frontend::compile_to_hir;
+    use chls_sim::fsmd_sim::simulate;
+    use chls_sim::interp::ArgValue;
+
+    fn synth(src: &str, entry: &str) -> Fsmd {
+        let prog = compile_to_hir(src).expect("frontend ok");
+        let d = Transmogrifier
+            .synthesize(&prog, entry, &SynthOptions::default())
+            .expect("synthesis ok");
+        match d {
+            Design::Fsmd(f) => f,
+            _ => panic!("transmogrifier must produce an FSMD"),
+        }
+    }
+
+    #[test]
+    fn straight_line_is_one_cycle() {
+        let f = synth("int f(int a, int b) { return a * b + a - b; }", "f");
+        let r = simulate(&f, &[ArgValue::Scalar(6), ArgValue::Scalar(7)], 100).unwrap();
+        assert_eq!(r.ret, Some(41));
+        // One region state + done.
+        assert_eq!(r.cycles, 2);
+    }
+
+    #[test]
+    fn loop_costs_one_cycle_per_iteration() {
+        let f = synth(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+            "f",
+        );
+        let r10 = simulate(&f, &[ArgValue::Scalar(10)], 1000).unwrap();
+        let r20 = simulate(&f, &[ArgValue::Scalar(20)], 1000).unwrap();
+        assert_eq!(r10.ret, Some(45));
+        assert_eq!(r20.ret, Some(190));
+        // Cycle counts grow ~1 per iteration.
+        let d = r20.cycles as i64 - r10.cycles as i64;
+        assert!((d - 10).abs() <= 2, "delta {d}");
+    }
+
+    #[test]
+    fn unrolling_buys_cycles_transmogrifier_style() {
+        let plain = synth(
+            "int f(int a[16]) {
+                int s = 0;
+                for (int i = 0; i < 16; i++) s += a[i];
+                return s;
+            }",
+            "f",
+        );
+        let unrolled = synth(
+            "int f(int a[16]) {
+                int s = 0;
+                #pragma unroll 4
+                for (int i = 0; i < 16; i++) s += a[i];
+                return s;
+            }",
+            "f",
+        );
+        let args = [ArgValue::Array((1..=16).collect())];
+        let rp = simulate(&plain, &args, 1000).unwrap();
+        let ru = simulate(&unrolled, &args, 1000).unwrap();
+        assert_eq!(rp.ret, Some(136));
+        assert_eq!(ru.ret, Some(136));
+        // Unrolled by 4: roughly a quarter of the loop cycles.
+        assert!(
+            ru.cycles * 2 < rp.cycles,
+            "unrolled {} vs plain {}",
+            ru.cycles,
+            rp.cycles
+        );
+        // ... but the clock must slow down (longer critical path) and the
+        // memory needs more ports: the paper's recoding trade-off.
+        let m = chls_rtl::CostModel::new();
+        assert!(unrolled.critical_path(&m) > plain.critical_path(&m));
+        let ports_plain = plain.mem_port_usage()[0].0;
+        let ports_unrolled = unrolled.mem_port_usage()[0].0;
+        assert!(ports_unrolled > ports_plain);
+    }
+
+    #[test]
+    fn gcd_matches_golden() {
+        let f = synth(
+            "int f(int a, int b) { while (b != 0) { int t = b; b = a % b; a = t; } return a; }",
+            "f",
+        );
+        let r = simulate(&f, &[ArgValue::Scalar(48), ArgValue::Scalar(36)], 1000).unwrap();
+        assert_eq!(r.ret, Some(12));
+    }
+
+    #[test]
+    fn memory_store_then_load_same_cycle_forwards() {
+        let f = synth(
+            "int f(int a[4]) {
+                a[1] = 42;
+                return a[1];
+            }",
+            "f",
+        );
+        let r = simulate(&f, &[ArgValue::Array(vec![0; 4])], 100).unwrap();
+        assert_eq!(r.ret, Some(42));
+        assert_eq!(r.mems[0][1], 42);
+    }
+
+    #[test]
+    fn post_loop_merge_blocks() {
+        let f = synth(
+            "int f(int a, int n) {
+                int x;
+                if (a > 0) {
+                    int s = 0;
+                    for (int i = 0; i < n; i++) s += i;
+                    x = s;
+                } else {
+                    x = -a;
+                }
+                return x * 2;
+            }",
+            "f",
+        );
+        let r = simulate(&f, &[ArgValue::Scalar(1), ArgValue::Scalar(5)], 1000).unwrap();
+        assert_eq!(r.ret, Some(20));
+        let r = simulate(&f, &[ArgValue::Scalar(-21), ArgValue::Scalar(5)], 1000).unwrap();
+        assert_eq!(r.ret, Some(42));
+    }
+
+    #[test]
+    fn nested_loops_cycle_structure() {
+        let f = synth(
+            "int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < n; j++)
+                        s += 1;
+                return s;
+            }",
+            "f",
+        );
+        let r = simulate(&f, &[ArgValue::Scalar(4)], 10_000).unwrap();
+        assert_eq!(r.ret, Some(16));
+        // At least n*n cycles (each inner iteration is one).
+        assert!(r.cycles >= 16, "cycles {}", r.cycles);
+    }
+
+    #[test]
+    fn bubble_sort_conformance() {
+        let f = synth(
+            "void f(int a[6]) {
+                for (int i = 0; i < 5; i++) {
+                    for (int j = 0; j < 5 - i; j++) {
+                        if (a[j] > a[j + 1]) {
+                            int t = a[j];
+                            a[j] = a[j + 1];
+                            a[j + 1] = t;
+                        }
+                    }
+                }
+            }",
+            "f",
+        );
+        let r = simulate(
+            &f,
+            &[ArgValue::Array(vec![5, 2, 9, 1, 7, 3])],
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(r.mems[0], vec![1, 2, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn info_row() {
+        let info = Transmogrifier.info();
+        assert_eq!(info.timing, TimingModel::RulePerIteration);
+        assert_eq!(info.year, 1995);
+    }
+}

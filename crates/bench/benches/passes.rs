@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the individual optimizer passes on
+//! representative lowered kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn lowered(src: &str, entry: &str) -> chls_ir::Function {
+    let hir = chls_frontend::compile_to_hir(src).expect("compiles");
+    let (id, _) = hir.func_by_name(entry).expect("exists");
+    let prog = chls_opt::inline::inline_program(&hir, id).expect("inlines");
+    chls_ir::lower_function(&prog, chls_frontend::hir::FuncId(0)).expect("lowers")
+}
+
+fn passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_passes");
+    let kernels: Vec<(&str, chls_ir::Function)> = ["fir8", "crc32", "clamp_mix", "histogram"]
+        .iter()
+        .map(|name| {
+            let b = chls::benchmark(name).expect("exists");
+            (*name, lowered(b.source, b.entry))
+        })
+        .collect();
+    for (name, f) in &kernels {
+        group.bench_with_input(BenchmarkId::new("simplify", name), f, |b, f| {
+            b.iter_batched(
+                || f.clone(),
+                |mut f| chls_opt::simplify::simplify(&mut f),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("ifconv", name), f, |b, f| {
+            b.iter_batched(
+                || f.clone(),
+                |mut f| chls_opt::ifconv::if_convert(&mut f),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("loadcse", name), f, |b, f| {
+            b.iter_batched(
+                || f.clone(),
+                |mut f| chls_opt::loadcse::eliminate_redundant_loads(&mut f),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("width_analysis", name), f, |b, f| {
+            b.iter(|| chls_opt::width::analyze(f))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, passes);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the schedulers on synthetic DFGs of growing
+//! size: list scheduling, force-directed scheduling, and iterative modulo
+//! scheduling.
+
+use chls_rtl::OpClass;
+use chls_sched::dfg::{Dfg, DfgNode};
+use chls_sched::{force_directed, list_schedule, modulo_schedule, Resources};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A layered DFG: `layers` rows of `width` MACs, each feeding the next.
+fn layered_dfg(layers: usize, width: usize) -> Dfg {
+    let mut d = Dfg::default();
+    let mut prev: Vec<chls_sched::NodeId> = Vec::new();
+    for l in 0..layers {
+        let mut cur = Vec::new();
+        for w in 0..width {
+            let n = d.add_node(DfgNode {
+                op: if (l + w) % 3 == 0 { OpClass::Mul } else { OpClass::AddSub },
+                width: 32,
+                delay_ns: if (l + w) % 3 == 0 { 0.6 } else { 0.3 },
+                mem: None,
+                chainable: true,
+                tag: 0,
+            });
+            if let Some(&p) = prev.get(w) {
+                d.add_edge(p, n);
+            }
+            cur.push(n);
+        }
+        prev = cur;
+    }
+    d
+}
+
+fn schedulers(c: &mut Criterion) {
+    let res = Resources::typical();
+    for (layers, width) in [(8usize, 8usize), (16, 16), (32, 16)] {
+        let dfg = layered_dfg(layers, width);
+        let n = dfg.nodes.len();
+        c.bench_with_input(BenchmarkId::new("list_schedule", n), &dfg, |b, dfg| {
+            b.iter(|| list_schedule(dfg, 2.0, &res))
+        });
+        c.bench_with_input(BenchmarkId::new("force_directed", n), &dfg, |b, dfg| {
+            b.iter(|| force_directed(dfg, 2.0, (layers * 2) as u32))
+        });
+        c.bench_with_input(BenchmarkId::new("modulo_schedule", n), &dfg, |b, dfg| {
+            b.iter(|| modulo_schedule(dfg, 2.0, &res))
+        });
+    }
+}
+
+criterion_group!(benches, schedulers);
+criterion_main!(benches);

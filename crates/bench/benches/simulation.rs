@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the simulators: golden interpreter, FSMD cycle
+//! simulation, and asynchronous token simulation on the same kernel.
+
+use chls::interp::ArgValue;
+use chls::{backend_by_name, Compiler, Design, SynthOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn simulators(c: &mut Criterion) {
+    let bench = chls::benchmark("crc32").expect("exists");
+    let compiler = Compiler::parse(bench.source).expect("parses");
+    let entry = bench.entry;
+    let args = bench.args.clone();
+
+    c.bench_function("interp/crc32", |b| {
+        b.iter(|| compiler.interpret(entry, &args).expect("runs"))
+    });
+
+    let c2v = backend_by_name("c2v").expect("registered");
+    let fsmd_design = compiler
+        .synthesize(c2v.as_ref(), entry, &SynthOptions::default())
+        .expect("synthesizes");
+    let fsmd = match &fsmd_design {
+        Design::Fsmd(f) => f.clone(),
+        _ => unreachable!(),
+    };
+    c.bench_function("fsmd_sim/crc32", |b| {
+        b.iter(|| chls_sim::fsmd_sim::simulate(&fsmd, &args, 5_000_000).expect("simulates"))
+    });
+
+    let cash = backend_by_name("cash").expect("registered");
+    let df_design = compiler
+        .synthesize(cash.as_ref(), entry, &SynthOptions::default())
+        .expect("synthesizes");
+    let g = match &df_design {
+        Design::Dataflow(g) => g.clone(),
+        _ => unreachable!(),
+    };
+    let df_args: Vec<chls_dataflow::sim::ArgValue> = args
+        .iter()
+        .map(|a| match a {
+            ArgValue::Scalar(v) => chls_dataflow::sim::ArgValue::Scalar(*v),
+            ArgValue::Array(v) => chls_dataflow::sim::ArgValue::Array(v.clone()),
+        })
+        .collect();
+    c.bench_function("token_sim/crc32", |b| {
+        b.iter(|| {
+            chls_dataflow::sim::simulate(
+                &g,
+                &df_args,
+                &chls_dataflow::sim::TokenSimOptions::default(),
+            )
+            .expect("simulates")
+        })
+    });
+}
+
+criterion_group!(benches, simulators);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion benchmarks of the synthesis paths themselves: full
+//! frontend + backend runs per paradigm on representative kernels.
+
+use chls::{backend_by_name, Compiler, SynthOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn backend_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    let cases = [
+        ("gcd", "gcd"),
+        ("fir8", "fir"),
+        ("bubble8", "sort"),
+        ("crc32", "crc32"),
+    ];
+    for (bench_name, entry) in cases {
+        let bench = chls::benchmark(bench_name).expect("exists");
+        let compiler = Compiler::parse(bench.source).expect("parses");
+        for backend_name in ["transmogrifier", "c2v", "handelc", "hardwarec", "cash"] {
+            let backend = backend_by_name(backend_name).expect("registered");
+            // Skip combinations a backend refuses.
+            if compiler
+                .synthesize(backend.as_ref(), entry, &SynthOptions::default())
+                .is_err()
+            {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(backend_name, bench_name),
+                &compiler,
+                |b, compiler| {
+                    b.iter(|| {
+                        compiler
+                            .synthesize(backend.as_ref(), entry, &SynthOptions::default())
+                            .expect("synthesizes")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    for bench in chls::benchmarks() {
+        group.bench_with_input(
+            BenchmarkId::new("parse+sema", bench.name),
+            &bench.source,
+            |b, src| b.iter(|| chls_frontend::compile_to_hir(src).expect("compiles")),
+        );
+    }
+    group.finish();
+}
+
+fn pipelined_synthesis(c: &mut Criterion) {
+    // Compile-time cost of the pipelining path (if-conversion + modulo
+    // scheduling + kernel emission) relative to the plain schedule.
+    let mut group = c.benchmark_group("pipeline_synthesis");
+    let piped = SynthOptions {
+        pipeline_loops: true,
+        ..Default::default()
+    };
+    for bench_name in ["fir8", "vecscale", "clamp_mix"] {
+        let bench = chls::benchmark(bench_name).expect("exists");
+        let compiler = Compiler::parse(bench.source).expect("parses");
+        let backend = backend_by_name("c2v").expect("registered");
+        group.bench_with_input(
+            BenchmarkId::new("plain", bench_name),
+            &compiler,
+            |b, compiler| {
+                b.iter(|| {
+                    compiler
+                        .synthesize(backend.as_ref(), bench.entry, &SynthOptions::default())
+                        .expect("synthesizes")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pipelined", bench_name),
+            &compiler,
+            |b, compiler| {
+                b.iter(|| {
+                    compiler
+                        .synthesize(backend.as_ref(), bench.entry, &piped)
+                        .expect("synthesizes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, backend_synthesis, frontend, pipelined_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Ablation: which enabler buys loop pipelining its coverage?
+//!
+//! The c2v pipeliner rests on four design choices (DESIGN.md §7):
+//!
+//! 1. **redundant-load elimination** — forwarding duplicated loads so a
+//!    re-loading arm becomes pure (bundled with if-conversion under the
+//!    `pipeline_if_convert` knob);
+//! 2. **if-conversion** — predicating pure branchy bodies into `Select`s
+//!    so the loop becomes a single-block canonical shape;
+//! 3. **affine carried-dependence disambiguation** — dropping false
+//!    store→load ordering between `a[i]` and the next iteration's
+//!    `a[i+1]` (`AliasPrecision::Basic`; `None` turns it off);
+//! 4. the pipelined kernel emission itself (stage shadows, boundary
+//!    condition, drain).
+//!
+//! Each column removes one enabler and reports measured cycles over the
+//! benchmark suite, so the contribution of every choice is visible.
+
+use chls::{backend_by_name, benchmarks, simulate_design, Compiler, SynthOptions, Table};
+use chls_opt::dep::AliasPrecision;
+
+fn cycles(src: &str, entry: &str, args: &[chls::interp::ArgValue], opts: &SynthOptions) -> u64 {
+    let compiler = Compiler::parse(src).expect("parses");
+    let backend = backend_by_name("c2v").expect("registered");
+    let design = compiler
+        .synthesize(backend.as_ref(), entry, opts)
+        .expect("synthesizes");
+    let out = simulate_design(&design, args).expect("simulates");
+    // Cross-check against the golden model in every configuration.
+    let golden = compiler.interpret(entry, args).expect("golden");
+    assert_eq!(out.ret, golden.ret, "{entry}: ablated config diverges");
+    assert_eq!(out.arrays, golden.arrays, "{entry}: ablated arrays diverge");
+    out.cycles.unwrap()
+}
+
+fn main() {
+    let plain = SynthOptions::default();
+    let full = SynthOptions {
+        pipeline_loops: true,
+        ..Default::default()
+    };
+    let no_ifconv = SynthOptions {
+        pipeline_loops: true,
+        pipeline_if_convert: false,
+        ..Default::default()
+    };
+    let no_affine = SynthOptions {
+        pipeline_loops: true,
+        precision: AliasPrecision::None,
+        ..Default::default()
+    };
+
+    let mut t = Table::new(vec![
+        "benchmark",
+        "plain",
+        "full pipeline",
+        "no if-conversion",
+        "no affine dep",
+        "full speedup",
+    ]);
+    let mut helped_full = 0;
+    let mut helped_no_ifconv = 0;
+    let mut helped_no_affine = 0;
+    for bench in benchmarks() {
+        let cp = cycles(bench.source, bench.entry, &bench.args, &plain);
+        let cf = cycles(bench.source, bench.entry, &bench.args, &full);
+        let ci = cycles(bench.source, bench.entry, &bench.args, &no_ifconv);
+        let ca = cycles(bench.source, bench.entry, &bench.args, &no_affine);
+        helped_full += (cf < cp) as u32;
+        helped_no_ifconv += (ci < cp) as u32;
+        helped_no_affine += (ca < cp) as u32;
+        t.row(vec![
+            bench.name.to_string(),
+            cp.to_string(),
+            cf.to_string(),
+            ci.to_string(),
+            ca.to_string(),
+            if cf < cp {
+                format!("{:.2}x", cp as f64 / cf as f64)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    println!("Ablation: c2v loop pipelining enablers (measured cycles)\n");
+    println!("{t}");
+    println!(
+        "kernels sped up — full: {helped_full}, without if-conversion: \
+         {helped_no_ifconv}, without affine disambiguation: {helped_no_affine}.\n\
+         Load forwarding + if-conversion carry the branchy kernels (crc32,\n\
+         max8, isqrt, strchr8, clamp_mix, bubble8); affine analysis carries\n\
+         the in-place updaters (vecscale); every configuration remains\n\
+         bit-exact against the golden model. Only gcd never pipelines: its\n\
+         mod recurrence is the paper's own exemplar of 'less effective in\n\
+         general'."
+    );
+}

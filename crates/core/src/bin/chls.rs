@@ -1,0 +1,331 @@
+//! `chls` — command-line driver for the synthesis laboratory.
+//!
+//! ```text
+//! chls backends                                list backends (Table 1)
+//! chls check <file.chl> <entry> [args...]      run all backends vs golden
+//! chls run <file.chl> <entry> [args...]        interpret only
+//! chls ir <file.chl> <entry>                   dump the prepared SSA IR
+//! chls synth <backend> <file.chl> <entry>      synthesize, print report
+//! chls verilog <backend> <file.chl> <entry>    synthesize and emit Verilog
+//! chls equiv <fileA.chl> <entryA> <fileB.chl> <entryB>
+//!                                              formally compare two functions
+//! ```
+//!
+//! `synth` and `verilog` accept `--pipeline` (hardware loop pipelining)
+//! and `--narrow` (width-analysis-driven register/datapath narrowing)
+//! before the backend name, where the backend supports them.
+//!
+//! Scalar arguments are integers; array arguments are comma-separated
+//! lists like `1,2,3,4`.
+
+use chls::interp::ArgValue;
+use chls::{
+    backend_by_name, check_conformance, simulate_design, Compiler, Design, SynthOptions, Verdict,
+};
+use chls_rtl::CostModel;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  chls backends\n  chls run <file> <entry> [args...]\n  \
+         chls check <file> <entry> [args...]\n  chls ir <file> <entry>\n  \
+         chls synth [--pipeline] [--narrow] <backend> <file> <entry> [args...]\n  \
+         chls verilog [--pipeline] [--narrow] <backend> <file> <entry>\n  \
+         chls equiv <fileA> <entryA> <fileB> <entryB>\n\n\
+         args: integers (42) or comma-separated arrays (1,2,3)"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args(raw: &[String]) -> Result<Vec<ArgValue>, String> {
+    raw.iter()
+        .map(|s| {
+            if s.contains(',') {
+                let vals: Result<Vec<i64>, _> =
+                    s.split(',').map(|p| p.trim().parse::<i64>()).collect();
+                vals.map(ArgValue::Array).map_err(|e| format!("bad array `{s}`: {e}"))
+            } else {
+                s.parse::<i64>()
+                    .map(ArgValue::Scalar)
+                    .map_err(|e| format!("bad integer `{s}`: {e}"))
+            }
+        })
+        .collect()
+}
+
+fn load(path: &str) -> Result<Compiler, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Compiler::parse(&src).map_err(|e| e.render(&src))
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let pipeline = argv.iter().any(|a| a == "--pipeline");
+    let narrow = argv.iter().any(|a| a == "--narrow");
+    argv.retain(|a| a != "--pipeline" && a != "--narrow");
+    let mut it = argv.iter();
+    let Some(cmd) = it.next() else { return usage() };
+    match cmd.as_str() {
+        "backends" => {
+            println!("{}", chls::taxonomy_table());
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let (Some(file), Some(entry)) = (it.next(), it.next()) else {
+                return usage();
+            };
+            let rest: Vec<String> = it.cloned().collect();
+            let args = match parse_args(&rest) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let compiler = match load(file) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match compiler.interpret(entry, &args) {
+                Ok(r) => {
+                    if let Some(v) = r.ret {
+                        println!("ret = {v}");
+                    }
+                    for (i, a) in r.arrays {
+                        println!("arg{i} = {a:?}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("interpreter error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "check" => {
+            let (Some(file), Some(entry)) = (it.next(), it.next()) else {
+                return usage();
+            };
+            let rest: Vec<String> = it.cloned().collect();
+            let args = match parse_args(&rest) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let src = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match check_conformance(&src, entry, &args) {
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+                Ok(results) => {
+                    let mut bad = false;
+                    for (backend, verdict) in results {
+                        match verdict {
+                            Verdict::Pass { cycles, time_units } => {
+                                let timing = cycles
+                                    .map(|c| format!("{c} cycles"))
+                                    .or_else(|| time_units.map(|t| format!("{t} time units")))
+                                    .unwrap_or_else(|| "combinational".to_string());
+                                println!("{backend:<16} PASS  ({timing})");
+                            }
+                            Verdict::Unsupported(why) => {
+                                println!("{backend:<16} skip  ({why})");
+                            }
+                            Verdict::Mismatch { got, expected } => {
+                                bad = true;
+                                println!("{backend:<16} FAIL  got {got}, expected {expected}");
+                            }
+                            Verdict::Error(e) => {
+                                bad = true;
+                                println!("{backend:<16} ERROR {e}");
+                            }
+                        }
+                    }
+                    if bad {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+            }
+        }
+        "ir" => {
+            let (Some(file), Some(entry)) = (it.next(), it.next()) else {
+                return usage();
+            };
+            let compiler = match load(file) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match compiler.prepared_ir(entry) {
+                Ok(text) => {
+                    println!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "equiv" => {
+            let (Some(fa), Some(ea), Some(fb), Some(eb)) =
+                (it.next(), it.next(), it.next(), it.next())
+            else {
+                return usage();
+            };
+            let netlist = |file: &str, entry: &str| -> Result<chls_rtl::Netlist, String> {
+                let compiler = load(file)?;
+                let backend = backend_by_name("cones").expect("cones registered");
+                match compiler.synthesize(backend.as_ref(), entry, &SynthOptions::default()) {
+                    Ok(Design::Comb(nl)) => Ok(nl),
+                    Ok(_) => Err("expected a combinational design".to_string()),
+                    Err(e) => Err(format!(
+                        "{file}:{entry}: not synthesizable combinationally: {e}"
+                    )),
+                }
+            };
+            let (a, b) = match (netlist(fa, ea), netlist(fb, eb)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match chls_rtl::check_equivalence(&a, &b, 1 << 22) {
+                Ok(chls_rtl::Equivalence::Equivalent) => {
+                    println!("EQUIVALENT: {ea} and {eb} compute the same function");
+                    ExitCode::SUCCESS
+                }
+                Ok(chls_rtl::Equivalence::Differ {
+                    output,
+                    bit,
+                    witness,
+                }) => {
+                    println!("DIFFER at output `{output}` bit {bit}");
+                    println!("counterexample:");
+                    for (name, value) in witness {
+                        println!("  {name} = {value}");
+                    }
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("cannot check: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "synth" | "verilog" => {
+            let (Some(backend_name), Some(file), Some(entry)) = (it.next(), it.next(), it.next())
+            else {
+                return usage();
+            };
+            let Some(backend) = backend_by_name(backend_name) else {
+                eprintln!("unknown backend `{backend_name}` (try `chls backends`)");
+                return ExitCode::FAILURE;
+            };
+            let compiler = match load(file) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let opts = SynthOptions {
+                pipeline_loops: pipeline,
+                narrow_widths: narrow,
+                ..Default::default()
+            };
+            let design = match compiler.synthesize(backend.as_ref(), entry, &opts) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("synthesis failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if cmd == "verilog" {
+                match &design {
+                    Design::Comb(nl) => println!("{}", chls_rtl::netlist_to_verilog(nl)),
+                    Design::Fsmd(f) => println!("{}", chls_rtl::fsmd_to_verilog(f)),
+                    Design::Dataflow(_) => {
+                        eprintln!(
+                            "the cash backend emits asynchronous dataflow circuits, \
+                             not synchronous Verilog"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
+            // synth report.
+            let model = CostModel::new();
+            println!("backend:  {}", backend.info().models);
+            println!("area:     {:.0} NAND2-equivalent gates", design.area(&model));
+            match &design {
+                Design::Comb(nl) => {
+                    println!("style:    combinational ({} cells)", nl.cells.len());
+                    println!("delay:    {:.2} ns", nl.critical_path(&model));
+                }
+                Design::Fsmd(f) => {
+                    println!(
+                        "style:    FSMD ({} states, {} registers, {} memories)",
+                        f.states.len(),
+                        f.regs.len(),
+                        f.mems.len()
+                    );
+                    println!(
+                        "clock:    {:.2} ns min period ({:.0} MHz)",
+                        f.critical_path(&model) + model.sequential_overhead_ns,
+                        f.fmax_mhz(&model)
+                    );
+                }
+                Design::Dataflow(g) => {
+                    println!("style:    asynchronous dataflow ({} nodes)", g.nodes.len());
+                    println!("nodes:    {:?}", g.histogram());
+                }
+            }
+            // Run it if sample args were provided.
+            let rest: Vec<String> = it.cloned().collect();
+            if !rest.is_empty() {
+                match parse_args(&rest) {
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                    Ok(args) => match simulate_design(&design, &args) {
+                        Ok(out) => {
+                            println!("result:   {:?}", out.ret);
+                            if let Some(c) = out.cycles {
+                                println!("cycles:   {c}");
+                            }
+                            if let Some(t) = out.time_units {
+                                println!("time:     {t} units");
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("simulation failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

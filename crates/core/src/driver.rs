@@ -1,0 +1,286 @@
+//! The compiler driver: frontend, synthesis, and unified design
+//! simulation, plus the conformance checker every experiment leans on.
+
+use chls_backends::{Backend, Design, SynthError, SynthOptions};
+use chls_frontend::hir::HirProgram;
+use chls_frontend::FrontendError;
+use chls_ir::MemSource;
+use chls_sim::interp::{self, ArgValue, InterpOptions};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed and analyzed CHL program, ready for synthesis.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    hir: HirProgram,
+    source: String,
+}
+
+impl Compiler {
+    /// Parses and type-checks CHL source.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend diagnostics.
+    pub fn parse(source: &str) -> Result<Self, FrontendError> {
+        let hir = chls_frontend::compile_to_hir(source)?;
+        Ok(Compiler {
+            hir,
+            source: source.to_string(),
+        })
+    }
+
+    /// The analyzed program.
+    pub fn hir(&self) -> &HirProgram {
+        &self.hir
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Runs the golden-model interpreter.
+    ///
+    /// # Errors
+    ///
+    /// See [`interp::InterpError`].
+    pub fn interpret(
+        &self,
+        entry: &str,
+        args: &[ArgValue],
+    ) -> Result<interp::InterpResult, interp::InterpError> {
+        interp::run(&self.hir, entry, args, &InterpOptions::default())
+    }
+
+    /// Synthesizes with the given backend.
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthError`].
+    pub fn synthesize(
+        &self,
+        backend: &dyn Backend,
+        entry: &str,
+        opts: &SynthOptions,
+    ) -> Result<Design, SynthError> {
+        backend.synthesize(&self.hir, entry, opts)
+    }
+
+    /// The SSA IR the sequential backends schedule: inlined, unrolled,
+    /// pointer-eliminated, memory-lowered, and simplified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError`] when any preparation pass rejects the
+    /// program (e.g. an unresolvable pointer).
+    pub fn prepared_ir(&self, entry: &str) -> Result<String, SynthError> {
+        let prepared = chls_backends::common::prepare_sequential(&self.hir, entry, false)?;
+        Ok(prepared.func.to_string())
+    }
+}
+
+/// Unified outcome of simulating any design kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Return value.
+    pub ret: Option<i64>,
+    /// Final contents of array parameters, by parameter index.
+    pub arrays: Vec<(usize, Vec<i64>)>,
+    /// Clock cycles (clocked designs only).
+    pub cycles: Option<u64>,
+    /// Completion time in async time units (dataflow designs only).
+    pub time_units: Option<u64>,
+}
+
+/// Design-simulation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateError(pub String);
+
+impl fmt::Display for SimulateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "design simulation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SimulateError {}
+
+/// Cycle limit used by [`simulate_design`].
+pub const MAX_CYCLES: u64 = 5_000_000;
+
+/// Simulates a synthesized design on concrete arguments.
+///
+/// # Errors
+///
+/// Returns a [`SimulateError`] wrapping the specific simulator's failure.
+pub fn simulate_design(design: &Design, args: &[ArgValue]) -> Result<SimOutcome, SimulateError> {
+    match design {
+        Design::Comb(nl) => {
+            let mut sim = chls_sim::netlist_sim::NetlistSim::new(nl)
+                .map_err(|e| SimulateError(e.to_string()))?;
+            for (i, a) in args.iter().enumerate() {
+                match a {
+                    ArgValue::Scalar(v) => sim.set_input(format!("arg{i}"), *v),
+                    ArgValue::Array(vals) => {
+                        for (j, v) in vals.iter().enumerate() {
+                            sim.set_input(format!("arg{i}_{j}"), *v);
+                        }
+                    }
+                }
+            }
+            let ret = if nl.outputs.iter().any(|(n, _)| n == "ret") {
+                Some(sim.output("ret").map_err(|e| SimulateError(e.to_string()))?)
+            } else {
+                None
+            };
+            // Array write-backs from out{i}_{j} ports.
+            let mut arrays: HashMap<usize, Vec<(usize, i64)>> = HashMap::new();
+            for (name, _) in &nl.outputs {
+                if let Some(rest) = name.strip_prefix("out") {
+                    if let Some((pi, ei)) = rest.split_once('_') {
+                        if let (Ok(pi), Ok(ei)) = (pi.parse::<usize>(), ei.parse::<usize>()) {
+                            let v = sim
+                                .output(name)
+                                .map_err(|e| SimulateError(e.to_string()))?;
+                            arrays.entry(pi).or_default().push((ei, v));
+                        }
+                    }
+                }
+            }
+            let mut arrays: Vec<(usize, Vec<i64>)> = arrays
+                .into_iter()
+                .map(|(pi, mut elems)| {
+                    elems.sort_by_key(|(e, _)| *e);
+                    (pi, elems.into_iter().map(|(_, v)| v).collect())
+                })
+                .collect();
+            arrays.sort_by_key(|(pi, _)| *pi);
+            Ok(SimOutcome {
+                ret,
+                arrays,
+                cycles: None,
+                time_units: None,
+            })
+        }
+        Design::Fsmd(f) => {
+            let r = chls_sim::fsmd_sim::simulate(f, args, MAX_CYCLES)
+                .map_err(|e| SimulateError(e.to_string()))?;
+            let mut arrays = Vec::new();
+            for (mi, m) in f.mems.iter().enumerate() {
+                if let Some(p) = m.param_index {
+                    arrays.push((p, r.mems[mi].clone()));
+                }
+            }
+            arrays.sort_by_key(|(p, _)| *p);
+            Ok(SimOutcome {
+                ret: r.ret,
+                arrays,
+                cycles: Some(r.cycles),
+                time_units: None,
+            })
+        }
+        Design::Dataflow(g) => {
+            let df_args: Vec<chls_dataflow::sim::ArgValue> = args
+                .iter()
+                .map(|a| match a {
+                    ArgValue::Scalar(v) => chls_dataflow::sim::ArgValue::Scalar(*v),
+                    ArgValue::Array(v) => chls_dataflow::sim::ArgValue::Array(v.clone()),
+                })
+                .collect();
+            let r = chls_dataflow::sim::simulate(
+                g,
+                &df_args,
+                &chls_dataflow::sim::TokenSimOptions::default(),
+            )
+            .map_err(|e| SimulateError(e.to_string()))?;
+            let mut arrays = Vec::new();
+            for (mi, m) in g.mems.iter().enumerate() {
+                if let MemSource::Param(p) = m.source {
+                    arrays.push((p, r.mems[mi].clone()));
+                }
+            }
+            arrays.sort_by_key(|(p, _)| *p);
+            Ok(SimOutcome {
+                ret: r.ret,
+                arrays,
+                cycles: None,
+                time_units: Some(r.time),
+            })
+        }
+    }
+}
+
+/// One backend's conformance result on one program/input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Matches the golden interpreter.
+    Pass {
+        /// Cycle count, for clocked designs.
+        cycles: Option<u64>,
+        /// Async completion time, for dataflow designs.
+        time_units: Option<u64>,
+    },
+    /// The backend (correctly or not) refused the program.
+    Unsupported(String),
+    /// Produced a result that disagrees with the interpreter.
+    Mismatch {
+        /// What the hardware produced.
+        got: String,
+        /// What the interpreter produced.
+        expected: String,
+    },
+    /// Synthesis or simulation crashed.
+    Error(String),
+}
+
+/// Checks every registered backend against the golden interpreter.
+///
+/// # Errors
+///
+/// Fails only if the golden interpreter itself cannot run the program.
+pub fn check_conformance(
+    source: &str,
+    entry: &str,
+    args: &[ArgValue],
+) -> Result<Vec<(&'static str, Verdict)>, String> {
+    let compiler = Compiler::parse(source).map_err(|e| e.to_string())?;
+    let golden = compiler
+        .interpret(entry, args)
+        .map_err(|e| e.to_string())?;
+    let opts = SynthOptions::default();
+    let mut out = Vec::new();
+    for backend in crate::registry::backends() {
+        let name = backend.info().name;
+        let verdict = match compiler.synthesize(backend.as_ref(), entry, &opts) {
+            Err(
+                e @ (SynthError::Unsupported { .. }
+                | SynthError::Loop(_)
+                | SynthError::Transform(_)),
+            ) => Verdict::Unsupported(e.to_string()),
+            Err(e) => Verdict::Error(e.to_string()),
+            Ok(design) => match simulate_design(&design, args) {
+                Err(e) => Verdict::Error(e.to_string()),
+                Ok(outcome) => {
+                    let ret_ok = outcome.ret == golden.ret;
+                    let arrays_ok = outcome.arrays == golden.arrays;
+                    if ret_ok && arrays_ok {
+                        Verdict::Pass {
+                            cycles: outcome.cycles,
+                            time_units: outcome.time_units,
+                        }
+                    } else {
+                        Verdict::Mismatch {
+                            got: format!("ret={:?} arrays={:?}", outcome.ret, outcome.arrays),
+                            expected: format!(
+                                "ret={:?} arrays={:?}",
+                                golden.ret, golden.arrays
+                            ),
+                        }
+                    }
+                }
+            },
+        };
+        out.push((name, verdict));
+    }
+    Ok(out)
+}

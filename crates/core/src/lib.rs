@@ -1,0 +1,44 @@
+//! # chls — a laboratory for hardware synthesis from C-like languages
+//!
+//! A from-scratch reproduction of the systems surveyed in Edwards, *"The
+//! Challenges of Hardware Synthesis from C-Like Languages"* (DATE 2005):
+//! a C-like language frontend, SSA IR and optimizer, schedulers, an RTL
+//! substrate with Verilog emission and simulators, an asynchronous
+//! dataflow substrate, and **one synthesis backend per paradigm in the
+//! paper's Table 1** — all conformance-tested against a golden
+//! interpreter.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use chls::{backend_by_name, simulate_design, Compiler};
+//! use chls::interp::ArgValue;
+//! use chls_backends::SynthOptions;
+//!
+//! let compiler = Compiler::parse(
+//!     "int gcd(int a, int b) {
+//!          while (b != 0) { int t = b; b = a % b; a = t; }
+//!          return a;
+//!      }",
+//! )?;
+//! let backend = backend_by_name("c2v").expect("registered");
+//! let design = compiler.synthesize(backend.as_ref(), "gcd", &SynthOptions::default())?;
+//! let out = simulate_design(&design, &[ArgValue::Scalar(48), ArgValue::Scalar(36)])?;
+//! assert_eq!(out.ret, Some(12));
+//! println!("gcd(48, 36) = 12 in {} cycles", out.cycles.unwrap());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod driver;
+pub mod programs;
+pub mod registry;
+pub mod report;
+
+pub use chls_backends::{Backend, BackendInfo, Design, SynthError, SynthOptions};
+pub use chls_sim::interp;
+pub use driver::{check_conformance, simulate_design, Compiler, SimOutcome, SimulateError, Verdict};
+pub use programs::{benchmark, benchmarks, Benchmark};
+pub use registry::{backend_by_name, backends, taxonomy_table};
+pub use report::{fnum, Table};

@@ -1,0 +1,403 @@
+//! The benchmark-program suite.
+//!
+//! Small, complete CHL kernels covering the workload classes the paper's
+//! arguments turn on: regular loops (where pipelining and unrolling win),
+//! irregular data-dependent control (where they do not), table lookups,
+//! memory-bound kernels, and pointer code. Every experiment and the
+//! conformance suite draw from this one list.
+
+use chls_sim::interp::ArgValue;
+
+/// A benchmark kernel.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short name.
+    pub name: &'static str,
+    /// What it exercises.
+    pub description: &'static str,
+    /// CHL source.
+    pub source: &'static str,
+    /// Entry function.
+    pub entry: &'static str,
+    /// Deterministic arguments for conformance runs.
+    pub args: Vec<ArgValue>,
+    /// True for regular (affine, data-independent) inner loops — the
+    /// kernels the paper says pipelining works well on.
+    pub regular_loops: bool,
+    /// True when every loop bound is a compile-time constant (Cones can
+    /// fully unroll).
+    pub const_bounds: bool,
+}
+
+/// The full suite.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "fir8",
+            description: "8-tap FIR filter over 16 samples (regular MAC loop)",
+            source: r#"
+                const int coeff[8] = {1, 2, 3, 4, 4, 3, 2, 1};
+                void fir(int x[16], int y[16]) {
+                    for (int n = 7; n < 16; n++) {
+                        int acc = 0;
+                        for (int k = 0; k < 8; k++) {
+                            acc += coeff[k] * x[n - k];
+                        }
+                        y[n] = acc >> 4;
+                    }
+                }
+            "#,
+            entry: "fir",
+            args: vec![
+                ArgValue::Array((0..16).map(|i| (i * 7 + 3) % 50).collect()),
+                ArgValue::Array(vec![0; 16]),
+            ],
+            regular_loops: true,
+            const_bounds: true,
+        },
+        Benchmark {
+            name: "dot8",
+            description: "dot product of two 8-vectors",
+            source: r#"
+                int dot(int a[8], int b[8]) {
+                    int s = 0;
+                    for (int i = 0; i < 8; i++) s += a[i] * b[i];
+                    return s;
+                }
+            "#,
+            entry: "dot",
+            args: vec![
+                ArgValue::Array(vec![1, 2, 3, 4, 5, 6, 7, 8]),
+                ArgValue::Array(vec![8, 7, 6, 5, 4, 3, 2, 1]),
+            ],
+            regular_loops: true,
+            const_bounds: true,
+        },
+        Benchmark {
+            name: "matmul4",
+            description: "4x4 integer matrix multiply",
+            source: r#"
+                void matmul(int a[16], int b[16], int c[16]) {
+                    for (int i = 0; i < 4; i++) {
+                        for (int j = 0; j < 4; j++) {
+                            int acc = 0;
+                            for (int k = 0; k < 4; k++) {
+                                acc += a[i * 4 + k] * b[k * 4 + j];
+                            }
+                            c[i * 4 + j] = acc;
+                        }
+                    }
+                }
+            "#,
+            entry: "matmul",
+            args: vec![
+                ArgValue::Array((1..=16).collect()),
+                ArgValue::Array((1..=16).rev().collect()),
+                ArgValue::Array(vec![0; 16]),
+            ],
+            regular_loops: true,
+            const_bounds: true,
+        },
+        Benchmark {
+            name: "gcd",
+            description: "Euclid's algorithm (data-dependent loop)",
+            source: r#"
+                int gcd(int a, int b) {
+                    while (b != 0) {
+                        int t = b;
+                        b = a % b;
+                        a = t;
+                    }
+                    return a;
+                }
+            "#,
+            entry: "gcd",
+            args: vec![ArgValue::Scalar(1071), ArgValue::Scalar(462)],
+            regular_loops: false,
+            const_bounds: false,
+        },
+        Benchmark {
+            name: "crc32",
+            description: "bitwise CRC-32 over 8 bytes (shift-xor kernel)",
+            source: r#"
+                int crc32(int data[8], int n) {
+                    unsigned int crc = 0xFFFFFFFF;
+                    for (int i = 0; i < n; i++) {
+                        crc = crc ^ data[i];
+                        for (int k = 0; k < 8; k++) {
+                            bool lsb = (crc & 1) != 0;
+                            crc = crc >> 1;
+                            if (lsb) crc = crc ^ 0xEDB88320;
+                        }
+                    }
+                    return (int) ~crc;
+                }
+            "#,
+            entry: "crc32",
+            args: vec![
+                ArgValue::Array(vec![0x31, 0x32, 0x33, 0x34, 0x35, 0x36, 0x37, 0x38]),
+                ArgValue::Scalar(8),
+            ],
+            regular_loops: true,
+            const_bounds: false,
+        },
+        Benchmark {
+            name: "bubble8",
+            description: "bubble sort of 8 elements (data-dependent swaps)",
+            source: r#"
+                void sort(int a[8]) {
+                    for (int i = 0; i < 7; i++) {
+                        for (int j = 0; j < 7 - i; j++) {
+                            if (a[j] > a[j + 1]) {
+                                int t = a[j];
+                                a[j] = a[j + 1];
+                                a[j + 1] = t;
+                            }
+                        }
+                    }
+                }
+            "#,
+            entry: "sort",
+            args: vec![ArgValue::Array(vec![42, 7, 99, -3, 15, 0, 63, -20])],
+            regular_loops: false,
+            const_bounds: false,
+        },
+        Benchmark {
+            name: "fib16",
+            description: "iterative Fibonacci (tight recurrence)",
+            source: r#"
+                int fib(int n) {
+                    int a = 0;
+                    int b = 1;
+                    for (int i = 0; i < n; i++) {
+                        int t = a + b;
+                        a = b;
+                        b = t;
+                    }
+                    return a;
+                }
+            "#,
+            entry: "fib",
+            args: vec![ArgValue::Scalar(16)],
+            regular_loops: false,
+            const_bounds: false,
+        },
+        Benchmark {
+            name: "popcount",
+            description: "population count of a 32-bit word",
+            source: r#"
+                int popcount(int x) {
+                    int c = 0;
+                    for (int i = 0; i < 32; i++) {
+                        c += (x >> i) & 1;
+                    }
+                    return c;
+                }
+            "#,
+            entry: "popcount",
+            args: vec![ArgValue::Scalar(0x5A5A_5A5A)],
+            regular_loops: true,
+            const_bounds: true,
+        },
+        Benchmark {
+            name: "max8",
+            description: "maximum of 8 elements",
+            source: r#"
+                int maxv(int a[8]) {
+                    int best = a[0];
+                    for (int i = 1; i < 8; i++) {
+                        if (a[i] > best) best = a[i];
+                    }
+                    return best;
+                }
+            "#,
+            entry: "maxv",
+            args: vec![ArgValue::Array(vec![3, -1, 4, 1, -5, 9, 2, 6])],
+            regular_loops: true,
+            const_bounds: true,
+        },
+        Benchmark {
+            name: "isqrt",
+            description: "integer square root by bit-set trial (irregular)",
+            source: r#"
+                int isqrt(int x) {
+                    int res = 0;
+                    int bit = 1 << 14;
+                    while (bit != 0) {
+                        int cand = res + bit;
+                        if (cand * cand <= x) res = cand;
+                        bit = bit >> 1;
+                    }
+                    return res;
+                }
+            "#,
+            entry: "isqrt",
+            args: vec![ArgValue::Scalar(13_7641)], // 371^2
+            regular_loops: false,
+            const_bounds: false,
+        },
+        Benchmark {
+            name: "vecscale",
+            description: "scale-and-shift a vector (perfectly regular)",
+            source: r#"
+                void scale(int a[16], int k) {
+                    for (int i = 0; i < 16; i++) {
+                        a[i] = (a[i] * k) >> 2;
+                    }
+                }
+            "#,
+            entry: "scale",
+            args: vec![
+                ArgValue::Array((0..16).map(|i| i * 3 - 8).collect()),
+                ArgValue::Scalar(7),
+            ],
+            regular_loops: true,
+            const_bounds: true,
+        },
+        Benchmark {
+            name: "conv1d",
+            description: "1-D 3-tap convolution (sliding window)",
+            source: r#"
+                const int k[3] = {1, -2, 1};
+                void conv(int x[12], int y[12]) {
+                    for (int n = 1; n < 11; n++) {
+                        int acc = 0;
+                        for (int t = 0; t < 3; t++) {
+                            acc += k[t] * x[n + t - 1];
+                        }
+                        y[n] = acc;
+                    }
+                }
+            "#,
+            entry: "conv",
+            args: vec![
+                ArgValue::Array((0..12).map(|i| i * i).collect()),
+                ArgValue::Array(vec![0; 12]),
+            ],
+            regular_loops: true,
+            const_bounds: true,
+        },
+        Benchmark {
+            name: "strchr8",
+            description: "first-match search with early exit semantics",
+            source: r#"
+                int find(int hay[8], int needle) {
+                    int found = -1;
+                    for (int i = 0; i < 8; i++) {
+                        if (found < 0 && hay[i] == needle) {
+                            found = i;
+                        }
+                    }
+                    return found;
+                }
+            "#,
+            entry: "find",
+            args: vec![
+                ArgValue::Array(vec![11, 22, 33, 44, 33, 55, 66, 77]),
+                ArgValue::Scalar(33),
+            ],
+            regular_loops: true,
+            const_bounds: true,
+        },
+        Benchmark {
+            name: "clamp_mix",
+            description: "saturating mix with nested conditionals",
+            source: r#"
+                int mix(int a[8], int lo, int hi) {
+                    int acc = 0;
+                    for (int i = 0; i < 8; i++) {
+                        int v = a[i];
+                        if (v < lo) { v = lo; } else { if (v > hi) { v = hi; } }
+                        acc = acc * 3 + v;
+                    }
+                    return acc;
+                }
+            "#,
+            entry: "mix",
+            args: vec![
+                ArgValue::Array(vec![-100, 5, 300, 42, -7, 0, 999, 13]),
+                ArgValue::Scalar(0),
+                ArgValue::Scalar(100),
+            ],
+            regular_loops: false,
+            const_bounds: true,
+        },
+        Benchmark {
+            name: "histogram",
+            description: "bin counting with data-dependent addressing",
+            source: r#"
+                void hist(int data[16], int bins[8]) {
+                    for (int i = 0; i < 16; i++) {
+                        int b = data[i] & 7;
+                        bins[b] = bins[b] + 1;
+                    }
+                }
+            "#,
+            entry: "hist",
+            args: vec![
+                ArgValue::Array((0..16).map(|i| (i * 13 + 5) % 23).collect()),
+                ArgValue::Array(vec![0; 8]),
+            ],
+            regular_loops: false,
+            const_bounds: true,
+        },
+    ]
+}
+
+/// Looks up a benchmark by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    benchmarks().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Compiler;
+
+    #[test]
+    fn all_benchmarks_parse_and_interpret() {
+        for b in benchmarks() {
+            let c = Compiler::parse(b.source)
+                .unwrap_or_else(|e| panic!("{}: {}", b.name, e.render(b.source)));
+            let r = c
+                .interpret(b.entry, &b.args)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            // Every kernel does *something* observable.
+            assert!(
+                r.ret.is_some() || !r.arrays.is_empty(),
+                "{} has no observable output",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn golden_spot_checks() {
+        let run = |name: &str| {
+            let b = benchmark(name).expect("exists");
+            Compiler::parse(b.source)
+                .expect("parses")
+                .interpret(b.entry, &b.args)
+                .expect("interprets")
+        };
+        assert_eq!(run("gcd").ret, Some(21));
+        assert_eq!(run("dot8").ret, Some(120));
+        assert_eq!(run("fib16").ret, Some(987));
+        assert_eq!(run("popcount").ret, Some(16));
+        assert_eq!(run("max8").ret, Some(9));
+        assert_eq!(run("isqrt").ret, Some(371));
+        let sorted = run("bubble8");
+        assert_eq!(sorted.arrays[0].1, vec![-20, -3, 0, 7, 15, 42, 63, 99]);
+        // CRC-32 of ASCII "12345678".
+        assert_eq!(run("crc32").ret, Some(0x9AE0DAAFu32 as i32 as i64));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = benchmarks().iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

@@ -1,0 +1,488 @@
+//! Timed token simulation of dataflow circuits.
+//!
+//! Kahn-network semantics: every edge is an unbounded FIFO (sticky
+//! producers' tokens are read non-destructively); a node fires when all
+//! its input ports are ready, consumes its inputs, and delivers its
+//! output after its latency. Execution is event-driven and deterministic;
+//! the completion time of the `Result` node is the circuit's asynchronous
+//! execution time.
+//!
+//! Latencies come from the shared [`CostModel`] (`async_latency`), so the
+//! async-vs-sync experiment can skew them (e.g. slow dividers) for both
+//! worlds consistently.
+
+use crate::graph::{DataflowGraph, NodeId, NodeKind};
+use chls_ir::{eval_bin, eval_cast, eval_un};
+use chls_rtl::cost::CostModel;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+/// An argument bound to a parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A scalar value.
+    Scalar(i64),
+    /// Initial contents of an array parameter.
+    Array(Vec<i64>),
+}
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenSimError {
+    /// No more events but the result never fired.
+    Deadlock {
+        /// Nodes that fired at least once.
+        fired: usize,
+        /// Total nodes.
+        total: usize,
+    },
+    /// Event budget exhausted (livelock or way-too-long run).
+    EventLimit(u64),
+    /// Memory access out of range.
+    OutOfBounds {
+        /// Memory name.
+        mem: String,
+        /// Offending address.
+        addr: i64,
+        /// Word count.
+        len: usize,
+    },
+    /// Missing or mistyped argument.
+    BadArgument(usize),
+}
+
+impl fmt::Display for TokenSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenSimError::Deadlock { fired, total } => {
+                write!(f, "dataflow deadlock ({fired}/{total} nodes ever fired)")
+            }
+            TokenSimError::EventLimit(n) => write!(f, "exceeded event limit of {n}"),
+            TokenSimError::OutOfBounds { mem, addr, len } => {
+                write!(f, "address {addr} out of range for `{mem}` (len {len})")
+            }
+            TokenSimError::BadArgument(i) => write!(f, "missing or mistyped argument {i}"),
+        }
+    }
+}
+
+impl std::error::Error for TokenSimError {}
+
+/// Result of a token simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenSimResult {
+    /// The value delivered to the `Result` node (`None` for void).
+    pub ret: Option<i64>,
+    /// Completion time in abstract time units (10 ps per unit under the
+    /// default cost model).
+    pub time: u64,
+    /// Total node firings.
+    pub firings: u64,
+    /// Final contents of every memory.
+    pub mems: Vec<Vec<i64>>,
+}
+
+/// Simulation options.
+#[derive(Debug, Clone)]
+pub struct TokenSimOptions {
+    /// Cost model supplying per-node latencies.
+    pub model: CostModel,
+    /// Fixed handshake overhead added to every firing, in time units.
+    pub handshake_overhead: u64,
+    /// Abort after this many firings.
+    pub event_limit: u64,
+    /// Print every firing to stderr (debugging aid).
+    pub trace: bool,
+}
+
+impl Default for TokenSimOptions {
+    fn default() -> Self {
+        TokenSimOptions {
+            model: CostModel::new(),
+            handshake_overhead: 2,
+            event_limit: 20_000_000,
+            trace: false,
+        }
+    }
+}
+
+/// Per-edge token storage.
+enum EdgeQueue {
+    Fifo(VecDeque<i64>),
+    /// Sticky producer: one value, read without consuming.
+    Sticky(Option<i64>),
+}
+
+/// Simulates `g` with `args` bound by parameter index.
+///
+/// # Errors
+///
+/// See [`TokenSimError`].
+pub fn simulate(
+    g: &DataflowGraph,
+    args: &[ArgValue],
+    opts: &TokenSimOptions,
+) -> Result<TokenSimResult, TokenSimError> {
+    let n = g.nodes.len();
+    // Index edges: per node, input edges by port; per node, output edge
+    // lists (value outputs and token outputs).
+    let mut in_edges: HashMap<(NodeId, u8), usize> = HashMap::new();
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut tok_out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let all_edges: Vec<(usize, bool)> = g
+        .edges
+        .iter()
+        .enumerate()
+        .map(|(i, _)| (i, false))
+        .chain(
+            g.token_edges
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (i, true)),
+        )
+        .collect();
+    let edge_of = |idx: usize, is_tok: bool| -> crate::graph::Edge {
+        if is_tok {
+            g.token_edges[idx]
+        } else {
+            g.edges[idx]
+        }
+    };
+    let mut queues: Vec<EdgeQueue> = Vec::with_capacity(all_edges.len());
+    for (k, &(idx, is_tok)) in all_edges.iter().enumerate() {
+        let e = edge_of(idx, is_tok);
+        in_edges.insert((e.to, e.port), k);
+        if is_tok {
+            tok_out_edges[e.from.0 as usize].push(k);
+        } else {
+            out_edges[e.from.0 as usize].push(k);
+        }
+        // A sticky producer's value edges are sticky cells; its token
+        // edges (loads are never sticky) stay FIFOs.
+        if !is_tok && g.sticky[e.from.0 as usize] {
+            queues.push(EdgeQueue::Sticky(None));
+        } else {
+            queues.push(EdgeQueue::Fifo(VecDeque::new()));
+        }
+    }
+
+    // Memories.
+    let mut mems: Vec<Vec<i64>> = Vec::with_capacity(g.mems.len());
+    for m in &g.mems {
+        let contents = match (&m.source, &m.rom) {
+            (_, Some(rom)) => {
+                let mut v = rom.clone();
+                v.resize(m.len, 0);
+                v
+            }
+            (chls_ir::MemSource::Param(i), None) => match args.get(*i) {
+                Some(ArgValue::Array(a)) => {
+                    let mut v = a.clone();
+                    v.resize(m.len, 0);
+                    v.iter_mut().for_each(|x| *x = m.elem.canonicalize(*x));
+                    v
+                }
+                _ => return Err(TokenSimError::BadArgument(*i)),
+            },
+            (_, None) => vec![0; m.len],
+        };
+        mems.push(contents);
+    }
+
+    // Event queue: (completion time, seq, node, consumed inputs).
+    #[derive(PartialEq, Eq)]
+    struct Ev(u64, u64, NodeId);
+    impl Ord for Ev {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other.0.cmp(&self.0).then(other.1.cmp(&self.1))
+        }
+    }
+    impl PartialOrd for Ev {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
+    let mut pending_inputs: HashMap<u64, Vec<i64>> = HashMap::new();
+    let mut seq: u64 = 0;
+    let mut firings: u64 = 0;
+    let mut ever_fired = vec![false; n];
+
+    let latency = |node: NodeId| -> u64 {
+        let (class, w) = g.op_class(node);
+        opts.model.async_latency(class, w).max(1) + opts.handshake_overhead
+    };
+
+    // Selector queues: the port-consumption order of the governing control
+    // mu, one private queue per dependent value mu (deterministic merge
+    // ordering).
+    let mut selectors: HashMap<NodeId, VecDeque<u8>> = HashMap::new();
+    let mut dependents: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for (i, ctrl) in g.mu_ctrl.iter().enumerate() {
+        if let Some(c) = ctrl {
+            dependents.entry(*c).or_default().push(NodeId(i as u32));
+        }
+    }
+
+    // Readiness check + consumption. For mus, also returns the port taken.
+    let try_consume = |node: NodeId,
+                       queues: &mut Vec<EdgeQueue>,
+                       selectors: &mut HashMap<NodeId, VecDeque<u8>>,
+                       in_edges: &HashMap<(NodeId, u8), usize>,
+                       g: &DataflowGraph|
+     -> Option<(Vec<i64>, Option<u8>)> {
+        let arity = g.arity(node);
+        let is_mu = matches!(g.nodes[node.0 as usize].kind, NodeKind::Mu);
+        if is_mu {
+            if g.mu_ctrl[node.0 as usize].is_some() {
+                // Ordered merge: follow this mu's private selector stream.
+                let sel = selectors.entry(node).or_default();
+                let &port = sel.front()?;
+                let &qi = in_edges.get(&(node, port))?;
+                let v = match &mut queues[qi] {
+                    EdgeQueue::Fifo(q) => q.pop_front()?,
+                    EdgeQueue::Sticky(v) => (*v)?,
+                };
+                selectors.get_mut(&node).expect("entry exists").pop_front();
+                return Some((vec![v], Some(port)));
+            }
+            // A control mu (or an unordered merge): any one port suffices.
+            // Control tokens are self-serializing, so at most one port has
+            // a token at a time.
+            for port in 0..arity {
+                if let Some(&qi) = in_edges.get(&(node, port)) {
+                    match &mut queues[qi] {
+                        EdgeQueue::Fifo(q) => {
+                            if let Some(v) = q.pop_front() {
+                                return Some((vec![v], Some(port)));
+                            }
+                        }
+                        EdgeQueue::Sticky(Some(v)) => return Some((vec![*v], Some(port))),
+                        EdgeQueue::Sticky(None) => {}
+                    }
+                }
+            }
+            return None;
+        }
+        // All ports must be ready.
+        for port in 0..arity {
+            let qi = in_edges.get(&(node, port))?;
+            let ready = match &queues[*qi] {
+                EdgeQueue::Fifo(q) => !q.is_empty(),
+                EdgeQueue::Sticky(v) => v.is_some(),
+            };
+            if !ready {
+                return None;
+            }
+        }
+        let mut vals = Vec::with_capacity(arity as usize);
+        for port in 0..arity {
+            let qi = in_edges[&(node, port)];
+            let v = match &mut queues[qi] {
+                EdgeQueue::Fifo(q) => q.pop_front().expect("checked"),
+                EdgeQueue::Sticky(v) => v.expect("checked"),
+            };
+            vals.push(v);
+        }
+        Some((vals, None))
+    };
+
+    // Schedule sources at t=0.
+    for i in 0..n {
+        let node = NodeId(i as u32);
+        if matches!(
+            g.nodes[i].kind,
+            NodeKind::Const(_) | NodeKind::Param(_) | NodeKind::InitialToken
+        ) {
+            seq += 1;
+            pending_inputs.insert(seq, Vec::new());
+            heap.push(Ev(0, seq, node));
+        }
+    }
+
+    let mut result: Option<(Option<i64>, u64)> = None;
+    while let Some(Ev(t, ev_seq, node)) = heap.pop() {
+        firings += 1;
+        if firings > opts.event_limit {
+            return Err(TokenSimError::EventLimit(opts.event_limit));
+        }
+        ever_fired[node.0 as usize] = true;
+        let inputs = pending_inputs.remove(&ev_seq).unwrap_or_default();
+        let nd = &g.nodes[node.0 as usize];
+        if opts.trace {
+            eprintln!("t={t} fire {node} {:?} inputs={inputs:?}", nd.kind);
+        }
+        // Compute outputs.
+        let mut value_out: Option<i64> = None;
+        let mut token_out = false;
+        match &nd.kind {
+            NodeKind::Const(c) => value_out = Some(nd.ty.canonicalize(*c)),
+            NodeKind::Param(i) => match args.get(*i) {
+                Some(ArgValue::Scalar(v)) => value_out = Some(nd.ty.canonicalize(*v)),
+                _ => return Err(TokenSimError::BadArgument(*i)),
+            },
+            NodeKind::InitialToken => value_out = Some(1),
+            NodeKind::Bin(op) => {
+                let ety = if op.is_comparison() {
+                    // Operand type: recover from whichever input edge.
+                    let qi = in_edges[&(node, 0)];
+                    let _ = qi;
+                    // Types: find the producing node of port 0.
+                    let src = g
+                        .edges
+                        .iter()
+                        .find(|e| e.to == node && e.port == 0)
+                        .map(|e| g.nodes[e.from.0 as usize].ty)
+                        .unwrap_or(nd.ty);
+                    src
+                } else {
+                    nd.ty
+                };
+                value_out = Some(eval_bin(*op, ety, inputs[0], inputs[1]));
+            }
+            NodeKind::Un(op) => value_out = Some(eval_un(*op, nd.ty, inputs[0])),
+            NodeKind::Select => {
+                value_out = Some(if inputs[0] != 0 { inputs[1] } else { inputs[2] })
+            }
+            NodeKind::Cast { from } => value_out = Some(eval_cast(*from, nd.ty, inputs[0])),
+            NodeKind::Mu => value_out = Some(inputs[0]),
+            NodeKind::EtaTrue => {
+                if inputs[1] != 0 {
+                    value_out = Some(inputs[0]);
+                }
+            }
+            NodeKind::EtaFalse => {
+                if inputs[1] == 0 {
+                    value_out = Some(inputs[0]);
+                }
+            }
+            NodeKind::Load { mem } => {
+                let addr = inputs[0];
+                let mi = *mem as usize;
+                if addr < 0 || addr as usize >= mems[mi].len() {
+                    return Err(TokenSimError::OutOfBounds {
+                        mem: g.mems[mi].name.clone(),
+                        addr,
+                        len: mems[mi].len(),
+                    });
+                }
+                value_out = Some(mems[mi][addr as usize]);
+                token_out = true;
+            }
+            NodeKind::Store { mem } => {
+                let (addr, val) = (inputs[0], inputs[1]);
+                let mi = *mem as usize;
+                if addr < 0 || addr as usize >= mems[mi].len() {
+                    return Err(TokenSimError::OutOfBounds {
+                        mem: g.mems[mi].name.clone(),
+                        addr,
+                        len: mems[mi].len(),
+                    });
+                }
+                mems[mi][addr as usize] = g.mems[mi].elem.canonicalize(val);
+                value_out = Some(1); // the new memory token
+            }
+            NodeKind::Join { .. } => value_out = Some(1),
+            NodeKind::Result => {
+                let rv = if g.void { None } else { Some(inputs[0]) };
+                result = Some((rv, t));
+                break;
+            }
+        }
+        // Deliver outputs.
+        if let Some(v) = value_out {
+            for &qi in &out_edges[node.0 as usize] {
+                match &mut queues[qi] {
+                    EdgeQueue::Fifo(q) => q.push_back(v),
+                    EdgeQueue::Sticky(s) => *s = Some(v),
+                }
+            }
+        }
+        if token_out {
+            for &qi in &tok_out_edges[node.0 as usize] {
+                match &mut queues[qi] {
+                    EdgeQueue::Fifo(q) => q.push_back(1),
+                    EdgeQueue::Sticky(s) => *s = Some(1),
+                }
+            }
+        }
+        // Activate consumers whose inputs are now complete. Consumers of
+        // this node (and, for etas that dropped their token, nobody).
+        let mut candidates: Vec<NodeId> = Vec::new();
+        if value_out.is_some() {
+            for &qi in &out_edges[node.0 as usize] {
+                let (idx, is_tok) = all_edges[qi];
+                candidates.push(edge_of(idx, is_tok).to);
+            }
+        }
+        if token_out {
+            for &qi in &tok_out_edges[node.0 as usize] {
+                let (idx, is_tok) = all_edges[qi];
+                candidates.push(edge_of(idx, is_tok).to);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut work: VecDeque<NodeId> = candidates.into();
+        while let Some(c) = work.pop_front() {
+            // A consumer may fire multiple times if several tokens queued.
+            while let Some((vals, port)) =
+                try_consume(c, &mut queues, &mut selectors, &in_edges, g)
+            {
+                seq += 1;
+                pending_inputs.insert(seq, vals);
+                heap.push(Ev(t + latency(c), seq, c));
+                // A control mu's consumption order drives its dependents.
+                if let (Some(p), true) = (
+                    port,
+                    matches!(g.nodes[c.0 as usize].kind, NodeKind::Mu)
+                        && g.mu_ctrl[c.0 as usize].is_none(),
+                ) {
+                    if let Some(deps) = dependents.get(&c) {
+                        for &d in deps {
+                            selectors.entry(d).or_default().push_back(p);
+                            work.push_back(d);
+                        }
+                    }
+                }
+                // Sticky-only consumers would spin; they are sources or
+                // sticky nodes which fire exactly once — break after one.
+                if g.sticky[c.0 as usize] {
+                    break;
+                }
+                // A non-sticky node whose inputs are all sticky would spin
+                // forever; stickiness propagation covers that case, and
+                // etas with sticky value + sticky predicate are guarded
+                // here.
+                let all_sticky_inputs = (0..g.arity(c)).all(|p| {
+                    in_edges
+                        .get(&(c, p))
+                        .map(|&qi| matches!(queues[qi], EdgeQueue::Sticky(_)))
+                        .unwrap_or(false)
+                });
+                if all_sticky_inputs {
+                    break;
+                }
+            }
+        }
+    }
+
+    match result {
+        Some((ret, time)) => {
+            // Void functions deliver their unit token; map to None when
+            // the function has no declared return (ty width 1 result fed
+            // by joins). The caller knows the signature; keep the raw
+            // value too.
+            Ok(TokenSimResult {
+                ret,
+                time,
+                firings,
+                mems,
+            })
+        }
+        None => Err(TokenSimError::Deadlock {
+            fired: ever_fired.iter().filter(|f| **f).count(),
+            total: n,
+        }),
+    }
+}

@@ -1,0 +1,155 @@
+//! Diagnostics: errors produced by the lexer, parser, and semantic analysis.
+
+use crate::span::{line_col, Span};
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// A hard error; compilation cannot continue past this phase.
+    Error,
+    /// A warning; compilation continues.
+    Warning,
+}
+
+/// A single diagnostic message anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the diagnostic is.
+    pub severity: Severity,
+    /// Human-readable message, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Where in the source the problem occurred.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic with line/column info resolved against `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = line_col(src, self.span.start);
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        format!("{sev}: {} at {line}:{col}", self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}: {} ({})", self.message, self.span)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Error type returned by frontend entry points: one or more diagnostics,
+/// at least one of which is an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// All diagnostics collected before the frontend gave up.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl FrontendError {
+    /// Wraps a single diagnostic.
+    pub fn single(diag: Diagnostic) -> Self {
+        FrontendError {
+            diagnostics: vec![diag],
+        }
+    }
+
+    /// The first error-severity diagnostic.
+    pub fn first(&self) -> &Diagnostic {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .unwrap_or(&self.diagnostics[0])
+    }
+
+    /// Renders all diagnostics against the given source text.
+    pub fn render(&self, src: &str) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.render(src))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<Diagnostic> for FrontendError {
+    fn from(diag: Diagnostic) -> Self {
+        FrontendError::single(diag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_resolves_line_col() {
+        let src = "int x;\nint y@;\n";
+        let d = Diagnostic::error("unexpected character", Span::new(12, 13));
+        assert_eq!(d.render(src), "error: unexpected character at 2:6");
+    }
+
+    #[test]
+    fn first_prefers_errors() {
+        let err = FrontendError {
+            diagnostics: vec![
+                Diagnostic::warning("w", Span::dummy()),
+                Diagnostic::error("e", Span::dummy()),
+            ],
+        };
+        assert_eq!(err.first().message, "e");
+    }
+
+    #[test]
+    fn display_joins_diagnostics() {
+        let err = FrontendError {
+            diagnostics: vec![
+                Diagnostic::error("a", Span::new(0, 1)),
+                Diagnostic::error("b", Span::new(1, 2)),
+            ],
+        };
+        let s = err.to_string();
+        assert!(s.contains("a") && s.contains("b"));
+    }
+}

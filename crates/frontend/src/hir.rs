@@ -1,0 +1,429 @@
+//! HIR: the typed, resolved, side-effect-normalized program representation.
+//!
+//! Semantic analysis ([`crate::sema`]) lowers the AST into HIR with these
+//! guarantees, which every downstream consumer (interpreter, CFG lowering,
+//! structured backends) relies on:
+//!
+//! * every name is resolved to a [`LocalId`], [`GlobalId`], or [`FuncId`];
+//! * every expression carries its [`Type`], and binary operands have been
+//!   converted to their common type with explicit [`HirExprKind::Cast`]s;
+//! * expressions are **side-effect free**: assignments, `++`/`--`, function
+//!   calls, and channel receives have been hoisted into statements with
+//!   compiler temporaries;
+//! * short-circuit `&&`/`||` are desugared to [`HirExprKind::Select`]
+//!   (sound because expressions cannot trap: division by zero is defined to
+//!   yield 0, as in most synthesis flows);
+//! * loops with `#pragma unroll` keep their structured [`HirStmt::For`]
+//!   form so the unroller can find them.
+
+use crate::ast::{BinOp, UnOp};
+use crate::types::Type;
+use std::fmt;
+
+/// Index of a local variable (or parameter) within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalId(pub u32);
+
+/// Index of a global constant within the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+/// Index of a function within the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl fmt::Display for LocalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// How an array is mapped onto physical memories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemBank {
+    /// Backend default: one dedicated single-port memory per array.
+    #[default]
+    Auto,
+    /// Split across `K` independently-addressable banks (element `i` lives
+    /// in bank `i % K`).
+    Banked(u32),
+    /// Placed in the shared monolithic memory (all such arrays compete for
+    /// its single port) — models C's undifferentiated memory.
+    Monolithic,
+}
+
+/// A whole program after semantic analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HirProgram {
+    /// All functions; [`FuncId`] indexes this.
+    pub funcs: Vec<HirFunc>,
+    /// All global constants; [`GlobalId`] indexes this.
+    pub globals: Vec<HirGlobal>,
+    /// Target clock period in picoseconds from `#pragma clock_period`.
+    pub clock_period_ps: Option<u64>,
+}
+
+impl HirProgram {
+    /// Finds a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<(FuncId, &HirFunc)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// The function for an id.
+    pub fn func(&self, id: FuncId) -> &HirFunc {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// The global for an id.
+    pub fn global(&self, id: GlobalId) -> &HirGlobal {
+        &self.globals[id.0 as usize]
+    }
+}
+
+/// A global constant (scalar constants are folded at use sites, so in
+/// practice these are ROM arrays).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HirGlobal {
+    /// Source name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Flattened element values in canonical form.
+    pub values: Vec<i64>,
+    /// Memory banking request.
+    pub bank: MemBank,
+}
+
+/// A function after semantic analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HirFunc {
+    /// Source name.
+    pub name: String,
+    /// Return type.
+    pub ret_ty: Type,
+    /// The first `num_params` locals are the parameters, in order.
+    pub num_params: usize,
+    /// All locals including parameters and compiler temporaries.
+    pub locals: Vec<HirLocal>,
+    /// Function body.
+    pub body: HirBlock,
+    /// Functions this one calls (deduplicated).
+    pub callees: Vec<FuncId>,
+    /// True if the body contains `par`.
+    pub uses_par: bool,
+    /// True if the body contains channel operations.
+    pub uses_channels: bool,
+}
+
+impl HirFunc {
+    /// Parameter locals, in declaration order.
+    pub fn params(&self) -> impl Iterator<Item = (LocalId, &HirLocal)> {
+        self.locals
+            .iter()
+            .take(self.num_params)
+            .enumerate()
+            .map(|(i, l)| (LocalId(i as u32), l))
+    }
+
+    /// The local for an id.
+    pub fn local(&self, id: LocalId) -> &HirLocal {
+        &self.locals[id.0 as usize]
+    }
+}
+
+/// A local variable, parameter, or compiler temporary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HirLocal {
+    /// Source name; temporaries are named `$tN`.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// True for parameters.
+    pub is_param: bool,
+    /// Memory banking request, for array locals.
+    pub bank: MemBank,
+    /// Constant initializer (flattened), for `const` array locals (ROMs).
+    pub rom: Option<Vec<i64>>,
+}
+
+/// A sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HirBlock {
+    /// Statements in order.
+    pub stmts: Vec<HirStmt>,
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HirPlace {
+    /// A scalar or array local.
+    Local(LocalId),
+    /// A global ROM (reads only).
+    Global(GlobalId),
+    /// An element of an array place.
+    Index {
+        /// The array.
+        base: Box<HirPlace>,
+        /// Element index (integer-typed expression).
+        index: Box<HirExpr>,
+    },
+    /// The target of a pointer value.
+    Deref(Box<HirExpr>),
+}
+
+impl HirPlace {
+    /// The root local, if this place bottoms out in one.
+    pub fn root_local(&self) -> Option<LocalId> {
+        match self {
+            HirPlace::Local(id) => Some(*id),
+            HirPlace::Index { base, .. } => base.root_local(),
+            _ => None,
+        }
+    }
+}
+
+/// Statements. All expressions inside are side-effect free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HirStmt {
+    /// `place = value;`
+    Assign {
+        /// Destination.
+        place: HirPlace,
+        /// Side-effect-free value, already cast to the place's type.
+        value: HirExpr,
+    },
+    /// `dst = func(args);` or bare `func(args);`
+    Call {
+        /// Where the return value goes, if used.
+        dst: Option<HirPlace>,
+        /// Callee.
+        func: FuncId,
+        /// Actual arguments.
+        args: Vec<HirArg>,
+    },
+    /// `dst = recv(chan);`
+    Recv {
+        /// Where the received value goes.
+        dst: HirPlace,
+        /// The channel local.
+        chan: LocalId,
+    },
+    /// `send(chan, value);`
+    Send {
+        /// The channel local.
+        chan: LocalId,
+        /// Value to transmit.
+        value: HirExpr,
+    },
+    /// Two-armed conditional (missing `else` becomes an empty block).
+    If {
+        /// Boolean condition.
+        cond: HirExpr,
+        /// Taken when true.
+        then: HirBlock,
+        /// Taken when false.
+        els: HirBlock,
+    },
+    /// `while (cond) body` — `unroll` carries `#pragma unroll`.
+    While {
+        /// Boolean condition.
+        cond: HirExpr,
+        /// Loop body.
+        body: HirBlock,
+        /// Requested unroll factor (0 = fully).
+        unroll: Option<u32>,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Loop body (runs at least once).
+        body: HirBlock,
+        /// Boolean condition tested after the body.
+        cond: HirExpr,
+    },
+    /// Structured `for`, preserved so the unroller can recognize canonical
+    /// induction patterns.
+    For {
+        /// Init statements (decls already hoisted; this is the init assignment).
+        init: HirBlock,
+        /// Boolean condition.
+        cond: HirExpr,
+        /// Step statements.
+        step: HirBlock,
+        /// Loop body.
+        body: HirBlock,
+        /// Requested unroll factor (0 = fully).
+        unroll: Option<u32>,
+    },
+    /// `return;` / `return value;`
+    Return(Option<HirExpr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// A nested block (scoping already resolved; kept for structure).
+    Block(HirBlock),
+    /// Parallel composition: run all branches to completion, then join.
+    Par(Vec<HirBlock>),
+    /// Consume one clock cycle.
+    Delay,
+    /// HardwareC-style relative timing constraint: `body` must be scheduled
+    /// within `cycles` cycles.
+    Constraint {
+        /// Cycle budget.
+        cycles: u32,
+        /// Constrained statements.
+        body: HirBlock,
+    },
+}
+
+/// A function-call argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HirArg {
+    /// A scalar (or pointer) value.
+    Value(HirExpr),
+    /// A whole array passed by reference.
+    Array(HirPlace),
+}
+
+/// A side-effect-free expression with its type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HirExpr {
+    /// What the expression computes.
+    pub kind: HirExprKind,
+    /// Its type (never `Void`).
+    pub ty: Type,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HirExprKind {
+    /// A constant in canonical form.
+    Const(i64),
+    /// Read a place.
+    Load(Box<HirPlace>),
+    /// Unary operation.
+    Unary(UnOp, Box<HirExpr>),
+    /// Binary operation; operands have identical types except shifts
+    /// (result and lhs share a type) and comparisons (operands share a
+    /// type, result is `Bool`).
+    Binary(BinOp, Box<HirExpr>, Box<HirExpr>),
+    /// `cond ? then : els` with equal-typed arms.
+    Select(Box<HirExpr>, Box<HirExpr>, Box<HirExpr>),
+    /// Conversion of the operand to this expression's type.
+    Cast(Box<HirExpr>),
+    /// Address of a place (pointer-typed result).
+    AddrOf(Box<HirPlace>),
+}
+
+impl HirExpr {
+    /// A constant of the given type, canonicalized.
+    pub fn konst(v: i64, ty: Type) -> Self {
+        let v = match &ty {
+            Type::Int(it) => it.canonicalize(v),
+            Type::Bool => (v != 0) as i64,
+            _ => v,
+        };
+        HirExpr {
+            kind: HirExprKind::Const(v),
+            ty,
+        }
+    }
+
+    /// True when this is a constant.
+    pub fn as_const(&self) -> Option<i64> {
+        match self.kind {
+            HirExprKind::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Walks all places read by this expression.
+    pub fn for_each_place<'a>(&'a self, f: &mut impl FnMut(&'a HirPlace)) {
+        match &self.kind {
+            HirExprKind::Const(_) => {}
+            HirExprKind::Load(p) | HirExprKind::AddrOf(p) => f(p),
+            HirExprKind::Unary(_, a) | HirExprKind::Cast(a) => a.for_each_place(f),
+            HirExprKind::Binary(_, a, b) => {
+                a.for_each_place(f);
+                b.for_each_place(f);
+            }
+            HirExprKind::Select(c, t, e) => {
+                c.for_each_place(f);
+                t.for_each_place(f);
+                e.for_each_place(f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    #[test]
+    fn konst_canonicalizes() {
+        let e = HirExpr::konst(300, Type::uint(8));
+        assert_eq!(e.as_const(), Some(44));
+        let b = HirExpr::konst(7, Type::Bool);
+        assert_eq!(b.as_const(), Some(1));
+    }
+
+    #[test]
+    fn root_local_traverses_indices() {
+        let p = HirPlace::Index {
+            base: Box::new(HirPlace::Local(LocalId(3))),
+            index: Box::new(HirExpr::konst(0, Type::int())),
+        };
+        assert_eq!(p.root_local(), Some(LocalId(3)));
+        assert_eq!(HirPlace::Global(GlobalId(0)).root_local(), None);
+    }
+
+    #[test]
+    fn for_each_place_visits_all() {
+        let e = HirExpr {
+            kind: HirExprKind::Binary(
+                BinOp::Add,
+                Box::new(HirExpr {
+                    kind: HirExprKind::Load(Box::new(HirPlace::Local(LocalId(0)))),
+                    ty: Type::int(),
+                }),
+                Box::new(HirExpr {
+                    kind: HirExprKind::Load(Box::new(HirPlace::Local(LocalId(1)))),
+                    ty: Type::int(),
+                }),
+            ),
+            ty: Type::int(),
+        };
+        let mut seen = Vec::new();
+        e.for_each_place(&mut |p| {
+            if let HirPlace::Local(id) = p {
+                seen.push(*id);
+            }
+        });
+        assert_eq!(seen, vec![LocalId(0), LocalId(1)]);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(LocalId(4).to_string(), "%4");
+        assert_eq!(GlobalId(1).to_string(), "@1");
+        assert_eq!(FuncId(2).to_string(), "fn2");
+    }
+}

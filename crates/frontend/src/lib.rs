@@ -1,0 +1,45 @@
+//! # chls-frontend
+//!
+//! Frontend for **CHL**, the C-like hardware language used throughout the
+//! `chls` hardware-synthesis laboratory: lexer, parser, type checker, and
+//! lowering to a typed, side-effect-normalized [`hir`].
+//!
+//! CHL is a C subset (integers, arrays, restricted pointers, functions,
+//! full control flow) extended with the hardware constructs the paper's
+//! surveyed languages add to C: bit-precise integers `uint<N>`/`sint<N>`,
+//! Handel-C-style `par { ... }` parallel statements and `delay`, OCCAM-like
+//! rendezvous channels `chan<T>` with `send`/`recv`, and pragmas for loop
+//! unrolling, HardwareC-style timing constraints, memory banking, and the
+//! target clock period.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), chls_frontend::FrontendError> {
+//! let hir = chls_frontend::compile_to_hir(
+//!     "int dot(int a[4], int b[4]) {
+//!          int s = 0;
+//!          for (int i = 0; i < 4; i++) s += a[i] * b[i];
+//!          return s;
+//!      }",
+//! )?;
+//! let (_, f) = hir.func_by_name("dot").expect("function exists");
+//! assert_eq!(f.num_params, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod hir;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+pub mod span;
+pub mod token;
+pub mod types;
+
+pub use diag::{Diagnostic, FrontendError, Severity};
+pub use sema::{analyze, compile_to_hir};
+pub use span::Span;
+pub use types::{IntType, Type};

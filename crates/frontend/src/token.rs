@@ -1,0 +1,266 @@
+//! Token definitions for the CHL lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token: kind plus the source span it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Source range of the token text.
+    pub span: Span,
+}
+
+/// The set of CHL token kinds.
+///
+/// CHL is a C subset plus hardware extensions, so the keyword list contains
+/// both the familiar C keywords and the extension keywords (`par`, `chan`,
+/// `send`, `recv`, `delay`, `uint`/`int<N>` introducers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal (decimal, hex `0x`, octal `0`, binary `0b`),
+    /// already parsed to its value.
+    IntLit(u64),
+    /// Character literal such as `'a'`, stored as its value.
+    CharLit(u8),
+    /// An identifier.
+    Ident(String),
+
+    // --- C keywords ---
+    KwVoid,
+    KwBool,
+    KwChar,
+    KwShort,
+    KwInt,
+    KwLong,
+    KwUnsigned,
+    KwSigned,
+    KwConst,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwDo,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwTrue,
+    KwFalse,
+
+    // --- hardware extension keywords ---
+    /// `par { ... } { ... }` parallel composition (Handel-C style).
+    KwPar,
+    /// `chan<T>` channel type introducer.
+    KwChan,
+    /// `send(ch, v);` rendezvous send.
+    KwSend,
+    /// `recv(ch)` rendezvous receive expression.
+    KwRecv,
+    /// `delay;` one-cycle delay statement (Handel-C).
+    KwDelay,
+    /// `uint<N>` bit-precise unsigned introducer.
+    KwUint,
+    /// `sint<N>` bit-precise signed introducer (`int<N>` also accepted).
+    KwSint,
+
+    // --- punctuation and operators ---
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    PlusPlus,
+    MinusMinus,
+
+    /// A `#pragma` line, captured verbatim (without the `#pragma` prefix).
+    Pragma(String),
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `ident`, if it is a keyword.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "void" => TokenKind::KwVoid,
+            "bool" | "_Bool" => TokenKind::KwBool,
+            "char" => TokenKind::KwChar,
+            "short" => TokenKind::KwShort,
+            "int" => TokenKind::KwInt,
+            "long" => TokenKind::KwLong,
+            "unsigned" => TokenKind::KwUnsigned,
+            "signed" => TokenKind::KwSigned,
+            "const" => TokenKind::KwConst,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "do" => TokenKind::KwDo,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            "par" => TokenKind::KwPar,
+            "chan" => TokenKind::KwChan,
+            "send" => TokenKind::KwSend,
+            "recv" => TokenKind::KwRecv,
+            "delay" => TokenKind::KwDelay,
+            "uint" => TokenKind::KwUint,
+            "sint" => TokenKind::KwSint,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable name used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::IntLit(v) => format!("integer literal `{v}`"),
+            TokenKind::CharLit(c) => format!("character literal `{}`", *c as char),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Pragma(_) => "#pragma".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.text()),
+        }
+    }
+
+    /// Literal spelling for fixed tokens (empty for variable tokens).
+    fn text(&self) -> &'static str {
+        match self {
+            TokenKind::KwVoid => "void",
+            TokenKind::KwBool => "bool",
+            TokenKind::KwChar => "char",
+            TokenKind::KwShort => "short",
+            TokenKind::KwInt => "int",
+            TokenKind::KwLong => "long",
+            TokenKind::KwUnsigned => "unsigned",
+            TokenKind::KwSigned => "signed",
+            TokenKind::KwConst => "const",
+            TokenKind::KwIf => "if",
+            TokenKind::KwElse => "else",
+            TokenKind::KwWhile => "while",
+            TokenKind::KwDo => "do",
+            TokenKind::KwFor => "for",
+            TokenKind::KwReturn => "return",
+            TokenKind::KwBreak => "break",
+            TokenKind::KwContinue => "continue",
+            TokenKind::KwTrue => "true",
+            TokenKind::KwFalse => "false",
+            TokenKind::KwPar => "par",
+            TokenKind::KwChan => "chan",
+            TokenKind::KwSend => "send",
+            TokenKind::KwRecv => "recv",
+            TokenKind::KwDelay => "delay",
+            TokenKind::KwUint => "uint",
+            TokenKind::KwSint => "sint",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Colon => ":",
+            TokenKind::Question => "?",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Amp => "&",
+            TokenKind::Pipe => "|",
+            TokenKind::Caret => "^",
+            TokenKind::Tilde => "~",
+            TokenKind::Bang => "!",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::AmpAmp => "&&",
+            TokenKind::PipePipe => "||",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::Assign => "=",
+            TokenKind::PlusAssign => "+=",
+            TokenKind::MinusAssign => "-=",
+            TokenKind::StarAssign => "*=",
+            TokenKind::SlashAssign => "/=",
+            TokenKind::PercentAssign => "%=",
+            TokenKind::AmpAssign => "&=",
+            TokenKind::PipeAssign => "|=",
+            TokenKind::CaretAssign => "^=",
+            TokenKind::ShlAssign => "<<=",
+            TokenKind::ShrAssign => ">>=",
+            TokenKind::PlusPlus => "++",
+            TokenKind::MinusMinus => "--",
+            _ => "",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("par"), Some(TokenKind::KwPar));
+        assert_eq!(TokenKind::keyword("uint"), Some(TokenKind::KwUint));
+        assert_eq!(TokenKind::keyword("widget"), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::IntLit(42).describe(), "integer literal `42`");
+        assert_eq!(TokenKind::Shl.describe(), "`<<`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

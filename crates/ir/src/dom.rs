@@ -1,0 +1,201 @@
+//! Dominator tree and dominance frontiers.
+//!
+//! Implements the Cooper–Harvey–Kennedy "simple, fast dominance" algorithm,
+//! which is near-linear on the small CFGs synthesis produces.
+
+use crate::ir::{BlockId, Function};
+
+/// Immediate-dominator tree plus dominance frontiers for a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomTree {
+    /// `idom[b]` is the immediate dominator of `b`; the entry block is its
+    /// own idom. Unreachable blocks have `None`.
+    pub idom: Vec<Option<BlockId>>,
+    /// Dominance frontier of each block.
+    pub frontier: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder (reachable only).
+    pub rpo: Vec<BlockId>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let rpo = f.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        let preds = f.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[f.entry.0 as usize] = Some(f.entry);
+
+        let intersect = |idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+                    a = idom[a.0 as usize].expect("processed in rpo order");
+                }
+                while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+                    b = idom[b.0 as usize].expect("processed in rpo order");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.0 as usize] {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.0 as usize] != new_idom {
+                    idom[b.0 as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        // Dominance frontiers (Cooper et al. fig. 5).
+        let mut frontier = vec![Vec::new(); n];
+        for &b in &rpo {
+            let bp = &preds[b.0 as usize];
+            if bp.len() < 2 {
+                continue;
+            }
+            let Some(b_idom) = idom[b.0 as usize] else {
+                continue;
+            };
+            for &p in bp {
+                if idom[p.0 as usize].is_none() {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != b_idom {
+                    let fr = &mut frontier[runner.0 as usize];
+                    if !fr.contains(&b) {
+                        fr.push(b);
+                    }
+                    runner = idom[runner.0 as usize].expect("reachable");
+                }
+            }
+        }
+
+        DomTree {
+            idom,
+            frontier,
+            rpo,
+        }
+    }
+
+    /// True when `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(i) if i != cur => cur = i,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{InstKind, Term};
+    use chls_frontend::IntType;
+
+    /// Builds the classic diamond: b0 -> {b1, b2} -> b3.
+    fn diamond() -> Function {
+        let mut f = Function::new("d");
+        let b0 = f.entry;
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        let c = f.add_inst(b0, InstKind::Const(1), IntType::new(1, false));
+        f.block_mut(b0).term = Term::Br {
+            cond: c,
+            then: b1,
+            els: b2,
+        };
+        f.block_mut(b1).term = Term::Jump(b3);
+        f.block_mut(b2).term = Term::Jump(b3);
+        f.block_mut(b3).term = Term::Ret(None);
+        f
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom[0], Some(BlockId(0)));
+        assert_eq!(dt.idom[1], Some(BlockId(0)));
+        assert_eq!(dt.idom[2], Some(BlockId(0)));
+        assert_eq!(dt.idom[3], Some(BlockId(0)));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.frontier[1], vec![BlockId(3)]);
+        assert_eq!(dt.frontier[2], vec![BlockId(3)]);
+        assert!(dt.frontier[0].is_empty());
+        assert!(dt.frontier[3].is_empty());
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        assert!(dt.dominates(BlockId(0), BlockId(3)));
+        assert!(dt.dominates(BlockId(1), BlockId(1)));
+        assert!(!dt.dominates(BlockId(1), BlockId(3)));
+        assert!(!dt.dominates(BlockId(1), BlockId(2)));
+    }
+
+    #[test]
+    fn loop_frontier_contains_header() {
+        // b0 -> b1 (header) -> b2 -> b1, b1 -> b3.
+        let mut f = Function::new("l");
+        let b0 = f.entry;
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        let c = f.add_inst(b1, InstKind::Const(1), IntType::new(1, false));
+        f.block_mut(b0).term = Term::Jump(b1);
+        f.block_mut(b1).term = Term::Br {
+            cond: c,
+            then: b2,
+            els: b3,
+        };
+        f.block_mut(b2).term = Term::Jump(b1);
+        f.block_mut(b3).term = Term::Ret(None);
+        let dt = DomTree::compute(&f);
+        // The loop body's frontier contains the header itself.
+        assert_eq!(dt.frontier[2], vec![b1]);
+        assert!(dt.frontier[1].contains(&b1));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut f = Function::new("u");
+        let b0 = f.entry;
+        let _dead = f.add_block();
+        f.block_mut(b0).term = Term::Ret(None);
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom[1], None);
+        assert_eq!(dt.rpo, vec![b0]);
+    }
+}

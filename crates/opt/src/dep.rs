@@ -1,0 +1,265 @@
+//! Memory-dependence tests for scheduling.
+//!
+//! The schedulers need to know which loads/stores may touch the same
+//! location: independent accesses can issue in the same cycle (or overlap
+//! in a pipeline); dependent ones must stay ordered. The test here is
+//! deliberately simple — constant-index disequality plus value identity —
+//! because that is what the experiments need, and because its *absence*
+//! (treat everything as conflicting) is one of the knobs experiment E12
+//! turns.
+
+use chls_ir::ir::*;
+
+/// How precisely memory accesses are disambiguated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AliasPrecision {
+    /// Accesses to the same memory always conflict (no analysis).
+    #[default]
+    None,
+    /// Constant indices that differ are independent; identical address
+    /// values are exact-alias; everything else conflicts.
+    Basic,
+}
+
+/// A memory access extracted from an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// The load/store instruction.
+    pub inst: Value,
+    /// The accessed memory.
+    pub mem: MemId,
+    /// Address operand.
+    pub addr: Value,
+    /// True for stores.
+    pub is_store: bool,
+}
+
+/// Extracts the memory access performed by `v`, if any.
+pub fn mem_access(f: &Function, v: Value) -> Option<MemAccess> {
+    match &f.inst(v).kind {
+        InstKind::Load { mem, addr } => Some(MemAccess {
+            inst: v,
+            mem: *mem,
+            addr: *addr,
+            is_store: false,
+        }),
+        InstKind::Store { mem, addr, .. } => Some(MemAccess {
+            inst: v,
+            mem: *mem,
+            addr: *addr,
+            is_store: true,
+        }),
+        _ => None,
+    }
+}
+
+/// Whether two accesses *may* touch the same location.
+pub fn may_alias(f: &Function, a: &MemAccess, b: &MemAccess, precision: AliasPrecision) -> bool {
+    if a.mem != b.mem {
+        return false;
+    }
+    match precision {
+        AliasPrecision::None => true,
+        AliasPrecision::Basic => {
+            let ca = constant_addr(f, a.addr);
+            let cb = constant_addr(f, b.addr);
+            match (ca, cb) {
+                (Some(x), Some(y)) => x == y,
+                // Same SSA address value: definitely same location —
+                // still "may" alias (in fact, must).
+                _ => true,
+            }
+        }
+    }
+}
+
+/// Whether two accesses *must* be ordered (at least one store, may alias).
+pub fn must_order(f: &Function, a: &MemAccess, b: &MemAccess, precision: AliasPrecision) -> bool {
+    (a.is_store || b.is_store) && may_alias(f, a, b, precision)
+}
+
+fn constant_addr(f: &Function, v: Value) -> Option<i64> {
+    match &f.inst(v).kind {
+        InstKind::Const(c) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Decomposes `addr` as `ind + offset` (unit coefficient) relative to the
+/// induction value `ind`, looking through adds/subs of constants and
+/// casts. Returns `None` when the address is not of that shape.
+///
+/// Cast transparency is sound here because CHL array indices are bounds-
+/// checked at runtime, so a cast that actually truncated an in-range
+/// index would already have trapped.
+pub fn affine_offset(f: &Function, addr: Value, ind: Value) -> Option<i64> {
+    if addr == ind {
+        return Some(0);
+    }
+    match &f.inst(addr).kind {
+        InstKind::Bin(BinKind::Add, x, y) => {
+            if let Some(c) = constant_addr(f, *y) {
+                affine_offset(f, *x, ind).map(|o| o + c)
+            } else if let Some(c) = constant_addr(f, *x) {
+                affine_offset(f, *y, ind).map(|o| o + c)
+            } else {
+                None
+            }
+        }
+        InstKind::Bin(BinKind::Sub, x, y) => {
+            constant_addr(f, *y).and_then(|c| affine_offset(f, *x, ind).map(|o| o - c))
+        }
+        InstKind::Cast { val, .. } => affine_offset(f, *val, ind),
+        _ => None,
+    }
+}
+
+/// Ordered dependence pairs among the memory operations of one block:
+/// `(earlier, later)` meaning `later` must not start before `earlier`.
+pub fn block_mem_deps(
+    f: &Function,
+    block: BlockId,
+    precision: AliasPrecision,
+) -> Vec<(Value, Value)> {
+    let accesses: Vec<MemAccess> = f
+        .block(block)
+        .insts
+        .iter()
+        .filter_map(|&v| mem_access(f, v))
+        .collect();
+    let mut deps = Vec::new();
+    for i in 0..accesses.len() {
+        for j in (i + 1)..accesses.len() {
+            if must_order(f, &accesses[i], &accesses[j], precision) {
+                deps.push((accesses[i].inst, accesses[j].inst));
+            }
+        }
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chls_frontend::compile_to_hir;
+    use chls_ir::lower_function;
+
+    fn func(src: &str) -> Function {
+        let hir = compile_to_hir(src).expect("frontend ok");
+        let (id, _) = hir.func_by_name("f").expect("exists");
+        lower_function(&hir, id).expect("lowers")
+    }
+
+    /// The phi whose in-loop update is `phi + constant` (the loop counter).
+    fn find_induction(f: &Function) -> Option<Value> {
+        for (i, inst) in f.insts.iter().enumerate() {
+            let p = Value(i as u32);
+            let InstKind::Phi(args) = &inst.kind else {
+                continue;
+            };
+            for (_, inc) in args {
+                if let InstKind::Bin(BinKind::Add, x, y) = f.inst(*inc).kind {
+                    if x == p && matches!(f.inst(y).kind, InstKind::Const(_)) {
+                        return Some(p);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn different_constant_indices_independent() {
+        let f = func("void f(int a[4]) { a[0] = 1; a[1] = 2; }");
+        let deps = block_mem_deps(&f, f.entry, AliasPrecision::Basic);
+        assert!(deps.is_empty(), "{deps:?}");
+        // Without analysis they conflict.
+        let deps = block_mem_deps(&f, f.entry, AliasPrecision::None);
+        assert_eq!(deps.len(), 1);
+    }
+
+    #[test]
+    fn same_constant_index_conflicts() {
+        let f = func("void f(int a[4]) { a[2] = 1; a[2] = 2; }");
+        let deps = block_mem_deps(&f, f.entry, AliasPrecision::Basic);
+        assert_eq!(deps.len(), 1);
+    }
+
+    #[test]
+    fn store_then_load_unknown_index_conflicts() {
+        let f = func("int f(int a[4], int i, int j) { a[i] = 1; return a[j]; }");
+        // Find the block containing both ops.
+        let mut found = false;
+        for bi in 0..f.blocks.len() {
+            let deps = block_mem_deps(&f, BlockId(bi as u32), AliasPrecision::Basic);
+            if !deps.is_empty() {
+                found = true;
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn loads_never_conflict_with_loads() {
+        let f = func("int f(int a[4], int i, int j) { return a[i] + a[j]; }");
+        for bi in 0..f.blocks.len() {
+            let deps = block_mem_deps(&f, BlockId(bi as u32), AliasPrecision::Basic);
+            assert!(deps.is_empty(), "{deps:?}");
+        }
+    }
+
+    #[test]
+    fn affine_offsets_decompose_index_arithmetic() {
+        // `a[i]`, `a[i + 2]`, `a[i - 1]` relative to the phi `i`.
+        let f = func(
+            "int f(int a[8], int n) {
+                int s = 0;
+                for (int i = 1; i < 7; i++) {
+                    s += a[i] + a[i + 2] - a[i - 1];
+                }
+                return s;
+            }",
+        );
+        let ind = find_induction(&f).expect("induction phi exists");
+        let mut offsets: Vec<i64> = f
+            .insts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, inst)| match inst.kind {
+                InstKind::Load { addr, .. } => {
+                    let _ = i;
+                    affine_offset(&f, addr, ind)
+                }
+                _ => None,
+            })
+            .collect();
+        offsets.sort_unstable();
+        assert_eq!(offsets, vec![-1, 0, 2]);
+    }
+
+    #[test]
+    fn affine_offset_rejects_non_affine_addresses() {
+        let f = func(
+            "int f(int a[8], int n) {
+                int s = 0;
+                for (int i = 0; i < 4; i++) s += a[i * 2];
+                return s;
+            }",
+        );
+        let ind = find_induction(&f).expect("induction phi");
+        for inst in &f.insts {
+            if let InstKind::Load { addr, .. } = inst.kind {
+                assert_eq!(affine_offset(&f, addr, ind), None);
+            }
+        }
+    }
+
+    #[test]
+    fn different_memories_independent() {
+        let f = func("void f(int a[4], int b[4], int i) { a[i] = 1; b[i] = 2; }");
+        for bi in 0..f.blocks.len() {
+            let deps = block_mem_deps(&f, BlockId(bi as u32), AliasPrecision::Basic);
+            assert!(deps.is_empty(), "{deps:?}");
+        }
+    }
+}

@@ -1,0 +1,850 @@
+//! Points-to analysis and pointer elimination.
+//!
+//! The paper: C's pointer semantics "demands compilers with aggressive
+//! optimization to perform costly pointer analysis". This pass is that
+//! analysis plus the two lowerings the surveyed compilers used:
+//!
+//! * a pointer whose points-to set is a **single object** becomes a plain
+//!   integer *offset*; dereferences become direct array/scalar accesses
+//!   (fast, parallelizable — what good analysis buys you);
+//! * pointers with **multiple targets** force every object they might
+//!   reach into a shared *monolithic memory* and become absolute
+//!   addresses (C2Verilog's general strategy) — all those accesses now
+//!   contend for one memory port, which is exactly the cost the paper
+//!   attributes to C's undifferentiated memory model.
+//!
+//! Runs after inlining (one function, no calls). The analysis is a
+//! flow-insensitive Andersen-style fixpoint over assignment constraints —
+//! quadratic worst case, which experiment E12 measures against program
+//! size.
+
+use chls_frontend::ast::BinOp;
+use chls_frontend::hir::*;
+use chls_frontend::Type;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Pointer-lowering errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PtrError {
+    /// A pointer is dereferenced but never assigned an address.
+    NeverAssigned(String),
+    /// A constant (ROM) array would have to move into writable memory.
+    RomTarget(String),
+}
+
+impl fmt::Display for PtrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtrError::NeverAssigned(n) => {
+                write!(f, "pointer `{n}` is dereferenced but never assigned")
+            }
+            PtrError::RomTarget(n) => write!(
+                f,
+                "constant array `{n}` cannot be moved into the monolithic memory"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PtrError {}
+
+/// Statistics for experiment E12.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PtrStats {
+    /// Pointer-typed locals analyzed.
+    pub pointers: usize,
+    /// Pointers resolved to a single object (fast path).
+    pub resolved: usize,
+    /// Pointers that forced monolithic addressing.
+    pub monolithic: usize,
+    /// Objects moved into the shared memory.
+    pub heap_objects: usize,
+    /// Total words of monolithic memory created.
+    pub heap_words: usize,
+    /// Fixpoint iterations the analysis took.
+    pub iterations: usize,
+}
+
+/// How each pointer local is lowered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PtrLowering {
+    /// Offset into this single target.
+    Direct(LocalId),
+    /// Absolute address into the typed heap.
+    Heap,
+    /// Never used as a pointer (dead); becomes a dead int.
+    Dead,
+}
+
+/// Eliminates pointers from `func` (in place), returning statistics.
+///
+/// # Errors
+///
+/// See [`PtrError`].
+pub fn lower_pointers(func: &mut HirFunc, stats_out: &mut PtrStats) -> Result<(), PtrError> {
+    let ptr_locals: Vec<LocalId> = func
+        .locals
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| matches!(l.ty, Type::Ptr(_)))
+        .map(|(i, _)| LocalId(i as u32))
+        .collect();
+    stats_out.pointers = ptr_locals.len();
+    if ptr_locals.is_empty() {
+        return Ok(());
+    }
+
+    // ---- Andersen-style analysis ----
+    // pts[p]: set of target locals; copies[q] -> {p}: pts(q) ⊆ pts(p).
+    let mut pts: BTreeMap<LocalId, BTreeSet<LocalId>> = BTreeMap::new();
+    let mut copies: BTreeMap<LocalId, BTreeSet<LocalId>> = BTreeMap::new();
+    for &p in &ptr_locals {
+        pts.insert(p, BTreeSet::new());
+        copies.insert(p, BTreeSet::new());
+    }
+    collect_constraints(&func.body, &mut pts, &mut copies);
+    // Fixpoint.
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for (&q, dsts) in &copies {
+            let src: BTreeSet<LocalId> = pts.get(&q).cloned().unwrap_or_default();
+            for &p in dsts {
+                let entry = pts.entry(p).or_default();
+                let before = entry.len();
+                entry.extend(src.iter().copied());
+                changed |= entry.len() != before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats_out.iterations = iterations;
+
+    // ---- Lowering decisions ----
+    // Heap cascade: any pointer with >1 targets heapifies those targets;
+    // any pointer touching a heapified target becomes absolute as well.
+    let mut heap: BTreeSet<LocalId> = BTreeSet::new();
+    for set in pts.values() {
+        if set.len() > 1 {
+            heap.extend(set.iter().copied());
+        }
+    }
+    loop {
+        let mut changed = false;
+        for set in pts.values() {
+            if set.iter().any(|t| heap.contains(t)) && set.len() > 0 {
+                for t in set {
+                    changed |= heap.insert(*t);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut lowering: BTreeMap<LocalId, PtrLowering> = BTreeMap::new();
+    for &p in &ptr_locals {
+        let set = &pts[&p];
+        let low = if set.is_empty() {
+            PtrLowering::Dead
+        } else if set.iter().any(|t| heap.contains(t)) {
+            stats_out.monolithic += 1;
+            PtrLowering::Heap
+        } else if set.len() == 1 {
+            stats_out.resolved += 1;
+            PtrLowering::Direct(*set.iter().next().expect("len 1"))
+        } else {
+            unreachable!("multi-target sets are heapified")
+        };
+        lowering.insert(p, low);
+    }
+
+    // ---- Heap layout (grouped by element type) ----
+    let mut heap_bases: BTreeMap<LocalId, (LocalId, i64)> = BTreeMap::new(); // target -> (heap local, base)
+    let mut heaps_by_ty: BTreeMap<String, (LocalId, usize)> = BTreeMap::new();
+    if !heap.is_empty() {
+        // Assign bases.
+        let targets: Vec<LocalId> = heap.iter().copied().collect();
+        for t in targets {
+            let tl = &func.locals[t.0 as usize];
+            if tl.rom.is_some() {
+                return Err(PtrError::RomTarget(tl.name.clone()));
+            }
+            let (elem_ty, len) = match &tl.ty {
+                Type::Array(e, n) => ((**e).clone(), *n),
+                scalar => (scalar.clone(), 1),
+            };
+            let key = elem_ty.to_string();
+            let (heap_local, next_base) = match heaps_by_ty.get(&key) {
+                Some(&(hl, base)) => (hl, base),
+                None => {
+                    let hl = LocalId(func.locals.len() as u32);
+                    func.locals.push(HirLocal {
+                        name: format!("$heap${key}"),
+                        ty: Type::Array(Box::new(elem_ty.clone()), 0), // patched below
+                        is_param: false,
+                        bank: MemBank::Monolithic,
+                        rom: None,
+                    });
+                    heaps_by_ty.insert(key.clone(), (hl, 0));
+                    (hl, 0)
+                }
+            };
+            heap_bases.insert(t, (heap_local, next_base as i64));
+            heaps_by_ty.insert(key, (heap_local, next_base + len));
+        }
+        // Patch heap sizes and neutralize moved locals.
+        for (_, &(hl, total)) in &heaps_by_ty {
+            if let Type::Array(e, _) = func.locals[hl.0 as usize].ty.clone() {
+                func.locals[hl.0 as usize].ty = Type::Array(e, total.max(1));
+            }
+            stats_out.heap_words += total;
+        }
+        stats_out.heap_objects = heap.len();
+        for &t in &heap {
+            // The object now lives in the heap; its old slot must not
+            // become a memory. Make it a dead scalar.
+            func.locals[t.0 as usize].ty = Type::int();
+            func.locals[t.0 as usize].rom = None;
+        }
+    }
+
+    // ---- Rewrite ----
+    let ctx = Rewrite {
+        lowering,
+        heap_bases,
+        locals_snapshot: func.locals.clone(),
+    };
+    // Detect dereference of never-assigned pointers up front.
+    if let Some(bad) = find_dead_deref(&func.body, &ctx) {
+        return Err(PtrError::NeverAssigned(
+            func.locals[bad.0 as usize].name.clone(),
+        ));
+    }
+    func.body = ctx.block(&func.body);
+    // Pointer locals become plain integer offsets/addresses.
+    for &p in &ptr_locals {
+        func.locals[p.0 as usize].ty = Type::int();
+    }
+    Ok(())
+}
+
+/// Collects AddrOf targets and pointer-copy edges.
+fn collect_constraints(
+    block: &HirBlock,
+    pts: &mut BTreeMap<LocalId, BTreeSet<LocalId>>,
+    copies: &mut BTreeMap<LocalId, BTreeSet<LocalId>>,
+) {
+    for stmt in &block.stmts {
+        match stmt {
+            HirStmt::Assign { place, value } => {
+                if let HirPlace::Local(p) = place {
+                    if pts.contains_key(p) {
+                        add_sources(value, *p, pts, copies);
+                    }
+                }
+            }
+            HirStmt::If { then, els, .. } => {
+                collect_constraints(then, pts, copies);
+                collect_constraints(els, pts, copies);
+            }
+            HirStmt::While { body, .. } | HirStmt::DoWhile { body, .. } => {
+                collect_constraints(body, pts, copies)
+            }
+            HirStmt::For {
+                init, step, body, ..
+            } => {
+                collect_constraints(init, pts, copies);
+                collect_constraints(step, pts, copies);
+                collect_constraints(body, pts, copies);
+            }
+            HirStmt::Block(b) | HirStmt::Constraint { body: b, .. } => {
+                collect_constraints(b, pts, copies)
+            }
+            HirStmt::Par(bs) => bs.iter().for_each(|b| collect_constraints(b, pts, copies)),
+            _ => {}
+        }
+    }
+}
+
+/// Walks a pointer-valued expression for address sources.
+fn add_sources(
+    e: &HirExpr,
+    dst: LocalId,
+    pts: &mut BTreeMap<LocalId, BTreeSet<LocalId>>,
+    copies: &mut BTreeMap<LocalId, BTreeSet<LocalId>>,
+) {
+    match &e.kind {
+        HirExprKind::AddrOf(place) => {
+            if let Some(root) = place.root_local() {
+                pts.entry(dst).or_default().insert(root);
+            }
+        }
+        HirExprKind::Load(p) => {
+            if let HirPlace::Local(q) = &**p {
+                if pts.contains_key(q) {
+                    copies.entry(*q).or_default().insert(dst);
+                }
+            }
+        }
+        HirExprKind::Binary(BinOp::Add | BinOp::Sub, a, b) => {
+            add_sources(a, dst, pts, copies);
+            add_sources(b, dst, pts, copies);
+        }
+        HirExprKind::Select(_, t, f) => {
+            add_sources(t, dst, pts, copies);
+            add_sources(f, dst, pts, copies);
+        }
+        HirExprKind::Cast(a) => add_sources(a, dst, pts, copies),
+        _ => {}
+    }
+}
+
+/// Finds a `Deref` over a pointer expression with no targets at all.
+fn find_dead_deref(block: &HirBlock, ctx: &Rewrite) -> Option<LocalId> {
+    let mut found = None;
+    let check_expr = |e: &HirExpr, found: &mut Option<LocalId>| {
+        walk_derefs(e, &mut |inner| {
+            if found.is_none() {
+                if let Some(p) = sole_ptr_local(inner) {
+                    if matches!(ctx.lowering.get(&p), Some(PtrLowering::Dead)) {
+                        *found = Some(p);
+                    }
+                }
+            }
+        });
+    };
+    visit_exprs(block, &mut |e| check_expr(e, &mut found));
+    found
+}
+
+fn walk_derefs(e: &HirExpr, f: &mut impl FnMut(&HirExpr)) {
+    match &e.kind {
+        HirExprKind::Load(p) | HirExprKind::AddrOf(p) => walk_derefs_place(p, f),
+        HirExprKind::Unary(_, a) | HirExprKind::Cast(a) => walk_derefs(a, f),
+        HirExprKind::Binary(_, a, b) => {
+            walk_derefs(a, f);
+            walk_derefs(b, f);
+        }
+        HirExprKind::Select(c, t, fv) => {
+            walk_derefs(c, f);
+            walk_derefs(t, f);
+            walk_derefs(fv, f);
+        }
+        HirExprKind::Const(_) => {}
+    }
+}
+
+fn walk_derefs_place(p: &HirPlace, f: &mut impl FnMut(&HirExpr)) {
+    match p {
+        HirPlace::Deref(e) => {
+            f(e);
+            walk_derefs(e, f);
+        }
+        HirPlace::Index { base, index } => {
+            walk_derefs_place(base, f);
+            walk_derefs(index, f);
+        }
+        _ => {}
+    }
+}
+
+fn visit_exprs(block: &HirBlock, f: &mut impl FnMut(&HirExpr)) {
+    for s in &block.stmts {
+        match s {
+            HirStmt::Assign { place, value } => {
+                visit_place_exprs(place, f);
+                f(value);
+            }
+            HirStmt::Send { value, .. } => f(value),
+            HirStmt::Recv { dst, .. } => visit_place_exprs(dst, f),
+            HirStmt::If { cond, then, els } => {
+                f(cond);
+                visit_exprs(then, f);
+                visit_exprs(els, f);
+            }
+            HirStmt::While { cond, body, .. } => {
+                f(cond);
+                visit_exprs(body, f);
+            }
+            HirStmt::DoWhile { body, cond } => {
+                visit_exprs(body, f);
+                f(cond);
+            }
+            HirStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                visit_exprs(init, f);
+                f(cond);
+                visit_exprs(step, f);
+                visit_exprs(body, f);
+            }
+            HirStmt::Return(Some(e)) => f(e),
+            HirStmt::Block(b) | HirStmt::Constraint { body: b, .. } => visit_exprs(b, f),
+            HirStmt::Par(bs) => bs.iter().for_each(|b| visit_exprs(b, f)),
+            _ => {}
+        }
+    }
+}
+
+fn visit_place_exprs(p: &HirPlace, f: &mut impl FnMut(&HirExpr)) {
+    match p {
+        HirPlace::Index { base, index } => {
+            visit_place_exprs(base, f);
+            f(index);
+        }
+        HirPlace::Deref(e) => f(e),
+        _ => {}
+    }
+}
+
+/// The single pointer local an expression routes through, if determinable.
+fn sole_ptr_local(e: &HirExpr) -> Option<LocalId> {
+    match &e.kind {
+        HirExprKind::Load(p) => match &**p {
+            HirPlace::Local(id) => Some(*id),
+            _ => None,
+        },
+        HirExprKind::Binary(_, a, b) => sole_ptr_local(a).or_else(|| sole_ptr_local(b)),
+        HirExprKind::Select(_, t, f) => sole_ptr_local(t).or_else(|| sole_ptr_local(f)),
+        HirExprKind::Cast(a) => sole_ptr_local(a),
+        _ => None,
+    }
+}
+
+struct Rewrite {
+    lowering: BTreeMap<LocalId, PtrLowering>,
+    heap_bases: BTreeMap<LocalId, (LocalId, i64)>,
+    locals_snapshot: Vec<HirLocal>,
+}
+
+impl Rewrite {
+    /// Target object(s) a pointer expression can denote, from the analysis.
+    fn expr_targets(&self, e: &HirExpr) -> BTreeSet<LocalId> {
+        let mut out = BTreeSet::new();
+        self.gather_targets(e, &mut out);
+        out
+    }
+
+    fn gather_targets(&self, e: &HirExpr, out: &mut BTreeSet<LocalId>) {
+        match &e.kind {
+            HirExprKind::AddrOf(place) => {
+                if let Some(r) = place.root_local() {
+                    out.insert(r);
+                }
+            }
+            HirExprKind::Load(p) => {
+                if let HirPlace::Local(q) = &**p {
+                    match self.lowering.get(q) {
+                        Some(PtrLowering::Direct(t)) => {
+                            out.insert(*t);
+                        }
+                        Some(PtrLowering::Heap) => {
+                            out.extend(self.heap_bases.keys().copied());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            HirExprKind::Binary(_, a, b) => {
+                self.gather_targets(a, out);
+                self.gather_targets(b, out);
+            }
+            HirExprKind::Select(_, t, f) => {
+                self.gather_targets(t, out);
+                self.gather_targets(f, out);
+            }
+            HirExprKind::Cast(a) => self.gather_targets(a, out),
+            _ => {}
+        }
+    }
+
+    fn block(&self, b: &HirBlock) -> HirBlock {
+        HirBlock {
+            stmts: b.stmts.iter().map(|s| self.stmt(s)).collect(),
+        }
+    }
+
+    fn stmt(&self, s: &HirStmt) -> HirStmt {
+        match s {
+            HirStmt::Assign { place, value } => HirStmt::Assign {
+                place: self.place(place),
+                value: self.expr(value),
+            },
+            HirStmt::Call { .. } => s.clone(), // inlining ran first; unreachable in practice
+            HirStmt::Recv { dst, chan } => HirStmt::Recv {
+                dst: self.place(dst),
+                chan: *chan,
+            },
+            HirStmt::Send { chan, value } => HirStmt::Send {
+                chan: *chan,
+                value: self.expr(value),
+            },
+            HirStmt::If { cond, then, els } => HirStmt::If {
+                cond: self.expr(cond),
+                then: self.block(then),
+                els: self.block(els),
+            },
+            HirStmt::While { cond, body, unroll } => HirStmt::While {
+                cond: self.expr(cond),
+                body: self.block(body),
+                unroll: *unroll,
+            },
+            HirStmt::DoWhile { body, cond } => HirStmt::DoWhile {
+                body: self.block(body),
+                cond: self.expr(cond),
+            },
+            HirStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                unroll,
+            } => HirStmt::For {
+                init: self.block(init),
+                cond: self.expr(cond),
+                step: self.block(step),
+                body: self.block(body),
+                unroll: *unroll,
+            },
+            HirStmt::Return(v) => HirStmt::Return(v.as_ref().map(|e| self.expr(e))),
+            HirStmt::Block(b) => HirStmt::Block(self.block(b)),
+            HirStmt::Constraint { cycles, body } => HirStmt::Constraint {
+                cycles: *cycles,
+                body: self.block(body),
+            },
+            HirStmt::Par(bs) => HirStmt::Par(bs.iter().map(|b| self.block(b)).collect()),
+            other => other.clone(),
+        }
+    }
+
+    /// Rewrites a place; `Deref` becomes a direct or heap access.
+    fn place(&self, p: &HirPlace) -> HirPlace {
+        match p {
+            HirPlace::Local(_) | HirPlace::Global(_) => {
+                // Direct access to a heapified object reroutes to the heap.
+                if let HirPlace::Local(id) = p {
+                    if let Some(&(heap, base)) = self.heap_bases.get(id) {
+                        // Scalar moved to heap: heap[base].
+                        return HirPlace::Index {
+                            base: Box::new(HirPlace::Local(heap)),
+                            index: Box::new(HirExpr::konst(base, Type::int())),
+                        };
+                    }
+                }
+                p.clone()
+            }
+            HirPlace::Index { base, index } => {
+                let idx = self.expr(index);
+                if let HirPlace::Local(id) = &**base {
+                    if let Some(&(heap, b)) = self.heap_bases.get(id) {
+                        return HirPlace::Index {
+                            base: Box::new(HirPlace::Local(heap)),
+                            index: Box::new(add_int(HirExpr::konst(b, Type::int()), idx)),
+                        };
+                    }
+                }
+                HirPlace::Index {
+                    base: Box::new(self.place(base)),
+                    index: Box::new(idx),
+                }
+            }
+            HirPlace::Deref(e) => {
+                let targets = self.expr_targets(e);
+                let addr = self.expr(e);
+                // Heap path: any heapified target means absolute address.
+                if targets.iter().any(|t| self.heap_bases.contains_key(t)) {
+                    let (heap, _) = self.heap_bases[targets
+                        .iter()
+                        .find(|t| self.heap_bases.contains_key(t))
+                        .expect("checked")];
+                    return HirPlace::Index {
+                        base: Box::new(HirPlace::Local(heap)),
+                        index: Box::new(addr),
+                    };
+                }
+                // Direct path: single target.
+                let t = *targets.iter().next().expect("dead derefs caught earlier");
+                match &self.locals_snapshot[t.0 as usize].ty {
+                    Type::Array(..) => HirPlace::Index {
+                        base: Box::new(HirPlace::Local(t)),
+                        index: Box::new(addr),
+                    },
+                    _ => HirPlace::Local(t),
+                }
+            }
+        }
+    }
+
+    /// Rewrites an expression: pointer-typed expressions become integers.
+    fn expr(&self, e: &HirExpr) -> HirExpr {
+        let ty = strip_ptr(&e.ty);
+        match &e.kind {
+            HirExprKind::Const(v) => HirExpr::konst(*v, ty),
+            HirExprKind::Load(p) => HirExpr {
+                kind: HirExprKind::Load(Box::new(self.place(p))),
+                ty,
+            },
+            HirExprKind::Unary(op, a) => HirExpr {
+                kind: HirExprKind::Unary(*op, Box::new(self.expr(a))),
+                ty,
+            },
+            HirExprKind::Binary(op, a, b) => HirExpr {
+                kind: HirExprKind::Binary(*op, Box::new(self.expr(a)), Box::new(self.expr(b))),
+                ty,
+            },
+            HirExprKind::Select(c, t, f) => HirExpr {
+                kind: HirExprKind::Select(
+                    Box::new(self.expr(c)),
+                    Box::new(self.expr(t)),
+                    Box::new(self.expr(f)),
+                ),
+                ty,
+            },
+            HirExprKind::Cast(a) => HirExpr {
+                kind: HirExprKind::Cast(Box::new(self.expr(a))),
+                ty,
+            },
+            HirExprKind::AddrOf(place) => {
+                // &x -> base offset; &a[i] -> base + i.
+                let root = place.root_local().expect("sema rejects &ROM");
+                let heap_base = self.heap_bases.get(&root).map(|&(_, b)| b).unwrap_or(0);
+                match &**place {
+                    HirPlace::Local(_) => HirExpr::konst(heap_base, Type::int()),
+                    HirPlace::Index { index, .. } => {
+                        let idx = self.expr(index);
+                        let idx = coerce_int(idx);
+                        add_int(HirExpr::konst(heap_base, Type::int()), idx)
+                    }
+                    _ => HirExpr::konst(heap_base, Type::int()),
+                }
+            }
+        }
+    }
+}
+
+fn strip_ptr(ty: &Type) -> Type {
+    match ty {
+        Type::Ptr(_) => Type::int(),
+        other => other.clone(),
+    }
+}
+
+fn coerce_int(e: HirExpr) -> HirExpr {
+    if e.ty == Type::int() {
+        e
+    } else {
+        HirExpr {
+            kind: HirExprKind::Cast(Box::new(e)),
+            ty: Type::int(),
+        }
+    }
+}
+
+fn add_int(a: HirExpr, b: HirExpr) -> HirExpr {
+    if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+        return HirExpr::konst(x.wrapping_add(y), Type::int());
+    }
+    if a.as_const() == Some(0) {
+        return coerce_int(b);
+    }
+    if b.as_const() == Some(0) {
+        return coerce_int(a);
+    }
+    HirExpr {
+        kind: HirExprKind::Binary(BinOp::Add, Box::new(coerce_int(a)), Box::new(coerce_int(b))),
+        ty: Type::int(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inline::inline_program;
+    use chls_frontend::compile_to_hir;
+    use chls_ir::exec::{execute, ArgValue, ExecOptions};
+
+    fn run_lowered(src: &str, entry: &str, args: &[ArgValue]) -> (Option<i64>, PtrStats) {
+        let prog = compile_to_hir(src).expect("frontend ok");
+        let (id, _) = prog.func_by_name(entry).expect("entry exists");
+        let mut inlined = inline_program(&prog, id).expect("inline ok");
+        let mut stats = PtrStats::default();
+        lower_pointers(&mut inlined.funcs[0], &mut stats).expect("ptr lowering ok");
+        let f = chls_ir::lower_function(&inlined, FuncId(0)).expect("ir lowering ok");
+        chls_ir::verify::verify(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
+        let r = execute(&f, args, &ExecOptions::default()).expect("executes");
+        (r.ret, stats)
+    }
+
+    #[test]
+    fn single_target_scalar_pointer_resolves() {
+        let (ret, stats) = run_lowered(
+            "int f() { int x = 41; int *p = &x; *p = *p + 1; return x; }",
+            "f",
+            &[],
+        );
+        assert_eq!(ret, Some(42));
+        assert_eq!(stats.resolved, 1);
+        assert_eq!(stats.monolithic, 0);
+    }
+
+    #[test]
+    fn single_target_array_walk_resolves() {
+        let (ret, stats) = run_lowered(
+            "int f() {
+                int a[4];
+                for (int i = 0; i < 4; i++) a[i] = i * 10;
+                int *p = &a[1];
+                p = p + 2;
+                return *p;
+            }",
+            "f",
+            &[],
+        );
+        assert_eq!(ret, Some(30));
+        assert_eq!(stats.resolved, 1);
+        assert_eq!(stats.heap_objects, 0);
+    }
+
+    #[test]
+    fn pointer_param_via_inlining_resolves() {
+        let (ret, stats) = run_lowered(
+            "void bump(int *p) { *p = *p + 1; }
+             int f() { int x = 1; bump(&x); bump(&x); return x; }",
+            "f",
+            &[],
+        );
+        assert_eq!(ret, Some(3));
+        assert_eq!(stats.resolved, 2);
+    }
+
+    #[test]
+    fn array_decay_through_call_resolves() {
+        let (ret, stats) = run_lowered(
+            "int sum(int *p, int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) s += p[i];
+                return s;
+            }
+            int f(int a[4]) { return sum(a, 4); }",
+            "f",
+            &[ArgValue::Array(vec![1, 2, 3, 4])],
+        );
+        assert_eq!(ret, Some(10));
+        assert!(stats.resolved >= 1);
+        assert_eq!(stats.monolithic, 0);
+    }
+
+    #[test]
+    fn two_target_pointer_goes_monolithic() {
+        let (ret, stats) = run_lowered(
+            "int f(bool pick) {
+                int x = 10;
+                int y = 20;
+                int *p = pick ? &x : &y;
+                *p = *p + 1;
+                return x * 100 + y;
+            }",
+            "f",
+            &[ArgValue::Scalar(1)],
+        );
+        assert_eq!(ret, Some(1120));
+        assert_eq!(stats.monolithic, 1);
+        assert_eq!(stats.heap_objects, 2);
+        assert_eq!(stats.heap_words, 2);
+    }
+
+    #[test]
+    fn monolithic_array_selection() {
+        let (ret, stats) = run_lowered(
+            "int f(bool pick, int i) {
+                int a[4];
+                int b[4];
+                for (int k = 0; k < 4; k++) { a[k] = k; b[k] = k * 100; }
+                int *p = pick ? &a[0] : &b[0];
+                return p[i];
+            }",
+            "f",
+            &[ArgValue::Scalar(0), ArgValue::Scalar(2)],
+        );
+        assert_eq!(ret, Some(200));
+        assert_eq!(stats.heap_objects, 2);
+        assert_eq!(stats.heap_words, 8);
+    }
+
+    #[test]
+    fn pointer_copy_chains_resolve() {
+        let (ret, stats) = run_lowered(
+            "int f() {
+                int a[4];
+                a[2] = 7;
+                int *p = &a[0];
+                int *q = p;
+                int *r = q + 2;
+                return *r;
+            }",
+            "f",
+            &[],
+        );
+        assert_eq!(ret, Some(7));
+        assert_eq!(stats.resolved, 3);
+    }
+
+    #[test]
+    fn pointer_comparison_after_lowering() {
+        let (ret, _) = run_lowered(
+            "int f() {
+                int a[4];
+                int *p = &a[1];
+                int *q = &a[1];
+                return p == q ? 1 : 0;
+            }",
+            "f",
+            &[],
+        );
+        assert_eq!(ret, Some(1));
+    }
+
+    #[test]
+    fn dead_pointer_deref_rejected() {
+        let prog = compile_to_hir("int f() { int *p; return *p; }").unwrap();
+        let (id, _) = prog.func_by_name("f").unwrap();
+        let mut inlined = inline_program(&prog, id).unwrap();
+        let mut stats = PtrStats::default();
+        let err = lower_pointers(&mut inlined.funcs[0], &mut stats).unwrap_err();
+        assert!(matches!(err, PtrError::NeverAssigned(_)));
+    }
+
+    #[test]
+    fn no_pointers_is_noop() {
+        let (ret, stats) = run_lowered("int f(int a) { return a + 1; }", "f", &[ArgValue::Scalar(1)]);
+        assert_eq!(ret, Some(2));
+        assert_eq!(stats.pointers, 0);
+    }
+
+    #[test]
+    fn swap_via_pointers() {
+        let (ret, stats) = run_lowered(
+            "void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+             int f() {
+                int x = 3;
+                int y = 5;
+                swap(&x, &y);
+                return x * 10 + y;
+             }",
+            "f",
+            &[],
+        );
+        assert_eq!(ret, Some(53));
+        assert_eq!(stats.resolved, 2);
+    }
+}

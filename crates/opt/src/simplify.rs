@@ -1,0 +1,565 @@
+//! IR cleanup: constant folding, algebraic identities, branch folding with
+//! unreachable-block elimination, dominator-scoped common-subexpression
+//! elimination, and dead-code elimination.
+//!
+//! [`simplify`] runs everything to a fixpoint and is what every
+//! compiler-scheduled backend calls before scheduling.
+
+use chls_ir::dom::DomTree;
+use chls_ir::ir::*;
+use chls_ir::lower::remove_trivial_phis;
+use std::collections::HashMap;
+
+/// Statistics from a simplification run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Instructions folded to constants.
+    pub folded: usize,
+    /// Instructions removed by CSE.
+    pub cse: usize,
+    /// Dead instructions removed.
+    pub dce: usize,
+    /// Branches converted to jumps.
+    pub branches_folded: usize,
+    /// Unreachable blocks removed (emptied).
+    pub blocks_removed: usize,
+}
+
+/// Runs all IR cleanups to a fixpoint.
+pub fn simplify(f: &mut Function) -> SimplifyStats {
+    let mut stats = SimplifyStats::default();
+    loop {
+        let mut changed = false;
+        changed |= fold_constants(f, &mut stats);
+        changed |= fold_branches(f, &mut stats);
+        changed |= prune_unreachable(f, &mut stats);
+        changed |= cse(f, &mut stats);
+        changed |= dce(f, &mut stats);
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+/// Replaces every use of `from` with `to` across the function.
+fn replace_uses(f: &mut Function, from: Value, to: Value) {
+    for inst in &mut f.insts {
+        inst.kind.map_operands(|v| if v == from { to } else { v });
+    }
+    for block in &mut f.blocks {
+        match &mut block.term {
+            Term::Br { cond, .. } => {
+                if *cond == from {
+                    *cond = to;
+                }
+            }
+            Term::Ret(Some(v)) => {
+                if *v == from {
+                    *v = to;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn const_of(f: &Function, v: Value) -> Option<i64> {
+    match &f.inst(v).kind {
+        InstKind::Const(c) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Folds constant and algebraically-trivial instructions in place (the
+/// instruction becomes a `Const` or is replaced by an operand).
+fn fold_constants(f: &mut Function, stats: &mut SimplifyStats) -> bool {
+    let mut changed = false;
+    for i in 0..f.insts.len() {
+        let v = Value(i as u32);
+        let inst = f.inst(v).clone();
+        match &inst.kind {
+            InstKind::Bin(op, a, b) => {
+                let (ca, cb) = (const_of(f, *a), const_of(f, *b));
+                if let (Some(x), Some(y)) = (ca, cb) {
+                    let ety = if op.is_comparison() {
+                        f.inst(*a).ty
+                    } else {
+                        inst.ty
+                    };
+                    let folded = eval_bin(*op, ety, x, y);
+                    f.inst_mut(v).kind = InstKind::Const(folded);
+                    stats.folded += 1;
+                    changed = true;
+                    continue;
+                }
+                // Algebraic identities that replace the result with an
+                // operand (types already match by construction).
+                let ident = match (op, ca, cb) {
+                    (BinKind::Add, Some(0), _) => Some(*b),
+                    (BinKind::Add | BinKind::Sub, _, Some(0)) => Some(*a),
+                    (BinKind::Mul, _, Some(1)) => Some(*a),
+                    (BinKind::Mul, Some(1), _) => Some(*b),
+                    (BinKind::Shl | BinKind::Shr, _, Some(0)) => Some(*a),
+                    (BinKind::Or | BinKind::Xor, _, Some(0)) => Some(*a),
+                    (BinKind::Or | BinKind::Xor, Some(0), _) => Some(*b),
+                    (BinKind::And, _, Some(m)) if (m as u64) & inst.ty.mask() == inst.ty.mask() => {
+                        Some(*a)
+                    }
+                    _ => None,
+                };
+                if let Some(src) = ident {
+                    replace_uses(f, v, src);
+                    stats.folded += 1;
+                    changed = true;
+                    continue;
+                }
+                // x * 0, x & 0 -> 0.
+                let zero = matches!(
+                    (op, ca, cb),
+                    (BinKind::Mul | BinKind::And, _, Some(0))
+                        | (BinKind::Mul | BinKind::And, Some(0), _)
+                );
+                if zero {
+                    f.inst_mut(v).kind = InstKind::Const(0);
+                    stats.folded += 1;
+                    changed = true;
+                }
+            }
+            InstKind::Un(op, a) => {
+                if let Some(x) = const_of(f, *a) {
+                    f.inst_mut(v).kind = InstKind::Const(eval_un(*op, inst.ty, x));
+                    stats.folded += 1;
+                    changed = true;
+                }
+            }
+            InstKind::Select { cond, t, f: fv } => {
+                if let Some(c) = const_of(f, *cond) {
+                    let src = if c != 0 { *t } else { *fv };
+                    replace_uses(f, v, src);
+                    stats.folded += 1;
+                    changed = true;
+                } else if t == fv {
+                    replace_uses(f, v, *t);
+                    stats.folded += 1;
+                    changed = true;
+                }
+            }
+            InstKind::Cast { from, val } => {
+                if let Some(x) = const_of(f, *val) {
+                    f.inst_mut(v).kind = InstKind::Const(eval_cast(*from, inst.ty, x));
+                    stats.folded += 1;
+                    changed = true;
+                } else if *from == inst.ty {
+                    replace_uses(f, v, *val);
+                    stats.folded += 1;
+                    changed = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+/// Turns `br const, a, b` into `jump`, pruning phi inputs on the dead edge.
+fn fold_branches(f: &mut Function, stats: &mut SimplifyStats) -> bool {
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        let Term::Br { cond, then, els } = f.blocks[bi].term.clone() else {
+            continue;
+        };
+        if then == els {
+            f.blocks[bi].term = Term::Jump(then);
+            stats.branches_folded += 1;
+            changed = true;
+            continue;
+        }
+        let Some(c) = const_of(f, cond) else { continue };
+        let (taken, dead) = if c != 0 { (then, els) } else { (els, then) };
+        f.blocks[bi].term = Term::Jump(taken);
+        // Remove this block's contribution to phis in the dead target.
+        let src = BlockId(bi as u32);
+        for &iv in &f.blocks[dead.0 as usize].insts.clone() {
+            if let InstKind::Phi(args) = &mut f.inst_mut(iv).kind {
+                args.retain(|(b, _)| *b != src);
+            }
+        }
+        stats.branches_folded += 1;
+        changed = true;
+    }
+    changed
+}
+
+/// Empties unreachable blocks and fixes phis that reference them.
+fn prune_unreachable(f: &mut Function, stats: &mut SimplifyStats) -> bool {
+    let mut reachable = vec![false; f.blocks.len()];
+    let mut stack = vec![f.entry];
+    while let Some(b) = stack.pop() {
+        if reachable[b.0 as usize] {
+            continue;
+        }
+        reachable[b.0 as usize] = true;
+        for s in f.block(b).term.successors() {
+            stack.push(s);
+        }
+    }
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        if reachable[bi] {
+            continue;
+        }
+        let self_jump = matches!(f.blocks[bi].term, Term::Jump(t) if t.0 as usize == bi);
+        if !f.blocks[bi].insts.is_empty() || !self_jump {
+            // Empty it; a self-jump terminator keeps the block well-formed
+            // without constraining the function's return type.
+            f.blocks[bi].insts.clear();
+            f.blocks[bi].term = Term::Jump(BlockId(bi as u32));
+            stats.blocks_removed += 1;
+            changed = true;
+        }
+    }
+    if changed {
+        // Phis in reachable blocks may reference now-dead predecessors.
+        let preds = f.predecessors();
+        for bi in 0..f.blocks.len() {
+            if !reachable[bi] {
+                continue;
+            }
+            let live_preds: Vec<BlockId> = preds[bi]
+                .iter()
+                .copied()
+                .filter(|p| reachable[p.0 as usize])
+                .collect();
+            for &iv in &f.blocks[bi].insts.clone() {
+                if let InstKind::Phi(args) = &mut f.inst_mut(iv).kind {
+                    args.retain(|(b, _)| live_preds.contains(b));
+                }
+            }
+        }
+        remove_trivial_phis(f);
+    }
+    changed
+}
+
+/// Dominator-scoped CSE over pure instructions.
+fn cse(f: &mut Function, stats: &mut SimplifyStats) -> bool {
+    #[derive(PartialEq, Eq, Hash)]
+    struct Key {
+        kind_tag: u8,
+        a: u32,
+        b: u32,
+        c: u32,
+        extra: u64,
+    }
+    fn key_of(inst: &InstData) -> Option<Key> {
+        let (kind_tag, a, b, c, extra) = match &inst.kind {
+            InstKind::Const(v) => (0, 0, 0, 0, *v as u64),
+            InstKind::Bin(op, x, y) => {
+                // Normalize commutative operands.
+                let (x, y) = if op.is_commutative() && y.0 < x.0 {
+                    (*y, *x)
+                } else {
+                    (*x, *y)
+                };
+                (1, x.0, y.0, 0, *op as u64)
+            }
+            InstKind::Un(op, x) => (2, x.0, 0, 0, *op as u64),
+            InstKind::Select { cond, t, f } => (3, cond.0, t.0, f.0, 0),
+            InstKind::Cast { from, val } => {
+                (4, val.0, 0, 0, ((from.width as u64) << 1) | from.signed as u64)
+            }
+            // Params, phis, and memory ops are not CSE candidates.
+            _ => return None,
+        };
+        Some(Key {
+            kind_tag,
+            a,
+            b,
+            c,
+            extra,
+        })
+    }
+
+    let dt = DomTree::compute(f);
+    // Dominator-tree preorder with scoped tables.
+    let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); f.blocks.len()];
+    for (bi, idom) in dt.idom.iter().enumerate() {
+        if let Some(d) = idom {
+            if d.0 as usize != bi {
+                children[d.0 as usize].push(BlockId(bi as u32));
+            }
+        }
+    }
+    let mut changed = false;
+    let mut replacements: Vec<(Value, Value)> = Vec::new();
+    // Iterative preorder: (block, scope snapshot length).
+    let mut table: HashMap<Key, (Value, u16, bool)> = HashMap::new();
+    let mut undo: Vec<Vec<Key>> = Vec::new();
+    let mut stack: Vec<(BlockId, bool)> = vec![(f.entry, false)];
+    while let Some((b, leaving)) = stack.pop() {
+        if leaving {
+            for k in undo.pop().expect("scope pushed on entry") {
+                table.remove(&k);
+            }
+            continue;
+        }
+        stack.push((b, true));
+        undo.push(Vec::new());
+        for &v in &f.block(b).insts {
+            let inst = f.inst(v);
+            let Some(key) = key_of(inst) else { continue };
+            match table.get(&key) {
+                Some(&(prev, ty_w, ty_s))
+                    if ty_w == inst.ty.width && ty_s == inst.ty.signed =>
+                {
+                    replacements.push((v, prev));
+                }
+                _ => {
+                    table.insert(key, (v, inst.ty.width, inst.ty.signed));
+                    undo.last_mut()
+                        .expect("scope exists")
+                        .push(key_of(inst).expect("same inst"));
+                }
+            }
+        }
+        for &c in &children[b.0 as usize] {
+            stack.push((c, false));
+        }
+    }
+    for (from, to) in replacements {
+        replace_uses(f, from, to);
+        stats.cse += 1;
+        changed = true;
+    }
+    changed
+}
+
+/// Removes pure instructions with no uses (then compacts).
+fn dce(f: &mut Function, stats: &mut SimplifyStats) -> bool {
+    let n = f.insts.len();
+    let mut used = vec![false; n];
+    for inst in &f.insts {
+        inst.kind.for_each_operand(|v| used[v.0 as usize] = true);
+    }
+    for block in &f.blocks {
+        match &block.term {
+            Term::Br { cond, .. } => used[cond.0 as usize] = true,
+            Term::Ret(Some(v)) => used[v.0 as usize] = true,
+            _ => {}
+        }
+    }
+    // Iterate: removing one dead inst may kill its operands.
+    let mut removed_any = false;
+    loop {
+        let mut removed = 0;
+        for block in &mut f.blocks {
+            block.insts.retain(|&v| {
+                let inst = &f.insts[v.0 as usize];
+                let side_effect = matches!(inst.kind, InstKind::Store { .. });
+                if side_effect || used[v.0 as usize] {
+                    true
+                } else {
+                    removed += 1;
+                    false
+                }
+            });
+        }
+        if removed == 0 {
+            break;
+        }
+        removed_any = true;
+        stats.dce += removed;
+        // Recompute uses over placed insts only.
+        used.iter_mut().for_each(|u| *u = false);
+        for block in &f.blocks {
+            for &v in &block.insts {
+                f.insts[v.0 as usize]
+                    .kind
+                    .for_each_operand(|o| used[o.0 as usize] = true);
+            }
+            match &block.term {
+                Term::Br { cond, .. } => used[cond.0 as usize] = true,
+                Term::Ret(Some(v)) => used[v.0 as usize] = true,
+                _ => {}
+            }
+        }
+    }
+    if removed_any {
+        f.compact();
+    }
+    removed_any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chls_frontend::compile_to_hir;
+    use chls_ir::exec::{execute, ArgValue, ExecOptions};
+    use chls_ir::lower_function;
+    use chls_ir::verify::verify;
+
+    fn simplified(src: &str, name: &str) -> (Function, SimplifyStats) {
+        let hir = compile_to_hir(src).expect("frontend ok");
+        let (id, _) = hir.func_by_name(name).expect("exists");
+        let mut f = lower_function(&hir, id).expect("lowers");
+        let stats = simplify(&mut f);
+        verify(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
+        (f, stats)
+    }
+
+    #[test]
+    fn constant_expression_collapses() {
+        let (f, stats) = simplified("int f() { return (2 + 3) * 4 - 6; }", "f");
+        assert!(stats.folded >= 3);
+        // Only a single constant should survive.
+        assert_eq!(f.op_count(), 1, "{f}");
+        let r = execute(&f, &[], &ExecOptions::default()).unwrap();
+        assert_eq!(r.ret, Some(14));
+    }
+
+    #[test]
+    fn identities_fold() {
+        let (f, _) = simplified(
+            "int f(int x) { return (x + 0) * 1 + (x & 0xffffffff) - (0 | 0); }",
+            "f",
+        );
+        // x + x remains: one add.
+        let adds = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Bin(BinKind::Add, ..)))
+            .count();
+        assert_eq!(adds, 1, "{f}");
+        let r = execute(&f, &[ArgValue::Scalar(21)], &ExecOptions::default()).unwrap();
+        assert_eq!(r.ret, Some(42));
+    }
+
+    #[test]
+    fn mul_by_zero_is_zero() {
+        let (f, _) = simplified("int f(int x) { return x * 0 + 7; }", "f");
+        assert_eq!(f.op_count(), 1, "{f}");
+        let r = execute(&f, &[ArgValue::Scalar(5)], &ExecOptions::default()).unwrap();
+        assert_eq!(r.ret, Some(7));
+    }
+
+    #[test]
+    fn constant_branch_removes_dead_arm() {
+        let (f, stats) = simplified(
+            "int f(int x) { if (1 < 2) { return x; } else { return x * 99; } }",
+            "f",
+        );
+        assert!(stats.branches_folded >= 1);
+        let muls = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Bin(BinKind::Mul, ..)))
+            .count();
+        assert_eq!(muls, 0, "{f}");
+    }
+
+    #[test]
+    fn cse_merges_repeated_subexpressions() {
+        let (f, stats) = simplified(
+            "int f(int a, int b) { return (a * b) + (a * b) + (a * b); }",
+            "f",
+        );
+        assert!(stats.cse >= 2);
+        let muls = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Bin(BinKind::Mul, ..)))
+            .count();
+        assert_eq!(muls, 1, "{f}");
+        let r = execute(
+            &f,
+            &[ArgValue::Scalar(3), ArgValue::Scalar(4)],
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.ret, Some(36));
+    }
+
+    #[test]
+    fn cse_respects_dominance() {
+        // The two `a * b` live in sibling branches: neither dominates the
+        // other, so they must NOT merge.
+        let (f, _) = simplified(
+            "int f(int a, int b, bool c) {
+                int r = 0;
+                if (c) { r = a * b; } else { r = a * b + 1; }
+                return r;
+            }",
+            "f",
+        );
+        let muls = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Bin(BinKind::Mul, ..)))
+            .count();
+        assert_eq!(muls, 2, "{f}");
+    }
+
+    #[test]
+    fn loads_are_not_cse_candidates() {
+        // A store between identical loads makes them different values.
+        let (f, _) = simplified(
+            "int f(int a[4]) {
+                int x = a[0];
+                a[0] = x + 1;
+                int y = a[0];
+                return x + y;
+            }",
+            "f",
+        );
+        let loads = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Load { .. }))
+            .count();
+        assert_eq!(loads, 2, "{f}");
+        let r = execute(
+            &f,
+            &[ArgValue::Array(vec![10, 0, 0, 0])],
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.ret, Some(21));
+    }
+
+    #[test]
+    fn dce_removes_unused_computation() {
+        let (f, stats) = simplified(
+            "int f(int a, int b) { int unused = a * b * a * b; return a + b; }",
+            "f",
+        );
+        assert!(stats.dce >= 1);
+        assert_eq!(f.op_count(), 1, "{f}");
+    }
+
+    #[test]
+    fn behavior_preserved_on_kernel() {
+        let src = "int f(int a[8], int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                if ((a[i] & 1) == 0) s += a[i] * 2 + 0;
+                else s += a[i] * 1;
+            }
+            return s;
+        }";
+        let hir = compile_to_hir(src).unwrap();
+        let (id, _) = hir.func_by_name("f").unwrap();
+        let f0 = lower_function(&hir, id).unwrap();
+        let mut f1 = f0.clone();
+        simplify(&mut f1);
+        verify(&f1).unwrap_or_else(|e| panic!("{e}\n{f1}"));
+        let args = [
+            ArgValue::Array(vec![5, 2, 9, 4, 7, 6, 1, 8]),
+            ArgValue::Scalar(8),
+        ];
+        let r0 = execute(&f0, &args, &ExecOptions::default()).unwrap();
+        let r1 = execute(&f1, &args, &ExecOptions::default()).unwrap();
+        assert_eq!(r0.ret, r1.ret);
+        assert!(f1.insts.len() <= f0.insts.len());
+    }
+}

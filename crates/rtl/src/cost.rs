@@ -1,0 +1,209 @@
+//! Technology-independent area and delay models.
+//!
+//! The paper's claims are all *relative* (area explosion, bit-width
+//! savings, cycle-count ratios), so absolute accuracy is not the goal;
+//! internal consistency is. Area is measured in NAND2-equivalent gates and
+//! delay in nanoseconds of a generic 90 nm-ish standard-cell library:
+//!
+//! | resource | area (gates) | delay (ns) |
+//! |---|---|---|
+//! | add/sub (w bits) | `9w` | `0.05·(1+⌈log2 w⌉)` (carry-lookahead depth) |
+//! | multiply | `4.5·w²` | `0.05·(2+2·⌈log2 w⌉)` |
+//! | divide/modulo | `9·w²` | `0.05·w·2` (iterative array) |
+//! | compare | `3w` | `0.05·(1+⌈log2 w⌉)` |
+//! | bitwise | `w` | `0.05` |
+//! | shift (barrel) | `3·w·⌈log2 w⌉` | `0.05·⌈log2 w⌉` |
+//! | mux | `3w` | `0.07` |
+//! | register | `8w` | setup/cq folded into 0.1 overhead per cycle |
+//! | RAM (n×w) | `1.2·n·w + 12·⌈log2 n⌉` | `0.3 + 0.05·⌈log2 n⌉` read |
+//!
+//! Everything downstream (the scheduler's chaining decisions, the
+//! backends' reported Fmax, the experiment tables) pulls numbers from this
+//! one module.
+
+use chls_frontend::IntType;
+
+/// Operation classes the cost model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Addition or subtraction.
+    AddSub,
+    /// Multiplication.
+    Mul,
+    /// Division or remainder.
+    DivRem,
+    /// Comparison.
+    Cmp,
+    /// Bitwise logic (and/or/xor/not) and negation.
+    Logic,
+    /// Barrel shift.
+    Shift,
+    /// 2-to-1 multiplexer.
+    Mux,
+    /// Width conversion (free: wiring only).
+    Cast,
+    /// Memory read port access.
+    MemRead,
+    /// Memory write port access.
+    MemWrite,
+    /// Constant (free).
+    Const,
+}
+
+/// The area/delay model. The default is the table in the module docs;
+/// experiments that need skewed latencies (e.g. the asynchronous-circuit
+/// study) construct variants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Base gate delay in ns (one NAND2 level).
+    pub gate_delay_ns: f64,
+    /// Per-cycle sequential overhead (register clock-to-q + setup), ns.
+    pub sequential_overhead_ns: f64,
+    /// Multiplier applied to `DivRem` delay (models iterative dividers).
+    pub div_delay_scale: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            gate_delay_ns: 0.05,
+            sequential_overhead_ns: 0.1,
+            div_delay_scale: 1.0,
+        }
+    }
+}
+
+fn ceil_log2(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+impl CostModel {
+    /// Creates the default model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Combinational area of one operation at the given width, in
+    /// NAND2-equivalent gates.
+    pub fn area(&self, op: OpClass, width: u16) -> f64 {
+        let w = width as f64;
+        match op {
+            OpClass::AddSub => 9.0 * w,
+            OpClass::Mul => 4.5 * w * w,
+            OpClass::DivRem => 9.0 * w * w,
+            OpClass::Cmp => 3.0 * w,
+            OpClass::Logic => w,
+            OpClass::Shift => 3.0 * w * (ceil_log2(width as u64).max(1) as f64),
+            OpClass::Mux => 3.0 * w,
+            OpClass::Cast | OpClass::Const => 0.0,
+            // Port overhead only; storage is costed by `ram_area`.
+            OpClass::MemRead | OpClass::MemWrite => 2.0 * w,
+        }
+    }
+
+    /// Combinational delay of one operation at the given width, in ns.
+    pub fn delay(&self, op: OpClass, width: u16) -> f64 {
+        let lg = ceil_log2(width as u64).max(1) as f64;
+        let g = self.gate_delay_ns;
+        match op {
+            OpClass::AddSub => g * (1.0 + lg),
+            OpClass::Mul => g * (2.0 + 2.0 * lg),
+            OpClass::DivRem => g * (width as f64) * 2.0 * self.div_delay_scale,
+            OpClass::Cmp => g * (1.0 + lg),
+            OpClass::Logic => g,
+            OpClass::Shift => g * lg,
+            OpClass::Mux => g * 1.4,
+            OpClass::Cast | OpClass::Const => 0.0,
+            OpClass::MemRead => 0.0, // costed via `ram_read_delay`
+            OpClass::MemWrite => g,
+        }
+    }
+
+    /// Area of an `n`-word × `elem`-bit memory, in gates.
+    pub fn ram_area(&self, len: usize, elem: IntType) -> f64 {
+        1.2 * (len as f64) * (elem.width as f64) + 12.0 * (ceil_log2(len as u64).max(1) as f64)
+    }
+
+    /// Read-access delay of an `n`-word memory, in ns.
+    pub fn ram_read_delay(&self, len: usize) -> f64 {
+        0.3 + self.gate_delay_ns * (ceil_log2(len as u64).max(1) as f64)
+    }
+
+    /// Area of a `width`-bit register, in gates.
+    pub fn reg_area(&self, width: u16) -> f64 {
+        8.0 * width as f64
+    }
+
+    /// Latency of one operation in *time units* for the asynchronous
+    /// dataflow simulator (delay quantized to 10 ps units).
+    pub fn async_latency(&self, op: OpClass, width: u16) -> u64 {
+        let ns = match op {
+            OpClass::MemRead | OpClass::MemWrite => self.ram_read_delay(64),
+            other => self.delay(other, width),
+        };
+        ((ns * 100.0).round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_is_bigger_and_slower() {
+        let m = CostModel::new();
+        assert!(m.area(OpClass::AddSub, 32) > m.area(OpClass::AddSub, 8));
+        assert!(m.delay(OpClass::Mul, 32) > m.delay(OpClass::Mul, 8));
+        assert!(m.area(OpClass::Mul, 32) > m.area(OpClass::AddSub, 32));
+    }
+
+    #[test]
+    fn divider_dominates_delay() {
+        let m = CostModel::new();
+        assert!(m.delay(OpClass::DivRem, 32) > m.delay(OpClass::Mul, 32) * 3.0);
+    }
+
+    #[test]
+    fn casts_and_constants_are_free() {
+        let m = CostModel::new();
+        assert_eq!(m.area(OpClass::Cast, 32), 0.0);
+        assert_eq!(m.delay(OpClass::Const, 32), 0.0);
+    }
+
+    #[test]
+    fn bitwidth_area_scales_linearly_for_adders() {
+        let m = CostModel::new();
+        let a8 = m.area(OpClass::AddSub, 8);
+        let a32 = m.area(OpClass::AddSub, 32);
+        assert!((a32 / a8 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ram_area_grows_with_words_and_width() {
+        let m = CostModel::new();
+        let small = m.ram_area(16, IntType::new(8, false));
+        let big = m.ram_area(256, IntType::new(32, false));
+        assert!(big > small * 10.0);
+        assert!(m.ram_read_delay(1024) > m.ram_read_delay(16));
+    }
+
+    #[test]
+    fn async_latency_is_positive_and_ordered() {
+        let m = CostModel::new();
+        assert!(m.async_latency(OpClass::Logic, 8) >= 1);
+        assert!(m.async_latency(OpClass::DivRem, 32) > m.async_latency(OpClass::AddSub, 32));
+    }
+
+    #[test]
+    fn ceil_log2_edges() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+}

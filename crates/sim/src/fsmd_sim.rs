@@ -1,0 +1,356 @@
+//! Cycle-accurate simulator for FSMD designs.
+//!
+//! Each simulated cycle evaluates the current state's datapath expressions
+//! from the *current* register/memory contents, picks the next state, and
+//! then commits all actions simultaneously — matching both the Verilog the
+//! emitter produces and real registered hardware. The sampled return value
+//! likewise reads pre-commit values, so backends route results through a
+//! register that is stable before the `Done` state.
+
+use crate::interp::ArgValue;
+use chls_ir::{eval_bin, eval_un};
+use chls_rtl::fsmd::{ActionKind, Fsmd, NextState, Rv, RvKind};
+use std::fmt;
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FsmdSimError {
+    /// Memory access out of range.
+    OutOfBounds {
+        /// Memory name.
+        mem: String,
+        /// Offending address.
+        addr: i64,
+        /// Word count.
+        len: usize,
+    },
+    /// The cycle limit was exceeded.
+    CycleLimit(u64),
+    /// Missing or mistyped argument.
+    BadArgument(usize),
+}
+
+impl fmt::Display for FsmdSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmdSimError::OutOfBounds { mem, addr, len } => {
+                write!(f, "address {addr} out of range for memory `{mem}` (len {len})")
+            }
+            FsmdSimError::CycleLimit(n) => write!(f, "exceeded cycle limit of {n}"),
+            FsmdSimError::BadArgument(i) => write!(f, "missing or mistyped argument {i}"),
+        }
+    }
+}
+
+impl std::error::Error for FsmdSimError {}
+
+/// Result of simulating an FSMD to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsmdSimResult {
+    /// Sampled return value.
+    pub ret: Option<i64>,
+    /// Clock cycles from start to done (each visited state is one cycle).
+    pub cycles: u64,
+    /// Final contents of every memory.
+    pub mems: Vec<Vec<i64>>,
+}
+
+/// Simulates `f` with arguments bound by parameter index.
+///
+/// # Errors
+///
+/// See [`FsmdSimError`].
+pub fn simulate(
+    f: &Fsmd,
+    args: &[ArgValue],
+    max_cycles: u64,
+) -> Result<FsmdSimResult, FsmdSimError> {
+    // Bind inputs.
+    let mut inputs = vec![0i64; f.inputs.len()];
+    for (i, (_, ty)) in f.inputs.iter().enumerate() {
+        let p = f.input_params[i];
+        match args.get(p) {
+            Some(ArgValue::Scalar(v)) => inputs[i] = ty.canonicalize(*v),
+            _ => return Err(FsmdSimError::BadArgument(p)),
+        }
+    }
+    // Bind memories.
+    let mut mems: Vec<Vec<i64>> = Vec::with_capacity(f.mems.len());
+    for m in &f.mems {
+        let contents = if let Some(rom) = &m.rom {
+            let mut v = rom.clone();
+            v.resize(m.len, 0);
+            v
+        } else if let Some(p) = m.param_index {
+            match args.get(p) {
+                Some(ArgValue::Array(a)) => {
+                    let mut v = a.clone();
+                    v.resize(m.len, 0);
+                    v.iter_mut().for_each(|x| *x = m.elem.canonicalize(*x));
+                    v
+                }
+                _ => return Err(FsmdSimError::BadArgument(p)),
+            }
+        } else {
+            vec![0; m.len]
+        };
+        mems.push(contents);
+    }
+    let mut regs: Vec<i64> = f.regs.iter().map(|r| r.init).collect();
+
+    let mut state = f.entry;
+    let mut cycles: u64 = 0;
+    loop {
+        cycles += 1;
+        if cycles > max_cycles {
+            return Err(FsmdSimError::CycleLimit(max_cycles));
+        }
+        let st = f.state(state);
+
+        // Evaluate everything against the current state.
+        let mut reg_updates: Vec<(usize, i64)> = Vec::new();
+        let mut mem_updates: Vec<(usize, i64, i64)> = Vec::new();
+        for a in &st.actions {
+            if let Some(g) = &a.guard {
+                if eval_rv(f, g, &regs, &mems, &inputs)? == 0 {
+                    continue;
+                }
+            }
+            match &a.kind {
+                ActionKind::SetReg(r, rv) => {
+                    let v = eval_rv(f, rv, &regs, &mems, &inputs)?;
+                    reg_updates.push((r.0 as usize, f.regs[r.0 as usize].ty.canonicalize(v)));
+                }
+                ActionKind::MemWrite { mem, addr, value } => {
+                    let a = eval_rv(f, addr, &regs, &mems, &inputs)?;
+                    let v = eval_rv(f, value, &regs, &mems, &inputs)?;
+                    let mi = mem.0 as usize;
+                    if a < 0 || a as usize >= mems[mi].len() {
+                        return Err(FsmdSimError::OutOfBounds {
+                            mem: f.mems[mi].name.clone(),
+                            addr: a,
+                            len: mems[mi].len(),
+                        });
+                    }
+                    mem_updates.push((mi, a, f.mems[mi].elem.canonicalize(v)));
+                }
+            }
+        }
+        let next = match &st.next {
+            NextState::Goto(t) => Some(*t),
+            NextState::Branch { cond, then, els } => {
+                let c = eval_rv(f, cond, &regs, &mems, &inputs)?;
+                Some(if c != 0 { *then } else { *els })
+            }
+            NextState::Cases { cases, default } => {
+                let mut target = *default;
+                for (c, t) in cases {
+                    if eval_rv(f, c, &regs, &mems, &inputs)? != 0 {
+                        target = *t;
+                        break;
+                    }
+                }
+                Some(target)
+            }
+            NextState::Done => None,
+        };
+        let ret = if next.is_none() {
+            match &f.ret {
+                Some(rv) => Some(eval_rv(f, rv, &regs, &mems, &inputs)?),
+                None => None,
+            }
+        } else {
+            None
+        };
+
+        // Commit simultaneously.
+        for (r, v) in reg_updates {
+            regs[r] = v;
+        }
+        for (m, a, v) in mem_updates {
+            mems[m][a as usize] = v;
+        }
+
+        match next {
+            Some(t) => state = t,
+            None => return Ok(FsmdSimResult { ret, cycles, mems }),
+        }
+    }
+}
+
+fn eval_rv(
+    f: &Fsmd,
+    rv: &Rv,
+    regs: &[i64],
+    mems: &[Vec<i64>],
+    inputs: &[i64],
+) -> Result<i64, FsmdSimError> {
+    Ok(match &rv.kind {
+        RvKind::Const(v) => rv.ty.canonicalize(*v),
+        RvKind::Reg(r) => regs[r.0 as usize],
+        RvKind::Input(i) => inputs[*i],
+        RvKind::Un(op, a) => eval_un(*op, rv.ty, eval_rv(f, a, regs, mems, inputs)?),
+        RvKind::Bin(op, a, b) => {
+            let av = eval_rv(f, a, regs, mems, inputs)?;
+            let bv = eval_rv(f, b, regs, mems, inputs)?;
+            let ety = if op.is_comparison() { a.ty } else { rv.ty };
+            eval_bin(*op, ety, av, bv)
+        }
+        RvKind::Mux(s, a, b) => {
+            if eval_rv(f, s, regs, mems, inputs)? != 0 {
+                eval_rv(f, a, regs, mems, inputs)?
+            } else {
+                eval_rv(f, b, regs, mems, inputs)?
+            }
+        }
+        RvKind::Cast(a) => rv.ty.canonicalize(eval_rv(f, a, regs, mems, inputs)?),
+        RvKind::MemRead { mem, addr } => {
+            let a = eval_rv(f, addr, regs, mems, inputs)?;
+            let mi = mem.0 as usize;
+            if a < 0 || a as usize >= mems[mi].len() {
+                return Err(FsmdSimError::OutOfBounds {
+                    mem: f.mems[mi].name.clone(),
+                    addr: a,
+                    len: mems[mi].len(),
+                });
+            }
+            mems[mi][a as usize]
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chls_frontend::IntType;
+    use chls_rtl::builder::FsmdBuilder;
+
+    fn ty32() -> IntType {
+        IntType::new(32, true)
+    }
+
+    /// GCD built by hand with the Ocapi-style builder, then simulated.
+    fn gcd_fsmd() -> Fsmd {
+        let mut b = FsmdBuilder::new("gcd");
+        let ain = b.input("a_in", ty32(), 0);
+        let bin = b.input("b_in", ty32(), 1);
+        let a = b.reg("a", ty32(), 0);
+        let breg = b.reg("b", ty32(), 0);
+        let s_load = b.state();
+        let s_loop = b.state();
+        let s_done = b.state();
+        b.at(s_load).set(a, ain).set(breg, bin).goto(s_loop);
+        // loop: if b == 0 -> done else { a <= b; b <= a % b; }. The
+        // updates are mux-gated on the exit condition because actions
+        // commit in every visited state, including the exiting one.
+        let b_is_zero = b.eq(b.get(breg), Rv::konst(0, ty32()));
+        let rem = Rv::bin(chls_ir::BinKind::Rem, ty32(), b.get(a), b.get(breg));
+        let a_next = b.mux(b_is_zero.clone(), b.get(a), b.get(breg));
+        let b_next = b.mux(b_is_zero.clone(), b.get(breg), rem);
+        b.at(s_loop)
+            .set(a, a_next)
+            .set(breg, b_next)
+            .branch(b_is_zero, s_done, s_loop);
+        b.at(s_done).done();
+        let result = b.get(a);
+        b.returning(result).finish()
+    }
+
+    #[test]
+    fn gcd_computes_and_counts_cycles() {
+        let f = gcd_fsmd();
+        let r = simulate(&f, &[ArgValue::Scalar(48), ArgValue::Scalar(36)], 10_000)
+            .expect("simulation ok");
+        assert_eq!(r.ret, Some(12));
+        assert!(r.cycles >= 4 && r.cycles < 20, "cycles = {}", r.cycles);
+    }
+
+    #[test]
+    fn simultaneous_commit_swap_semantics() {
+        // In s_loop, `a <= b` and `b <= a % b` both see the OLD a and b.
+        let f = gcd_fsmd();
+        let r = simulate(&f, &[ArgValue::Scalar(7), ArgValue::Scalar(3)], 1000).unwrap();
+        assert_eq!(r.ret, Some(1));
+    }
+
+    #[test]
+    fn memory_write_then_read_next_cycle() {
+        let ty = ty32();
+        let mut b = FsmdBuilder::new("m");
+        let mem = b.mem("buf", ty, 4);
+        let r = b.reg("r", ty, 0);
+        let s0 = b.state();
+        let s1 = b.state();
+        b.at(s0)
+            .write(mem, Rv::konst(2, ty), Rv::konst(99, ty))
+            .goto(s1);
+        let rd = b.read(mem, Rv::konst(2, ty));
+        b.at(s1).set(r, rd).done();
+        let result = b.get(r);
+        let f = b.returning(result).finish();
+        let out = simulate(&f, &[], 100).unwrap();
+        assert_eq!(out.mems[0], vec![0, 0, 99, 0]);
+        // ret samples r pre-commit in s1, so it still reads 0.
+        assert_eq!(out.ret, Some(0));
+        assert_eq!(out.cycles, 2);
+    }
+
+    #[test]
+    fn cycle_limit_detects_livelock() {
+        let mut b = FsmdBuilder::new("spin");
+        let s0 = b.state();
+        b.at(s0).goto(s0);
+        let f = b.finish();
+        let err = simulate(&f, &[], 50).unwrap_err();
+        assert!(matches!(err, FsmdSimError::CycleLimit(50)));
+    }
+
+    #[test]
+    fn rom_contents_visible() {
+        let ty = ty32();
+        let mut b = FsmdBuilder::new("rom");
+        let rom = b.rom("tab", ty, vec![7, 8, 9]);
+        let r = b.reg("r", ty, 0);
+        let s0 = b.state();
+        let s1 = b.state();
+        let rd = b.read(rom, Rv::konst(1, ty));
+        b.at(s0).set(r, rd).goto(s1);
+        b.at(s1).done();
+        let result = b.get(r);
+        let f = b.returning(result).finish();
+        let out = simulate(&f, &[], 100).unwrap();
+        assert_eq!(out.ret, Some(8));
+    }
+
+    #[test]
+    fn out_of_bounds_write_detected() {
+        let ty = ty32();
+        let mut b = FsmdBuilder::new("oob");
+        let mem = b.mem("buf", ty, 4);
+        let s0 = b.state();
+        b.at(s0)
+            .write(mem, Rv::konst(9, ty), Rv::konst(1, ty))
+            .done();
+        let f = b.finish();
+        let err = simulate(&f, &[], 100).unwrap_err();
+        assert!(matches!(err, FsmdSimError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn array_param_binding_initializes_memory() {
+        let ty = ty32();
+        let mut b = FsmdBuilder::new("arr");
+        let mem = b.mem("a", ty, 4);
+        let s0 = b.state();
+        b.at(s0)
+            .write(mem, Rv::konst(0, ty), Rv::konst(-1, ty))
+            .done();
+        let mut f = b.finish();
+        f.mems[0].param_index = Some(0);
+        let _ = mem;
+        let out = simulate(&f, &[ArgValue::Array(vec![10, 20, 30, 40])], 100).unwrap();
+        assert_eq!(out.mems[0], vec![-1, 20, 30, 40]);
+    }
+
+    use chls_rtl::fsmd::Rv;
+}

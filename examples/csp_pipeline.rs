@@ -1,0 +1,78 @@
+//! Explicit concurrency, Handel-C style: a three-stage producer /
+//! transformer / consumer pipeline over rendezvous channels, compared
+//! with the same computation written sequentially.
+//!
+//! ```sh
+//! cargo run --example csp_pipeline
+//! ```
+
+use chls::{backend_by_name, simulate_design, Compiler, SynthOptions};
+
+const PIPELINE: &str = "
+    int run() {
+        chan<int> raw;
+        chan<int> squared;
+        int total = 0;
+        par {
+            { for (int i = 1; i <= 8; i++) send(raw, i); }
+            { for (int j = 0; j < 8; j++) { int v = recv(raw); send(squared, v * v); } }
+            { for (int k = 0; k < 8; k++) total = total + recv(squared); }
+        }
+        return total;
+    }
+";
+
+const SEQUENTIAL: &str = "
+    int run() {
+        int total = 0;
+        for (int i = 1; i <= 8; i++) {
+            int v = i;
+            int sq = v * v;
+            total = total + sq;
+        }
+        return total;
+    }
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let backend = backend_by_name("handelc").expect("registered");
+    let opts = SynthOptions::default();
+
+    let pipe = Compiler::parse(PIPELINE)?;
+    let golden = pipe.interpret("run", &[])?;
+    println!("golden (threaded interpreter): {:?}", golden.ret.unwrap());
+
+    let d_pipe = pipe.synthesize(backend.as_ref(), "run", &opts)?;
+    let r_pipe = simulate_design(&d_pipe, &[])?;
+
+    let seq = Compiler::parse(SEQUENTIAL)?;
+    let d_seq = seq.synthesize(backend.as_ref(), "run", &opts)?;
+    let r_seq = simulate_design(&d_seq, &[])?;
+
+    assert_eq!(r_pipe.ret, golden.ret);
+    assert_eq!(r_seq.ret, golden.ret);
+    println!(
+        "three-stage CSP pipeline: sum of squares 1..8 = {} in {} cycles",
+        r_pipe.ret.unwrap(),
+        r_pipe.cycles.unwrap()
+    );
+    println!(
+        "same computation, sequential: {} in {} cycles",
+        r_seq.ret.unwrap(),
+        r_seq.cycles.unwrap()
+    );
+    println!(
+        "\nThe pipeline overlaps its stages; once primed, one result pops\n\
+         out per producer step. This is the concurrency the paper says the\n\
+         programmer must *write* — the compiler never invents processes."
+    );
+    // The FSMD product machine for the pipeline is also a nice artifact:
+    let fsmd = d_pipe.as_fsmd().expect("clocked");
+    println!(
+        "\nproduct machine: {} states, {} registers, {} channels synchronized",
+        fsmd.states.len(),
+        fsmd.regs.len(),
+        2
+    );
+    Ok(())
+}

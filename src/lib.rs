@@ -1,0 +1,2 @@
+//! Umbrella crate for workspace-level examples and integration tests.
+pub use chls;
