@@ -1,0 +1,211 @@
+//! `bench_sim` — the dependency-free performance harness behind
+//! `BENCH_sim.json`.
+//!
+//! Criterion stays confined to `cargo bench`; this binary runs on the
+//! default build path (`cargo run --release -p chls-bench --bin bench_sim`)
+//! and emits a small JSON report at the repository root so every PR can
+//! reproduce and track the simulator-throughput trajectory:
+//!
+//! * `fsmd_mac` — a hand-built multi-million-cycle FSMD MAC/hash loop
+//!   (register transfers, a memory read and write, shared subexpressions
+//!   every cycle). This is the headline cycles/sec number.
+//! * `fsmd_crc32` — the synthesized (c2v) crc32 benchmark kernel,
+//!   simulated repeatedly: the realistic backend-emitted FSMD shape.
+//! * `netlist_wide` — a wide combinational netlist driven through
+//!   `simulate_design`, exercising the many-output-ports driver path.
+//! * `conformance` — wall time of the full benchmark-suite conformance
+//!   sweep at `CHLS_JOBS=1` and at the host's parallelism.
+//!
+//! All workloads use only stable public APIs, so the identical harness
+//! compiles against the seed simulators — the `baseline` block below
+//! records its measurements at the seed commit on this machine.
+
+use chls::interp::ArgValue;
+use chls::{benchmarks, check_conformance, simulate_design, Compiler, Design, SynthOptions};
+use chls_frontend::IntType;
+use chls_ir::BinKind;
+use chls_rtl::builder::FsmdBuilder;
+use chls_rtl::fsmd::{Fsmd, Rv};
+use chls_rtl::netlist::{CellKind, Netlist};
+use std::time::Instant;
+
+/// Cycle count of the synthetic MAC workload.
+const MAC_CYCLES: u64 = 2_000_000;
+
+/// Seed-commit measurements from this same harness (recorded before the
+/// hot-path overhaul; see CHANGES.md). Used to report speedups.
+mod baseline {
+    /// `fsmd_mac` cycles/sec at the seed commit.
+    pub const FSMD_MAC_CPS: f64 = 3_624_476.0;
+    /// `fsmd_crc32` cycles/sec at the seed commit.
+    pub const FSMD_CRC32_CPS: f64 = 15_431_001.0;
+    /// `netlist_wide` design-evaluations/sec at the seed commit.
+    pub const NETLIST_WIDE_EPS: f64 = 5_438.0;
+    /// Conformance sweep wall seconds at the seed commit (sequential).
+    pub const CONFORMANCE_S: f64 = 0.0191;
+}
+
+/// The synthetic workload: per cycle one memory read, one memory write,
+/// three register transfers, and a handful of shared subexpressions.
+fn mac_fsmd(n: u64) -> Fsmd {
+    let ty = IntType::new(32, true);
+    let mut b = FsmdBuilder::new("mac");
+    let mem = b.mem("buf", ty, 256);
+    let i = b.reg("i", ty, 0);
+    let acc = b.reg("acc", ty, 1);
+    let s_loop = b.state();
+    let s_done = b.state();
+    let idx = Rv::bin(BinKind::And, ty, b.get(i), b.konst(255, ty));
+    let v = b.read(mem, idx.clone());
+    let scale = Rv::bin(BinKind::And, ty, b.get(i), b.konst(15, ty));
+    let shifted = Rv::bin(BinKind::Shr, ty, b.get(acc), b.konst(3, ty));
+    let acc_next = b.add(b.add(b.get(acc), b.mul(v.clone(), scale)), shifted);
+    let stored = Rv::bin(BinKind::Xor, ty, acc_next.clone(), v);
+    let done = b.eq(b.get(i), b.konst(n as i64 - 1, ty));
+    let i_next = b.add(b.get(i), b.konst(1, ty));
+    b.at(s_loop)
+        .set(acc, acc_next)
+        .write(mem, idx, stored)
+        .set(i, i_next)
+        .branch(done, s_done, s_loop);
+    b.at(s_done).done();
+    let ret = b.get(acc);
+    b.returning(ret).finish()
+}
+
+/// A wide combinational design in the driver's `arg{i}_{j}`/`out{i}_{j}`
+/// port convention: 64 array elements in, 64 outputs, each output a small
+/// expression over several inputs.
+fn wide_netlist(width: usize) -> Netlist {
+    let ty = IntType::new(32, false);
+    let mut nl = Netlist::new("wide");
+    let inputs: Vec<_> = (0..width)
+        .map(|j| {
+            nl.add(
+                CellKind::Input {
+                    name: format!("arg0_{j}"),
+                },
+                ty,
+            )
+        })
+        .collect();
+    let mut acc = inputs[0];
+    for (j, &inp) in inputs.iter().enumerate() {
+        let x = nl.add(CellKind::Bin(BinKind::Xor, acc, inp), ty);
+        let y = nl.add(
+            CellKind::Bin(BinKind::Add, x, inputs[(j + 7) % width]),
+            ty,
+        );
+        nl.set_output(format!("out0_{j}"), y);
+        acc = y;
+    }
+    nl.set_output("ret", acc);
+    nl
+}
+
+/// Best-of-`reps` wall time for `f`, in seconds.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn conformance_sweep() -> usize {
+    let mut verdicts = 0;
+    for bench in benchmarks() {
+        let results =
+            check_conformance(bench.source, bench.entry, &bench.args).expect("golden runs");
+        verdicts += results.len();
+    }
+    verdicts
+}
+
+fn speedup(now: f64, before: f64) -> f64 {
+    if before > 0.0 {
+        now / before
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| format!("{}/../../BENCH_sim.json", env!("CARGO_MANIFEST_DIR")));
+
+    // fsmd_mac: the headline multi-million-cycle workload.
+    let mac = mac_fsmd(MAC_CYCLES);
+    let (mac_s, mac_r) = best_of(3, || {
+        chls_sim::fsmd_sim::simulate(&mac, &[], MAC_CYCLES + 10).expect("simulates")
+    });
+    assert_eq!(mac_r.cycles, MAC_CYCLES + 1); // +1 for the done state
+    let mac_cps = mac_r.cycles as f64 / mac_s;
+
+    // fsmd_crc32: the synthesized shape.
+    let bench = chls::benchmark("crc32").expect("exists");
+    let compiler = Compiler::parse(bench.source).expect("parses");
+    let c2v = chls::backend_by_name("c2v").expect("registered");
+    let design = compiler
+        .synthesize(c2v.as_ref(), bench.entry, &SynthOptions::default())
+        .expect("synthesizes");
+    let crc_fsmd = match &design {
+        Design::Fsmd(f) => f,
+        _ => unreachable!("c2v emits FSMDs"),
+    };
+    const CRC_REPS: u64 = 400;
+    let (crc_s, crc_cycles) = best_of(3, || {
+        let mut cycles = 0;
+        for _ in 0..CRC_REPS {
+            cycles += chls_sim::fsmd_sim::simulate(crc_fsmd, &bench.args, 5_000_000)
+                .expect("simulates")
+                .cycles;
+        }
+        cycles
+    });
+    let crc_cps = crc_cycles as f64 / crc_s;
+
+    // netlist_wide: many output ports through the driver path.
+    let nl = wide_netlist(64);
+    let wide_design = Design::Comb(nl);
+    let wide_args = [ArgValue::Array((0..64).map(|i| i * 3 + 1).collect())];
+    const WIDE_REPS: usize = 2_000;
+    let (wide_s, _) = best_of(3, || {
+        for _ in 0..WIDE_REPS {
+            simulate_design(&wide_design, &wide_args).expect("simulates");
+        }
+    });
+    let wide_eps = WIDE_REPS as f64 / wide_s;
+
+    // Conformance sweep, sequential then parallel. CHLS_JOBS is read by
+    // the (post-overhaul) parallel driver and ignored by the seed one.
+    std::env::set_var("CHLS_JOBS", "1");
+    let (conf1_s, verdicts) = best_of(2, conformance_sweep);
+    std::env::remove_var("CHLS_JOBS");
+    let (confn_s, _) = best_of(2, conformance_sweep);
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let json = format!(
+        "{{\n  \
+         \"harness\": \"bench_sim\",\n  \
+         \"fsmd_mac\": {{\"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}, \"baseline_cycles_per_sec\": {:.0}, \"speedup\": {:.2}}},\n  \
+         \"fsmd_crc32\": {{\"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}, \"baseline_cycles_per_sec\": {:.0}, \"speedup\": {:.2}}},\n  \
+         \"netlist_wide\": {{\"ports\": 65, \"evals\": {}, \"wall_s\": {:.4}, \"evals_per_sec\": {:.0}, \"baseline_evals_per_sec\": {:.0}, \"speedup\": {:.2}}},\n  \
+         \"conformance\": {{\"verdicts\": {}, \"wall_s_jobs1\": {:.4}, \"wall_s_jobsN\": {:.4}, \"host_jobs\": {}, \"baseline_wall_s\": {:.4}}}\n\
+         }}\n",
+        mac_r.cycles, mac_s, mac_cps, baseline::FSMD_MAC_CPS, speedup(mac_cps, baseline::FSMD_MAC_CPS),
+        crc_cycles, crc_s, crc_cps, baseline::FSMD_CRC32_CPS, speedup(crc_cps, baseline::FSMD_CRC32_CPS),
+        WIDE_REPS, wide_s, wide_eps, baseline::NETLIST_WIDE_EPS, speedup(wide_eps, baseline::NETLIST_WIDE_EPS),
+        verdicts, conf1_s, confn_s, jobs, baseline::CONFORMANCE_S,
+    );
+    std::fs::write(&out_path, &json).expect("writes BENCH_sim.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

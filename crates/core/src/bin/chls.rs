@@ -14,13 +14,17 @@
 //! `synth` and `verilog` accept `--pipeline` (hardware loop pipelining)
 //! and `--narrow` (width-analysis-driven register/datapath narrowing)
 //! before the backend name, where the backend supports them.
+//! `check` accepts `--jobs N` to run backends on N worker threads
+//! (default: the `CHLS_JOBS` environment variable, else all cores);
+//! verdict order and content are identical at any job count.
 //!
 //! Scalar arguments are integers; array arguments are comma-separated
 //! lists like `1,2,3,4`.
 
 use chls::interp::ArgValue;
 use chls::{
-    backend_by_name, check_conformance, simulate_design, Compiler, Design, SynthOptions, Verdict,
+    backend_by_name, check_conformance_with_jobs, conformance_jobs, simulate_design, Compiler,
+    Design, SynthOptions, Verdict,
 };
 use chls_rtl::CostModel;
 use std::process::ExitCode;
@@ -28,7 +32,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  chls backends\n  chls run <file> <entry> [args...]\n  \
-         chls check <file> <entry> [args...]\n  chls ir <file> <entry>\n  \
+         chls check [--jobs N] <file> <entry> [args...]\n  chls ir <file> <entry>\n  \
          chls synth [--pipeline] [--narrow] <backend> <file> <entry> [args...]\n  \
          chls verilog [--pipeline] [--narrow] <backend> <file> <entry>\n  \
          chls equiv <fileA> <entryA> <fileB> <entryB>\n\n\
@@ -63,6 +67,15 @@ fn main() -> ExitCode {
     let pipeline = argv.iter().any(|a| a == "--pipeline");
     let narrow = argv.iter().any(|a| a == "--narrow");
     argv.retain(|a| a != "--pipeline" && a != "--narrow");
+    let mut jobs: Option<usize> = None;
+    if let Some(i) = argv.iter().position(|a| a == "--jobs") {
+        let Some(n) = argv.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+            eprintln!("--jobs needs a positive integer");
+            return ExitCode::FAILURE;
+        };
+        jobs = Some(n.max(1));
+        argv.drain(i..=i + 1);
+    }
     let mut it = argv.iter();
     let Some(cmd) = it.next() else { return usage() };
     match cmd.as_str() {
@@ -124,7 +137,12 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match check_conformance(&src, entry, &args) {
+            match check_conformance_with_jobs(
+                &src,
+                entry,
+                &args,
+                jobs.unwrap_or_else(conformance_jobs),
+            ) {
                 Err(e) => {
                     eprintln!("{e}");
                     ExitCode::FAILURE

@@ -128,20 +128,20 @@ pub fn simulate_design(design: &Design, args: &[ArgValue]) -> Result<SimOutcome,
                     }
                 }
             }
-            let ret = if nl.outputs.iter().any(|(n, _)| n == "ret") {
-                Some(sim.output("ret").map_err(|e| SimulateError(e.to_string()))?)
-            } else {
-                None
-            };
-            // Array write-backs from out{i}_{j} ports.
+            // One evaluation serves every output port (the per-port
+            // `output()` path would re-run the full combinational eval
+            // per port — quadratic in ports × netlist).
+            let ports = sim
+                .eval_outputs()
+                .map_err(|e| SimulateError(e.to_string()))?;
+            let mut ret = None;
             let mut arrays: HashMap<usize, Vec<(usize, i64)>> = HashMap::new();
-            for (name, _) in &nl.outputs {
-                if let Some(rest) = name.strip_prefix("out") {
+            for (name, v) in ports {
+                if name == "ret" {
+                    ret = Some(v);
+                } else if let Some(rest) = name.strip_prefix("out") {
                     if let Some((pi, ei)) = rest.split_once('_') {
                         if let (Ok(pi), Ok(ei)) = (pi.parse::<usize>(), ei.parse::<usize>()) {
-                            let v = sim
-                                .output(name)
-                                .map_err(|e| SimulateError(e.to_string()))?;
                             arrays.entry(pi).or_default().push((ei, v));
                         }
                     }
@@ -233,7 +233,144 @@ pub enum Verdict {
     Error(String),
 }
 
-/// Checks every registered backend against the golden interpreter.
+/// One backend's full conformance run: synthesize, simulate, compare
+/// against the golden interpreter result.
+fn run_one(
+    compiler: &Compiler,
+    golden: &interp::InterpResult,
+    backend: &dyn Backend,
+    entry: &str,
+    args: &[ArgValue],
+    opts: &SynthOptions,
+) -> Verdict {
+    match compiler.synthesize(backend, entry, opts) {
+        Err(
+            e @ (SynthError::Unsupported { .. } | SynthError::Loop(_) | SynthError::Transform(_)),
+        ) => Verdict::Unsupported(e.to_string()),
+        Err(e) => Verdict::Error(e.to_string()),
+        Ok(design) => match simulate_design(&design, args) {
+            Err(e) => Verdict::Error(e.to_string()),
+            Ok(outcome) => {
+                let ret_ok = outcome.ret == golden.ret;
+                let arrays_ok = outcome.arrays == golden.arrays;
+                if ret_ok && arrays_ok {
+                    Verdict::Pass {
+                        cycles: outcome.cycles,
+                        time_units: outcome.time_units,
+                    }
+                } else {
+                    Verdict::Mismatch {
+                        got: format!("ret={:?} arrays={:?}", outcome.ret, outcome.arrays),
+                        expected: format!("ret={:?} arrays={:?}", golden.ret, golden.arrays),
+                    }
+                }
+            }
+        },
+    }
+}
+
+/// The conformance driver's degree of parallelism: the `CHLS_JOBS`
+/// environment variable when set to a positive integer, otherwise the
+/// host's available parallelism.
+pub fn conformance_jobs() -> usize {
+    if let Ok(v) = std::env::var("CHLS_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Checks every registered backend against the golden interpreter,
+/// fanning the (independent) backends out over `jobs` OS threads.
+///
+/// Results are returned in backend-registry order regardless of `jobs`,
+/// so the verdict list is byte-identical to a sequential run.
+///
+/// # Errors
+///
+/// Fails only if the golden interpreter itself cannot run the program.
+pub fn check_conformance_with_jobs(
+    source: &str,
+    entry: &str,
+    args: &[ArgValue],
+    jobs: usize,
+) -> Result<Vec<(&'static str, Verdict)>, String> {
+    let compiler = Compiler::parse(source).map_err(|e| e.to_string())?;
+    let golden = compiler
+        .interpret(entry, args)
+        .map_err(|e| e.to_string())?;
+    let opts = SynthOptions::default();
+    let backends = crate::registry::backends();
+    let n = backends.len();
+    if jobs <= 1 || n <= 1 {
+        let out = backends
+            .iter()
+            .map(|b| {
+                (
+                    b.info().name,
+                    run_one(&compiler, &golden, b.as_ref(), entry, args, &opts),
+                )
+            })
+            .collect();
+        return Ok(out);
+    }
+
+    // Fan out with scoped threads (no extra dependencies). Work is
+    // claimed by atomic index so a slow backend doesn't serialize the
+    // rest; each worker builds its own backend instances (`Box<dyn
+    // Backend>` is not `Send`) and returns indexed verdicts that are
+    // merged back into registry order.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(n);
+    let mut slots: Vec<Option<(&'static str, Verdict)>> = Vec::new();
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            let compiler = &compiler;
+            let golden = &golden;
+            let opts = &opts;
+            handles.push(scope.spawn(move || {
+                let my_backends = crate::registry::backends();
+                let mut mine: Vec<(usize, &'static str, Verdict)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= my_backends.len() {
+                        break;
+                    }
+                    let b = &my_backends[i];
+                    let v = run_one(compiler, golden, b.as_ref(), entry, args, opts);
+                    mine.push((i, b.info().name, v));
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(mine) => {
+                    for (i, name, v) in mine {
+                        slots[i] = Some((name, v));
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every backend index was claimed exactly once"))
+        .collect())
+}
+
+/// Checks every registered backend against the golden interpreter, using
+/// [`conformance_jobs`] worker threads.
 ///
 /// # Errors
 ///
@@ -243,44 +380,5 @@ pub fn check_conformance(
     entry: &str,
     args: &[ArgValue],
 ) -> Result<Vec<(&'static str, Verdict)>, String> {
-    let compiler = Compiler::parse(source).map_err(|e| e.to_string())?;
-    let golden = compiler
-        .interpret(entry, args)
-        .map_err(|e| e.to_string())?;
-    let opts = SynthOptions::default();
-    let mut out = Vec::new();
-    for backend in crate::registry::backends() {
-        let name = backend.info().name;
-        let verdict = match compiler.synthesize(backend.as_ref(), entry, &opts) {
-            Err(
-                e @ (SynthError::Unsupported { .. }
-                | SynthError::Loop(_)
-                | SynthError::Transform(_)),
-            ) => Verdict::Unsupported(e.to_string()),
-            Err(e) => Verdict::Error(e.to_string()),
-            Ok(design) => match simulate_design(&design, args) {
-                Err(e) => Verdict::Error(e.to_string()),
-                Ok(outcome) => {
-                    let ret_ok = outcome.ret == golden.ret;
-                    let arrays_ok = outcome.arrays == golden.arrays;
-                    if ret_ok && arrays_ok {
-                        Verdict::Pass {
-                            cycles: outcome.cycles,
-                            time_units: outcome.time_units,
-                        }
-                    } else {
-                        Verdict::Mismatch {
-                            got: format!("ret={:?} arrays={:?}", outcome.ret, outcome.arrays),
-                            expected: format!(
-                                "ret={:?} arrays={:?}",
-                                golden.ret, golden.arrays
-                            ),
-                        }
-                    }
-                }
-            },
-        };
-        out.push((name, verdict));
-    }
-    Ok(out)
+    check_conformance_with_jobs(source, entry, args, conformance_jobs())
 }

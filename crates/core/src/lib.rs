@@ -38,7 +38,10 @@ pub mod report;
 
 pub use chls_backends::{Backend, BackendInfo, Design, SynthError, SynthOptions};
 pub use chls_sim::interp;
-pub use driver::{check_conformance, simulate_design, Compiler, SimOutcome, SimulateError, Verdict};
+pub use driver::{
+    check_conformance, check_conformance_with_jobs, conformance_jobs, simulate_design, Compiler,
+    SimOutcome, SimulateError, Verdict,
+};
 pub use programs::{benchmark, benchmarks, Benchmark};
 pub use registry::{backend_by_name, backends, taxonomy_table};
 pub use report::{fnum, Table};

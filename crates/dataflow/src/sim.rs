@@ -10,11 +10,21 @@
 //! Latencies come from the shared [`CostModel`] (`async_latency`), so the
 //! async-vs-sync experiment can skew them (e.g. slow dividers) for both
 //! worlds consistently.
+//!
+//! # Hot path
+//!
+//! Firing rates run to millions of events per run, so the event loop
+//! avoids hashing and per-event allocation: input-port → queue lookups
+//! go through a dense per-node port table, in-flight input values live
+//! in a free-listed slab indexed by the event (recycling each `Vec`'s
+//! capacity), selector streams and merge dependents are per-node
+//! vectors, and comparison operand types are resolved once up front
+//! instead of scanning the edge list at every binary firing.
 
 use crate::graph::{DataflowGraph, NodeId, NodeKind};
 use chls_ir::{eval_bin, eval_cast, eval_un};
 use chls_rtl::cost::CostModel;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 /// An argument bound to a parameter.
@@ -124,39 +134,36 @@ pub fn simulate(
     opts: &TokenSimOptions,
 ) -> Result<TokenSimResult, TokenSimError> {
     let n = g.nodes.len();
-    // Index edges: per node, input edges by port; per node, output edge
-    // lists (value outputs and token outputs).
-    let mut in_edges: HashMap<(NodeId, u8), usize> = HashMap::new();
+    // Dense per-node input-port table: queue index (or `NO_EDGE`) at
+    // `in_edge_idx[port_base[node] + port]`.
+    const NO_EDGE: u32 = u32::MAX;
+    let arities: Vec<u8> = (0..n).map(|i| g.arity(NodeId(i as u32))).collect();
+    let mut port_base: Vec<u32> = Vec::with_capacity(n);
+    let mut acc: u32 = 0;
+    for &a in &arities {
+        port_base.push(acc);
+        acc += u32::from(a);
+    }
+    let mut in_edge_idx: Vec<u32> = vec![NO_EDGE; acc as usize];
+    // Per node, output edge lists (value outputs and token outputs), and
+    // each queue's consumer for candidate wakeup.
     let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut tok_out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let all_edges: Vec<(usize, bool)> = g
+    let mut queue_to: Vec<NodeId> = Vec::new();
+    let mut queues: Vec<EdgeQueue> = Vec::new();
+    let all_edges = g
         .edges
         .iter()
-        .enumerate()
-        .map(|(i, _)| (i, false))
-        .chain(
-            g.token_edges
-                .iter()
-                .enumerate()
-                .map(|(i, _)| (i, true)),
-        )
-        .collect();
-    let edge_of = |idx: usize, is_tok: bool| -> crate::graph::Edge {
-        if is_tok {
-            g.token_edges[idx]
-        } else {
-            g.edges[idx]
-        }
-    };
-    let mut queues: Vec<EdgeQueue> = Vec::with_capacity(all_edges.len());
-    for (k, &(idx, is_tok)) in all_edges.iter().enumerate() {
-        let e = edge_of(idx, is_tok);
-        in_edges.insert((e.to, e.port), k);
+        .map(|e| (e, false))
+        .chain(g.token_edges.iter().map(|e| (e, true)));
+    for (k, (e, is_tok)) in all_edges.enumerate() {
+        in_edge_idx[(port_base[e.to.0 as usize] + u32::from(e.port)) as usize] = k as u32;
         if is_tok {
             tok_out_edges[e.from.0 as usize].push(k);
         } else {
             out_edges[e.from.0 as usize].push(k);
         }
+        queue_to.push(e.to);
         // A sticky producer's value edges are sticky cells; its token
         // edges (loads are never sticky) stay FIFOs.
         if !is_tok && g.sticky[e.from.0 as usize] {
@@ -165,6 +172,33 @@ pub fn simulate(
             queues.push(EdgeQueue::Fifo(VecDeque::new()));
         }
     }
+    // Comparison operands are typed by their producer, not the (u1)
+    // result; resolve once instead of scanning edges per firing.
+    let mut bin_ety: Vec<chls_frontend::IntType> = g.nodes.iter().map(|nd| nd.ty).collect();
+    {
+        let mut resolved = vec![false; n];
+        for e in &g.edges {
+            let ti = e.to.0 as usize;
+            if e.port == 0 && !resolved[ti] {
+                if let NodeKind::Bin(op) = g.nodes[ti].kind {
+                    if op.is_comparison() {
+                        bin_ety[ti] = g.nodes[e.from.0 as usize].ty;
+                        resolved[ti] = true;
+                    }
+                }
+            }
+        }
+    }
+    // A node fed exclusively by sticky cells never runs out of inputs;
+    // precompute to stop the fire loop from spinning on one.
+    let sticky_fed: Vec<bool> = (0..n)
+        .map(|i| {
+            (0..arities[i]).all(|p| {
+                let qi = in_edge_idx[port_base[i] as usize + p as usize];
+                qi != NO_EDGE && matches!(queues[qi as usize], EdgeQueue::Sticky(_))
+            })
+        })
+        .collect();
 
     // Memories.
     let mut mems: Vec<Vec<i64>> = Vec::with_capacity(g.mems.len());
@@ -189,9 +223,9 @@ pub fn simulate(
         mems.push(contents);
     }
 
-    // Event queue: (completion time, seq, node, consumed inputs).
+    // Event queue: (completion time, seq, node, input-slab slot).
     #[derive(PartialEq, Eq)]
-    struct Ev(u64, u64, NodeId);
+    struct Ev(u64, u64, NodeId, u32);
     impl Ord for Ev {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             other.0.cmp(&self.0).then(other.1.cmp(&self.1))
@@ -203,7 +237,10 @@ pub fn simulate(
         }
     }
     let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
-    let mut pending_inputs: HashMap<u64, Vec<i64>> = HashMap::new();
+    // In-flight input values, slab-allocated so each event reuses a
+    // recycled Vec instead of hashing by sequence number.
+    let mut input_slab: Vec<Vec<i64>> = Vec::new();
+    let mut free_slots: Vec<u32> = Vec::new();
     let mut seq: u64 = 0;
     let mut firings: u64 = 0;
     let mut ever_fired = vec![false; n];
@@ -216,58 +253,80 @@ pub fn simulate(
     // Selector queues: the port-consumption order of the governing control
     // mu, one private queue per dependent value mu (deterministic merge
     // ordering).
-    let mut selectors: HashMap<NodeId, VecDeque<u8>> = HashMap::new();
-    let mut dependents: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut selectors: Vec<VecDeque<u8>> = vec![VecDeque::new(); n];
+    let mut dependents: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     for (i, ctrl) in g.mu_ctrl.iter().enumerate() {
         if let Some(c) = ctrl {
-            dependents.entry(*c).or_default().push(NodeId(i as u32));
+            dependents[c.0 as usize].push(NodeId(i as u32));
         }
     }
 
-    // Readiness check + consumption. For mus, also returns the port taken.
-    let try_consume = |node: NodeId,
-                       queues: &mut Vec<EdgeQueue>,
-                       selectors: &mut HashMap<NodeId, VecDeque<u8>>,
-                       in_edges: &HashMap<(NodeId, u8), usize>,
-                       g: &DataflowGraph|
-     -> Option<(Vec<i64>, Option<u8>)> {
-        let arity = g.arity(node);
-        let is_mu = matches!(g.nodes[node.0 as usize].kind, NodeKind::Mu);
+    // Readiness check + consumption into `out`. For mus, also returns the
+    // port taken.
+    #[allow(clippy::too_many_arguments)]
+    fn try_consume(
+        g: &DataflowGraph,
+        node: NodeId,
+        queues: &mut [EdgeQueue],
+        selectors: &mut [VecDeque<u8>],
+        port_base: &[u32],
+        in_edge_idx: &[u32],
+        arities: &[u8],
+        out: &mut Vec<i64>,
+    ) -> Option<Option<u8>> {
+        const NO_EDGE: u32 = u32::MAX;
+        out.clear();
+        let ni = node.0 as usize;
+        let arity = arities[ni];
+        let base = port_base[ni] as usize;
+        let is_mu = matches!(g.nodes[ni].kind, NodeKind::Mu);
         if is_mu {
-            if g.mu_ctrl[node.0 as usize].is_some() {
+            if g.mu_ctrl[ni].is_some() {
                 // Ordered merge: follow this mu's private selector stream.
-                let sel = selectors.entry(node).or_default();
-                let &port = sel.front()?;
-                let &qi = in_edges.get(&(node, port))?;
-                let v = match &mut queues[qi] {
+                let &port = selectors[ni].front()?;
+                let qi = in_edge_idx[base + port as usize];
+                if qi == NO_EDGE {
+                    return None;
+                }
+                let v = match &mut queues[qi as usize] {
                     EdgeQueue::Fifo(q) => q.pop_front()?,
                     EdgeQueue::Sticky(v) => (*v)?,
                 };
-                selectors.get_mut(&node).expect("entry exists").pop_front();
-                return Some((vec![v], Some(port)));
+                selectors[ni].pop_front();
+                out.push(v);
+                return Some(Some(port));
             }
             // A control mu (or an unordered merge): any one port suffices.
             // Control tokens are self-serializing, so at most one port has
             // a token at a time.
             for port in 0..arity {
-                if let Some(&qi) = in_edges.get(&(node, port)) {
-                    match &mut queues[qi] {
-                        EdgeQueue::Fifo(q) => {
-                            if let Some(v) = q.pop_front() {
-                                return Some((vec![v], Some(port)));
-                            }
+                let qi = in_edge_idx[base + port as usize];
+                if qi == NO_EDGE {
+                    continue;
+                }
+                match &mut queues[qi as usize] {
+                    EdgeQueue::Fifo(q) => {
+                        if let Some(v) = q.pop_front() {
+                            out.push(v);
+                            return Some(Some(port));
                         }
-                        EdgeQueue::Sticky(Some(v)) => return Some((vec![*v], Some(port))),
-                        EdgeQueue::Sticky(None) => {}
                     }
+                    EdgeQueue::Sticky(Some(v)) => {
+                        out.push(*v);
+                        return Some(Some(port));
+                    }
+                    EdgeQueue::Sticky(None) => {}
                 }
             }
             return None;
         }
         // All ports must be ready.
         for port in 0..arity {
-            let qi = in_edges.get(&(node, port))?;
-            let ready = match &queues[*qi] {
+            let qi = in_edge_idx[base + port as usize];
+            if qi == NO_EDGE {
+                return None;
+            }
+            let ready = match &queues[qi as usize] {
                 EdgeQueue::Fifo(q) => !q.is_empty(),
                 EdgeQueue::Sticky(v) => v.is_some(),
             };
@@ -275,17 +334,16 @@ pub fn simulate(
                 return None;
             }
         }
-        let mut vals = Vec::with_capacity(arity as usize);
         for port in 0..arity {
-            let qi = in_edges[&(node, port)];
+            let qi = in_edge_idx[base + port as usize] as usize;
             let v = match &mut queues[qi] {
                 EdgeQueue::Fifo(q) => q.pop_front().expect("checked"),
                 EdgeQueue::Sticky(v) => v.expect("checked"),
             };
-            vals.push(v);
+            out.push(v);
         }
-        Some((vals, None))
-    };
+        Some(None)
+    }
 
     // Schedule sources at t=0.
     for i in 0..n {
@@ -295,19 +353,25 @@ pub fn simulate(
             NodeKind::Const(_) | NodeKind::Param(_) | NodeKind::InitialToken
         ) {
             seq += 1;
-            pending_inputs.insert(seq, Vec::new());
-            heap.push(Ev(0, seq, node));
+            let slot = input_slab.len() as u32;
+            input_slab.push(Vec::new());
+            heap.push(Ev(0, seq, node, slot));
         }
     }
 
+    // Hoisted per-firing scratch.
+    let mut consume_buf: Vec<i64> = Vec::new();
+    let mut candidates: Vec<NodeId> = Vec::new();
+    let mut work: VecDeque<NodeId> = VecDeque::new();
+
     let mut result: Option<(Option<i64>, u64)> = None;
-    while let Some(Ev(t, ev_seq, node)) = heap.pop() {
+    while let Some(Ev(t, _ev_seq, node, slot)) = heap.pop() {
         firings += 1;
         if firings > opts.event_limit {
             return Err(TokenSimError::EventLimit(opts.event_limit));
         }
         ever_fired[node.0 as usize] = true;
-        let inputs = pending_inputs.remove(&ev_seq).unwrap_or_default();
+        let inputs = std::mem::take(&mut input_slab[slot as usize]);
         let nd = &g.nodes[node.0 as usize];
         if opts.trace {
             eprintln!("t={t} fire {node} {:?} inputs={inputs:?}", nd.kind);
@@ -323,22 +387,12 @@ pub fn simulate(
             },
             NodeKind::InitialToken => value_out = Some(1),
             NodeKind::Bin(op) => {
-                let ety = if op.is_comparison() {
-                    // Operand type: recover from whichever input edge.
-                    let qi = in_edges[&(node, 0)];
-                    let _ = qi;
-                    // Types: find the producing node of port 0.
-                    let src = g
-                        .edges
-                        .iter()
-                        .find(|e| e.to == node && e.port == 0)
-                        .map(|e| g.nodes[e.from.0 as usize].ty)
-                        .unwrap_or(nd.ty);
-                    src
-                } else {
-                    nd.ty
-                };
-                value_out = Some(eval_bin(*op, ety, inputs[0], inputs[1]));
+                value_out = Some(eval_bin(
+                    *op,
+                    bin_ety[node.0 as usize],
+                    inputs[0],
+                    inputs[1],
+                ));
             }
             NodeKind::Un(op) => value_out = Some(eval_un(*op, nd.ty, inputs[0])),
             NodeKind::Select => {
@@ -389,6 +443,11 @@ pub fn simulate(
                 break;
             }
         }
+        // The event's input Vec goes back on the free list, capacity
+        // intact, for a later firing to reuse.
+        input_slab[slot as usize] = inputs;
+        input_slab[slot as usize].clear();
+        free_slots.push(slot);
         // Deliver outputs.
         if let Some(v) = value_out {
             for &qi in &out_edges[node.0 as usize] {
@@ -408,41 +467,54 @@ pub fn simulate(
         }
         // Activate consumers whose inputs are now complete. Consumers of
         // this node (and, for etas that dropped their token, nobody).
-        let mut candidates: Vec<NodeId> = Vec::new();
+        candidates.clear();
         if value_out.is_some() {
             for &qi in &out_edges[node.0 as usize] {
-                let (idx, is_tok) = all_edges[qi];
-                candidates.push(edge_of(idx, is_tok).to);
+                candidates.push(queue_to[qi]);
             }
         }
         if token_out {
             for &qi in &tok_out_edges[node.0 as usize] {
-                let (idx, is_tok) = all_edges[qi];
-                candidates.push(edge_of(idx, is_tok).to);
+                candidates.push(queue_to[qi]);
             }
         }
         candidates.sort_unstable();
         candidates.dedup();
-        let mut work: VecDeque<NodeId> = candidates.into();
+        work.clear();
+        work.extend(candidates.iter().copied());
         while let Some(c) = work.pop_front() {
             // A consumer may fire multiple times if several tokens queued.
-            while let Some((vals, port)) =
-                try_consume(c, &mut queues, &mut selectors, &in_edges, g)
-            {
+            while let Some(port) = try_consume(
+                g,
+                c,
+                &mut queues,
+                &mut selectors,
+                &port_base,
+                &in_edge_idx,
+                &arities,
+                &mut consume_buf,
+            ) {
                 seq += 1;
-                pending_inputs.insert(seq, vals);
-                heap.push(Ev(t + latency(c), seq, c));
+                let slot = match free_slots.pop() {
+                    Some(s) => {
+                        input_slab[s as usize].extend_from_slice(&consume_buf);
+                        s
+                    }
+                    None => {
+                        input_slab.push(consume_buf.clone());
+                        (input_slab.len() - 1) as u32
+                    }
+                };
+                heap.push(Ev(t + latency(c), seq, c, slot));
                 // A control mu's consumption order drives its dependents.
                 if let (Some(p), true) = (
                     port,
                     matches!(g.nodes[c.0 as usize].kind, NodeKind::Mu)
                         && g.mu_ctrl[c.0 as usize].is_none(),
                 ) {
-                    if let Some(deps) = dependents.get(&c) {
-                        for &d in deps {
-                            selectors.entry(d).or_default().push_back(p);
-                            work.push_back(d);
-                        }
+                    for &d in &dependents[c.0 as usize] {
+                        selectors[d.0 as usize].push_back(p);
+                        work.push_back(d);
                     }
                 }
                 // Sticky-only consumers would spin; they are sources or
@@ -454,13 +526,7 @@ pub fn simulate(
                 // forever; stickiness propagation covers that case, and
                 // etas with sticky value + sticky predicate are guarded
                 // here.
-                let all_sticky_inputs = (0..g.arity(c)).all(|p| {
-                    in_edges
-                        .get(&(c, p))
-                        .map(|&qi| matches!(queues[qi], EdgeQueue::Sticky(_)))
-                        .unwrap_or(false)
-                });
-                if all_sticky_inputs {
+                if sticky_fed[c.0 as usize] {
                     break;
                 }
             }

@@ -41,6 +41,7 @@ impl IntType {
     }
 
     /// The mask selecting the low `width` bits.
+    #[inline]
     pub fn mask(self) -> u64 {
         if self.width == 64 {
             u64::MAX
@@ -51,6 +52,7 @@ impl IntType {
 
     /// Truncates `v` to this type's width and re-extends it to the canonical
     /// 64-bit representation (sign-extended if signed, zero-extended if not).
+    #[inline]
     pub fn canonicalize(self, v: i64) -> i64 {
         let bits = (v as u64) & self.mask();
         if self.signed && self.width < 64 {
@@ -191,10 +193,7 @@ impl Type {
     pub fn common_int(a: &Type, b: &Type) -> Option<IntType> {
         let pa = Type::promote(a)?;
         let pb = Type::promote(b)?;
-        Some(IntType::new(
-            pa.width.max(pb.width),
-            pa.signed && pb.signed,
-        ))
+        Some(IntType::new(pa.width.max(pb.width), pa.signed && pb.signed))
     }
 
     /// Integer promotion: `bool` becomes `uint<1>`, integers stay themselves.
@@ -299,10 +298,7 @@ mod tests {
             Type::Array(Box::new(Type::uint(12)), 16).to_string(),
             "uint<12>[16]"
         );
-        assert_eq!(
-            Type::Chan(Box::new(Type::int())).to_string(),
-            "chan<int>"
-        );
+        assert_eq!(Type::Chan(Box::new(Type::int())).to_string(), "chan<int>");
     }
 
     #[test]

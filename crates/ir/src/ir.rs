@@ -548,9 +548,7 @@ impl fmt::Display for Function {
                     InstKind::Bin(op, a, b) => writeln!(f, "{} {a}, {b}", op.mnemonic())?,
                     InstKind::Un(UnKind::Neg, a) => writeln!(f, "neg {a}")?,
                     InstKind::Un(UnKind::Not, a) => writeln!(f, "not {a}")?,
-                    InstKind::Select { cond, t, f: fv } => {
-                        writeln!(f, "select {cond}, {t}, {fv}")?
-                    }
+                    InstKind::Select { cond, t, f: fv } => writeln!(f, "select {cond}, {t}, {fv}")?,
                     InstKind::Cast { from, val } => writeln!(f, "cast {val} ({from})")?,
                     InstKind::Load { mem, addr } => writeln!(f, "load {mem}[{addr}]")?,
                     InstKind::Store { mem, addr, value } => {
@@ -582,6 +580,7 @@ impl fmt::Display for Function {
 /// This single definition is shared by the IR executor, the constant
 /// folder, the netlist simulator, and the dataflow simulator so they cannot
 /// drift apart.
+#[inline]
 pub fn eval_bin(op: BinKind, ty: IntType, a: i64, b: i64) -> i64 {
     let (ua, ub) = ((a as u64) & ty.mask(), (b as u64) & ty.mask());
     let raw = match op {
@@ -650,6 +649,7 @@ pub fn eval_bin(op: BinKind, ty: IntType, a: i64, b: i64) -> i64 {
 }
 
 /// Evaluates a unary operation on a canonical value of type `ty`.
+#[inline]
 pub fn eval_un(op: UnKind, ty: IntType, a: i64) -> i64 {
     match op {
         UnKind::Neg => ty.canonicalize(a.wrapping_neg()),
@@ -658,6 +658,7 @@ pub fn eval_un(op: UnKind, ty: IntType, a: i64) -> i64 {
 }
 
 /// Converts a canonical value of type `from` to canonical form in `to`.
+#[inline]
 pub fn eval_cast(from: IntType, to: IntType, v: i64) -> i64 {
     // `v` is already in canonical form for `from` (sign- or zero-extended
     // to 64 bits), so conversion is just re-canonicalization in `to`.
@@ -688,7 +689,10 @@ mod tests {
         assert_eq!(eval_bin(BinKind::Div, s(32), 7, 2), 3);
         assert_eq!(eval_bin(BinKind::Div, s(32), -7, 2), -3);
         assert_eq!(eval_bin(BinKind::Div, s(32), 7, 0), 0);
-        assert_eq!(eval_bin(BinKind::Div, u(32), u32::MAX as i64, 2), 0x7fff_ffff);
+        assert_eq!(
+            eval_bin(BinKind::Div, u(32), u32::MAX as i64, 2),
+            0x7fff_ffff
+        );
         assert_eq!(eval_bin(BinKind::Rem, s(32), -7, 2), -1);
         assert_eq!(eval_bin(BinKind::Rem, u(8), 255, 0), 0);
     }

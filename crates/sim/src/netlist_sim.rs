@@ -45,18 +45,54 @@ impl fmt::Display for NetlistSimError {
 
 impl std::error::Error for NetlistSimError {}
 
+/// A register cell's commit ports, precomputed at construction so
+/// [`NetlistSim::step`] does not rescan every cell.
+#[derive(Debug, Clone, Copy)]
+struct RegPort {
+    /// The register cell.
+    cell: u32,
+    /// Cell driving the next value.
+    next: u32,
+    /// Clock-enable cell, or `u32::MAX` for always-enabled.
+    en: u32,
+}
+
+/// A RAM write port, precomputed at construction. Kept in cell-index
+/// order: simultaneous writes to one address commit last-cell-wins.
+#[derive(Debug, Clone, Copy)]
+struct WritePort {
+    ram: u32,
+    addr: u32,
+    data: u32,
+    en: u32,
+}
+
 /// Stateful netlist simulator.
+///
+/// State is held densely: register values live in a `Vec<i64>` indexed by
+/// cell id, and one combinational-value buffer is reused across
+/// [`NetlistSim::step`] calls, so the per-cycle cost is two passes over
+/// flat arrays with no allocation and no hashing.
 #[derive(Debug, Clone)]
 pub struct NetlistSim<'n> {
     nl: &'n Netlist,
-    /// Current register values (indexed by cell).
-    reg_state: HashMap<CellId, i64>,
+    /// Current register values, indexed by cell id (non-register slots
+    /// are unused and stay 0).
+    reg_state: Vec<i64>,
     /// Current RAM contents.
     rams: Vec<Vec<i64>>,
-    /// Input port values.
-    inputs: HashMap<String, i64>,
+    /// Driven value of each `Input` cell, indexed by cell id.
+    input_vals: Vec<Option<i64>>,
+    /// Cell ids of each named input, for [`NetlistSim::set_input`].
+    input_cells: HashMap<String, Vec<u32>>,
     /// Topological order of all cells (registers treated as sources).
     topo: Vec<CellId>,
+    /// Register commit list.
+    reg_ports: Vec<RegPort>,
+    /// RAM write ports, in cell-index order.
+    write_ports: Vec<WritePort>,
+    /// Scratch buffer of combinational values, reused across cycles.
+    values: Vec<i64>,
 }
 
 impl<'n> NetlistSim<'n> {
@@ -67,10 +103,33 @@ impl<'n> NetlistSim<'n> {
     ///
     /// Returns [`NetlistSimError::CombinationalCycle`] for cyclic netlists.
     pub fn new(nl: &'n Netlist) -> Result<Self, NetlistSimError> {
-        let mut reg_state = HashMap::new();
+        let n = nl.cells.len();
+        let mut reg_state = vec![0i64; n];
+        let mut reg_ports = Vec::new();
+        let mut write_ports = Vec::new();
+        let mut input_cells: HashMap<String, Vec<u32>> = HashMap::new();
         for (i, c) in nl.cells.iter().enumerate() {
-            if let CellKind::Reg { init, .. } = &c.kind {
-                reg_state.insert(CellId(i as u32), c.ty.canonicalize(*init));
+            match &c.kind {
+                CellKind::Reg { next, init, en } => {
+                    reg_state[i] = c.ty.canonicalize(*init);
+                    reg_ports.push(RegPort {
+                        cell: i as u32,
+                        next: next.0,
+                        en: en.map_or(u32::MAX, |e| e.0),
+                    });
+                }
+                CellKind::RamWrite { ram, addr, data, en } => {
+                    write_ports.push(WritePort {
+                        ram: ram.0,
+                        addr: addr.0,
+                        data: data.0,
+                        en: en.0,
+                    });
+                }
+                CellKind::Input { name } => {
+                    input_cells.entry(name.clone()).or_default().push(i as u32);
+                }
+                _ => {}
             }
         }
         let rams = nl
@@ -87,31 +146,37 @@ impl<'n> NetlistSim<'n> {
             nl,
             reg_state,
             rams,
-            inputs: HashMap::new(),
+            input_vals: vec![None; n],
+            input_cells,
             topo,
+            reg_ports,
+            write_ports,
+            values: vec![0i64; n],
         })
     }
 
     /// Drives an input port.
     pub fn set_input(&mut self, name: impl Into<String>, value: i64) {
-        self.inputs.insert(name.into(), value);
+        let name = name.into();
+        if let Some(cells) = self.input_cells.get(&name) {
+            for &c in cells {
+                self.input_vals[c as usize] = Some(value);
+            }
+        }
     }
 
-    /// Evaluates all combinational logic and returns the value of every
-    /// net, without advancing the clock.
-    ///
-    /// # Errors
-    ///
-    /// See [`NetlistSimError`].
-    pub fn eval(&self) -> Result<Vec<i64>, NetlistSimError> {
-        let mut values = vec![0i64; self.nl.cells.len()];
+    /// Evaluates every combinational cell in topological order into
+    /// `values`, which must be `cells.len()` long.
+    fn eval_into(&self, values: &mut [i64]) -> Result<(), NetlistSimError> {
+        debug_assert_eq!(values.len(), self.nl.cells.len());
         for &id in &self.topo {
             let cell = self.nl.cell(id);
             let v = match &cell.kind {
-                CellKind::Input { name } => *self
-                    .inputs
-                    .get(name)
-                    .ok_or_else(|| NetlistSimError::MissingInput(name.clone()))?,
+                CellKind::Input { name } => {
+                    self.input_vals[id.0 as usize].ok_or_else(|| {
+                        NetlistSimError::MissingInput(name.clone())
+                    })?
+                }
                 CellKind::Const(c) => *c,
                 CellKind::Un(op, a) => eval_un(*op, cell.ty, values[a.0 as usize]),
                 CellKind::Bin(op, a, b) => {
@@ -132,7 +197,7 @@ impl<'n> NetlistSim<'n> {
                 CellKind::Cast { from, val } => {
                     eval_cast(*from, cell.ty, values[val.0 as usize])
                 }
-                CellKind::Reg { .. } => self.reg_state[&id],
+                CellKind::Reg { .. } => self.reg_state[id.0 as usize],
                 CellKind::RamRead { ram, addr } => {
                     let a = values[addr.0 as usize];
                     let storage = &self.rams[ram.0 as usize];
@@ -150,7 +215,49 @@ impl<'n> NetlistSim<'n> {
             };
             values[id.0 as usize] = cell.ty.canonicalize(v);
         }
+        Ok(())
+    }
+
+    /// Evaluates all combinational logic and returns the value of every
+    /// net, without advancing the clock.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetlistSimError`].
+    pub fn eval(&self) -> Result<Vec<i64>, NetlistSimError> {
+        let mut values = vec![0i64; self.nl.cells.len()];
+        self.eval_into(&mut values)?;
         Ok(values)
+    }
+
+    /// Commits one clock edge from the evaluated `values`: RAM writes in
+    /// cell order first (an out-of-bounds write aborts before any
+    /// register commits, matching the original interleaved-scan
+    /// semantics), then registers.
+    fn commit(&mut self, values: &[i64]) -> Result<(), NetlistSimError> {
+        for w in &self.write_ports {
+            if values[w.en as usize] != 0 {
+                let a = values[w.addr as usize];
+                let storage = &mut self.rams[w.ram as usize];
+                if a < 0 || a as usize >= storage.len() {
+                    return Err(NetlistSimError::OutOfBounds {
+                        ram: self.nl.rams[w.ram as usize].name.clone(),
+                        addr: a,
+                        len: storage.len(),
+                    });
+                }
+                let elem = self.nl.rams[w.ram as usize].elem;
+                storage[a as usize] = elem.canonicalize(values[w.data as usize]);
+            }
+        }
+        for r in &self.reg_ports {
+            let enabled = r.en == u32::MAX || values[r.en as usize] != 0;
+            if enabled {
+                let ty = self.nl.cells[r.cell as usize].ty;
+                self.reg_state[r.cell as usize] = ty.canonicalize(values[r.next as usize]);
+            }
+        }
+        Ok(())
     }
 
     /// Evaluates combinational logic and commits one clock edge.
@@ -159,43 +266,18 @@ impl<'n> NetlistSim<'n> {
     ///
     /// See [`NetlistSimError`].
     pub fn step(&mut self) -> Result<(), NetlistSimError> {
-        let values = self.eval()?;
-        // Commit registers.
-        let mut new_regs = self.reg_state.clone();
-        for (i, c) in self.nl.cells.iter().enumerate() {
-            match &c.kind {
-                CellKind::Reg { next, en, .. } => {
-                    let enabled = en.map(|e| values[e.0 as usize] != 0).unwrap_or(true);
-                    if enabled {
-                        new_regs.insert(
-                            CellId(i as u32),
-                            c.ty.canonicalize(values[next.0 as usize]),
-                        );
-                    }
-                }
-                CellKind::RamWrite { ram, addr, data, en } => {
-                    if values[en.0 as usize] != 0 {
-                        let a = values[addr.0 as usize];
-                        let storage = &mut self.rams[ram.0 as usize];
-                        if a < 0 || a as usize >= storage.len() {
-                            return Err(NetlistSimError::OutOfBounds {
-                                ram: self.nl.rams[ram.0 as usize].name.clone(),
-                                addr: a,
-                                len: storage.len(),
-                            });
-                        }
-                        let elem = self.nl.rams[ram.0 as usize].elem;
-                        storage[a as usize] = elem.canonicalize(values[data.0 as usize]);
-                    }
-                }
-                _ => {}
-            }
-        }
-        self.reg_state = new_regs;
-        Ok(())
+        let mut values = std::mem::take(&mut self.values);
+        let r = self
+            .eval_into(&mut values)
+            .and_then(|()| self.commit(&values));
+        self.values = values;
+        r
     }
 
     /// Value of a named output after [`NetlistSim::eval`].
+    ///
+    /// Re-evaluates the whole netlist; when reading many ports, prefer
+    /// [`NetlistSim::eval_outputs`], which evaluates once.
     ///
     /// # Errors
     ///
@@ -209,6 +291,26 @@ impl<'n> NetlistSim<'n> {
             .find(|(n, _)| n == name)
             .ok_or_else(|| NetlistSimError::MissingInput(format!("output {name}")))?;
         Ok(values[net.0 as usize])
+    }
+
+    /// Evaluates the netlist **once** and serves every named output port
+    /// from that single snapshot, in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetlistSimError`].
+    pub fn eval_outputs(&mut self) -> Result<Vec<(&'n str, i64)>, NetlistSimError> {
+        let mut values = std::mem::take(&mut self.values);
+        let r = self.eval_into(&mut values);
+        let out = r.map(|()| {
+            self.nl
+                .outputs
+                .iter()
+                .map(|(n, net)| (n.as_str(), values[net.0 as usize]))
+                .collect()
+        });
+        self.values = values;
+        out
     }
 
     /// Current RAM contents.

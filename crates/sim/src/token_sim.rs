@@ -73,27 +73,52 @@ impl LatencyModel for UniformLatency {
     }
 }
 
+/// Both trace scores, computed in one pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceMetrics {
+    /// Async completion time (the dataflow limit), in model time units.
+    pub completion_time: u64,
+    /// Longest dependence chain, in operations.
+    pub critical_path_len: u64,
+}
+
+/// Scores a dynamic trace in a single pass: each entry finishes at
+/// `max(dep finish times) + latency`, and its depth is one more than its
+/// deepest dependence. Traces run to millions of entries, so the two
+/// per-entry arrays are folded into one and filled in the same sweep
+/// instead of walking the trace once per metric.
+pub fn trace_metrics(f: &Function, trace: &[TraceEntry], model: &impl LatencyModel) -> TraceMetrics {
+    // (finish time, chain depth) per entry.
+    let mut scores: Vec<(u64, u64)> = Vec::with_capacity(trace.len());
+    let mut completion: u64 = 0;
+    let mut worst_depth: u64 = 0;
+    for e in trace {
+        let (mut ready, mut depth) = (0, 0);
+        for &d in &e.deps {
+            let (df, dd) = scores[d as usize];
+            ready = ready.max(df);
+            depth = depth.max(dd);
+        }
+        let t = ready + model.latency(f, e);
+        let d = depth + 1;
+        scores.push((t, d));
+        completion = completion.max(t);
+        worst_depth = worst_depth.max(d);
+    }
+    TraceMetrics {
+        completion_time: completion,
+        critical_path_len: worst_depth,
+    }
+}
+
 /// Completion time of a dynamic trace on an ideal asynchronous dataflow
-/// machine: each entry finishes at `max(dep finish times) + latency`.
+/// machine. Thin wrapper over [`trace_metrics`].
 pub fn trace_completion_time(
     f: &Function,
     trace: &[TraceEntry],
     model: &impl LatencyModel,
 ) -> u64 {
-    let mut finish: Vec<u64> = Vec::with_capacity(trace.len());
-    let mut total: u64 = 0;
-    for e in trace {
-        let ready = e
-            .deps
-            .iter()
-            .map(|&d| finish[d as usize])
-            .max()
-            .unwrap_or(0);
-        let t = ready + model.latency(f, e);
-        finish.push(t);
-        total = total.max(t);
-    }
-    total
+    trace_metrics(f, trace, model).completion_time
 }
 
 /// The length of the longest dependence chain (in operations) — the
@@ -149,6 +174,10 @@ mod tests {
         // Two levels: {add, sub} then mul = 20, not 30.
         assert_eq!(t, 20);
         assert_eq!(trace_critical_path_len(&trace), 2);
+        // The combined single pass agrees with both wrappers.
+        let m = trace_metrics(&f, &trace, &UniformLatency(10));
+        assert_eq!(m.completion_time, 20);
+        assert_eq!(m.critical_path_len, 2);
     }
 
     #[test]

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 tests, a conformance smoke run through the
+# CLI (sequential and parallel must agree), and the simulator benchmark
+# harness (refreshes BENCH_sim.json at the repo root).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== chls check smoke (jobs=1 vs jobs=4 must match) =="
+cargo build --release -p chls --bins
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cat > "$tmp/gcd.chl" <<'EOF'
+int gcd(int a, int b) {
+    while (b != 0) { int t = b; b = a % b; a = t; }
+    return a;
+}
+EOF
+./target/release/chls check --jobs 1 "$tmp/gcd.chl" gcd 48 36 > "$tmp/seq.txt"
+./target/release/chls check --jobs 4 "$tmp/gcd.chl" gcd 48 36 > "$tmp/par.txt"
+diff "$tmp/seq.txt" "$tmp/par.txt"
+echo "verdicts identical"
+
+echo "== simulator benchmarks =="
+cargo run --release -p chls-bench --bin bench_sim
+
+echo "== verify OK =="
