@@ -1,0 +1,255 @@
+//! May-read/may-write effect analysis over HIR statements.
+//!
+//! The effect lattice is deliberately coarse: each access touches one
+//! abstract location — a whole local (scalar or array, index-insensitive),
+//! a global ROM, or a channel endpoint. Pointer dereferences resolve
+//! through the Andersen points-to query ([`chls_opt::ptr::points_to`]),
+//! so `*p` contributes one access per local `p` may target. Coarseness
+//! errs toward reporting: a `par` arm writing `a[0]` while a sibling
+//! writes `a[1]` is flagged even though the cells differ, exactly as
+//! Handel-C's own rule ("no two arms may touch the same variable in the
+//! same cycle") would have it.
+
+use chls_frontend::hir::*;
+use chls_frontend::Span;
+use chls_opt::PointsTo;
+
+/// An abstract storage location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Loc {
+    /// A scalar or whole-array local.
+    Local(LocalId),
+    /// A global constant table.
+    Global(GlobalId),
+    /// A channel endpoint (the channel-typed local).
+    Chan(LocalId),
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// The location is read (for channels: a `recv`).
+    Read,
+    /// The location is written (for channels: a `send`).
+    Write,
+}
+
+/// One access to one abstract location.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// What is touched.
+    pub loc: Loc,
+    /// How.
+    pub kind: AccessKind,
+    /// Statement the access occurs in, when the statement carries one
+    /// (condition reads of `if`/`while` do not).
+    pub span: Option<Span>,
+    /// The pointer local the access went through, for `*p` accesses.
+    pub via: Option<LocalId>,
+}
+
+/// Collects every access a block may perform, resolving `Deref` places
+/// through `pts`.
+pub fn block_effects(block: &HirBlock, pts: &PointsTo, out: &mut Vec<Access>) {
+    for stmt in &block.stmts {
+        stmt_effects(stmt, pts, out);
+    }
+}
+
+fn stmt_effects(stmt: &HirStmt, pts: &PointsTo, out: &mut Vec<Access>) {
+    match stmt {
+        HirStmt::Assign { place, value, span } => {
+            place_effects(place, AccessKind::Write, Some(*span), pts, out);
+            expr_effects(value, Some(*span), pts, out);
+        }
+        HirStmt::Call {
+            dst, args, span, ..
+        } => {
+            // Calls survive only when the caller skipped inlining; be
+            // conservative: arguments are read, by-reference arrays are
+            // both read and written, the destination is written.
+            if let Some(p) = dst {
+                place_effects(p, AccessKind::Write, Some(*span), pts, out);
+            }
+            for a in args {
+                match a {
+                    HirArg::Value(e) => expr_effects(e, Some(*span), pts, out),
+                    HirArg::Array(p) => {
+                        place_effects(p, AccessKind::Read, Some(*span), pts, out);
+                        place_effects(p, AccessKind::Write, Some(*span), pts, out);
+                    }
+                }
+            }
+        }
+        HirStmt::Recv { dst, chan, span } => {
+            out.push(Access {
+                loc: Loc::Chan(*chan),
+                kind: AccessKind::Read,
+                span: Some(*span),
+                via: None,
+            });
+            place_effects(dst, AccessKind::Write, Some(*span), pts, out);
+        }
+        HirStmt::Send { chan, value, span } => {
+            out.push(Access {
+                loc: Loc::Chan(*chan),
+                kind: AccessKind::Write,
+                span: Some(*span),
+                via: None,
+            });
+            expr_effects(value, Some(*span), pts, out);
+        }
+        HirStmt::If { cond, then, els } => {
+            expr_effects(cond, None, pts, out);
+            block_effects(then, pts, out);
+            block_effects(els, pts, out);
+        }
+        HirStmt::While { cond, body, .. } => {
+            expr_effects(cond, None, pts, out);
+            block_effects(body, pts, out);
+        }
+        HirStmt::DoWhile { body, cond } => {
+            block_effects(body, pts, out);
+            expr_effects(cond, None, pts, out);
+        }
+        HirStmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            block_effects(init, pts, out);
+            expr_effects(cond, None, pts, out);
+            block_effects(step, pts, out);
+            block_effects(body, pts, out);
+        }
+        HirStmt::Return(v) => {
+            if let Some(e) = v {
+                expr_effects(e, None, pts, out);
+            }
+        }
+        HirStmt::Break | HirStmt::Continue | HirStmt::Delay => {}
+        HirStmt::Block(b) => block_effects(b, pts, out),
+        HirStmt::Par(arms) => {
+            for arm in arms {
+                block_effects(arm, pts, out);
+            }
+        }
+        HirStmt::Constraint { body, .. } => block_effects(body, pts, out),
+    }
+}
+
+/// Accesses performed by evaluating `e` (reads only; expressions are
+/// side-effect free in HIR).
+fn expr_effects(e: &HirExpr, span: Option<Span>, pts: &PointsTo, out: &mut Vec<Access>) {
+    match &e.kind {
+        HirExprKind::Const(_) => {}
+        HirExprKind::Load(p) => place_effects(p, AccessKind::Read, span, pts, out),
+        HirExprKind::Unary(_, a) | HirExprKind::Cast(a) => expr_effects(a, span, pts, out),
+        HirExprKind::Binary(_, a, b) => {
+            expr_effects(a, span, pts, out);
+            expr_effects(b, span, pts, out);
+        }
+        HirExprKind::Select(c, t, f) => {
+            expr_effects(c, span, pts, out);
+            expr_effects(t, span, pts, out);
+            expr_effects(f, span, pts, out);
+        }
+        // Taking an address reads nothing by itself.
+        HirExprKind::AddrOf(p) => {
+            // But computing an element address reads the index.
+            if let HirPlace::Index { index, .. } = &**p {
+                expr_effects(index, span, pts, out);
+            }
+        }
+    }
+}
+
+/// Accesses for touching a place with the given kind.
+fn place_effects(
+    place: &HirPlace,
+    kind: AccessKind,
+    span: Option<Span>,
+    pts: &PointsTo,
+    out: &mut Vec<Access>,
+) {
+    match place {
+        HirPlace::Local(id) => out.push(Access {
+            loc: Loc::Local(*id),
+            kind,
+            span,
+            via: None,
+        }),
+        HirPlace::Global(g) => out.push(Access {
+            loc: Loc::Global(*g),
+            kind,
+            span,
+            via: None,
+        }),
+        HirPlace::Index { base, index } => {
+            expr_effects(index, span, pts, out);
+            place_effects(base, kind, span, pts, out);
+        }
+        HirPlace::Deref(ptr) => {
+            expr_effects(ptr, span, pts, out);
+            // The access lands on everything the pointer may target.
+            let (pointers, direct) = deref_sources(ptr);
+            for p in pointers {
+                for target in pts.targets(p) {
+                    out.push(Access {
+                        loc: Loc::Local(target),
+                        kind,
+                        span,
+                        via: Some(p),
+                    });
+                }
+            }
+            // `*(&x + i)`-style derefs hit the addressed object directly.
+            for target in direct {
+                out.push(Access {
+                    loc: Loc::Local(target),
+                    kind,
+                    span,
+                    via: None,
+                });
+            }
+        }
+    }
+}
+
+/// The locals a dereferenced expression may route through: pointer-typed
+/// locals (to resolve via points-to) and locals addressed inline with
+/// `&x` (hit directly).
+fn deref_sources(e: &HirExpr) -> (Vec<LocalId>, Vec<LocalId>) {
+    let mut pointers = Vec::new();
+    let mut direct = Vec::new();
+    gather_sources(e, &mut pointers, &mut direct);
+    (pointers, direct)
+}
+
+fn gather_sources(e: &HirExpr, pointers: &mut Vec<LocalId>, direct: &mut Vec<LocalId>) {
+    match &e.kind {
+        HirExprKind::Load(p) => {
+            if let HirPlace::Local(id) = &**p {
+                pointers.push(*id);
+            }
+        }
+        HirExprKind::AddrOf(p) => {
+            if let Some(id) = p.root_local() {
+                direct.push(id);
+            }
+        }
+        HirExprKind::Const(_) => {}
+        HirExprKind::Unary(_, a) | HirExprKind::Cast(a) => gather_sources(a, pointers, direct),
+        HirExprKind::Binary(_, a, b) => {
+            gather_sources(a, pointers, direct);
+            gather_sources(b, pointers, direct);
+        }
+        HirExprKind::Select(c, t, f) => {
+            gather_sources(c, pointers, direct);
+            gather_sources(t, pointers, direct);
+            gather_sources(f, pointers, direct);
+        }
+    }
+}

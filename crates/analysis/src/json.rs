@@ -1,0 +1,119 @@
+//! Hand-rolled JSON serialization of a [`crate::LintReport`].
+//!
+//! No serde in this tree (the container has no registry access), and the
+//! report shape is small and fixed, so the emitter is written out by
+//! hand. Field order is stable and documented in the README; spans are
+//! byte offsets into the analyzed source file, so output is independent
+//! of how a consumer counts lines.
+
+use crate::LintReport;
+use chls_frontend::diag::{Diagnostic, Severity};
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn diag_json(d: &Diagnostic) -> String {
+    let sev = match d.severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    };
+    let notes = d
+        .notes
+        .iter()
+        .map(|n| {
+            format!(
+                r#"{{"message":"{}","span":{{"start":{},"end":{}}}}}"#,
+                escape(&n.message),
+                n.span.start,
+                n.span.end
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        r#"{{"severity":"{sev}","message":"{}","span":{{"start":{},"end":{}}},"notes":[{notes}]}}"#,
+        escape(&d.message),
+        d.span.start,
+        d.span.end
+    )
+}
+
+fn opt_str(s: &Option<String>) -> String {
+    match s {
+        Some(s) => format!("\"{}\"", escape(s)),
+        None => "null".to_string(),
+    }
+}
+
+/// Serializes the whole report. Stable field order:
+/// `entry`, `backend`, `races`, `warnings`, `features`, `backends`,
+/// `cycles`.
+pub fn report_to_json(r: &LintReport) -> String {
+    let races = r.races.iter().map(diag_json).collect::<Vec<_>>().join(",");
+    let warnings = r
+        .warnings
+        .iter()
+        .map(diag_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    let f = &r.features;
+    let multi = f
+        .multi_target_pointers
+        .iter()
+        .map(|n| format!("\"{}\"", escape(n)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let features = format!(
+        r#"{{"par":{},"channels":{},"delay":{},"pointers":{},"multi_target_pointers":[{multi}],"data_dependent_loops":{},"timing_constraints":{}}}"#,
+        f.par, f.channels, f.delay, f.pointers, f.data_dependent_loops, f.timing_constraints
+    );
+    let backends = r
+        .backend_findings
+        .iter()
+        .map(|b| {
+            format!(
+                r#"{{"backend":"{}","construct":"{}","status":"{}","reason":"{}","detail":{}}}"#,
+                b.backend,
+                b.construct,
+                b.status,
+                escape(&b.reason),
+                opt_str(&b.detail)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let cycles = r
+        .cycle_bounds
+        .iter()
+        .map(|c| {
+            let max = match c.interval.max {
+                Some(m) => m.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                r#"{{"backend":"{}","min":{},"max":{max}}}"#,
+                c.backend, c.interval.min
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        r#"{{"entry":"{}","backend":{},"races":[{races}],"warnings":[{warnings}],"features":{features},"backends":[{backends}],"cycles":[{cycles}]}}"#,
+        escape(&r.entry),
+        opt_str(&r.backend),
+    )
+}

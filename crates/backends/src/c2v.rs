@@ -106,10 +106,10 @@ pub(crate) fn schedule_to_fsmd(f: &Function, opts: &SynthOptions) -> Result<Fsmd
     let mut reg_of: HashMap<Value, RegId> = HashMap::new();
     for (i, inst) in f.insts.iter().enumerate() {
         let v = Value(i as u32);
-        let needs_reg = match &inst.kind {
-            InstKind::Const(_) | InstKind::Param(_) | InstKind::Store { .. } => false,
-            _ => true,
-        };
+        let needs_reg = !matches!(
+            &inst.kind,
+            InstKind::Const(_) | InstKind::Param(_) | InstKind::Store { .. }
+        );
         if needs_reg {
             let ty = match &widths {
                 Some(wa) => {

@@ -283,6 +283,186 @@ pub fn prepare_sequential(
     })
 }
 
+/// How one paradigm treats one CHL construct — the static half of a
+/// [`SynthError::Unsupported`], declared up front instead of discovered
+/// mid-pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    /// Synthesized faithfully.
+    Ok,
+    /// Accepted, but at a cost the paper calls out (the reason says which).
+    Penalized(&'static str),
+    /// Refused; synthesis will fail with this reason.
+    Rejected(&'static str),
+}
+
+impl Support {
+    /// Short machine-readable tag (`ok` / `penalized` / `rejected`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Support::Ok => "ok",
+            Support::Penalized(_) => "penalized",
+            Support::Rejected(_) => "rejected",
+        }
+    }
+
+    /// The reason, when there is one.
+    pub fn reason(&self) -> Option<&'static str> {
+        match self {
+            Support::Ok => None,
+            Support::Penalized(r) | Support::Rejected(r) => Some(r),
+        }
+    }
+}
+
+/// One paradigm's construct-support row: what it does with each feature a
+/// CHL program can exercise. Covers the paper's nine paradigms — the
+/// seven executable backends plus the two structural rows (`ocapi`,
+/// `specc`) that have no compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstructSupport {
+    /// Backend / paradigm name (matches [`BackendInfo::name`] for the
+    /// executable seven).
+    pub backend: &'static str,
+    /// `par { ... }` blocks.
+    pub par: Support,
+    /// Rendezvous channels (`chan<T>`, `send`/`recv`).
+    pub channels: Support,
+    /// Explicit `delay;` statements.
+    pub delay: Support,
+    /// Any pointer use at all.
+    pub pointers: Support,
+    /// Pointers whose points-to set has more than one target.
+    pub multi_target_pointers: Support,
+    /// Loops whose trip count depends on run-time data.
+    pub data_dependent_loops: Support,
+    /// `#pragma constraint` cycle budgets.
+    pub timing_constraints: Support,
+}
+
+/// The construct-support matrix, one row per Table-1 paradigm, in
+/// registry (chronological) order.
+///
+/// Each entry mirrors what the corresponding backend actually does: the
+/// sequential five (cones, transmogrifier, c2v, cyber, cash) lower
+/// through the SSA IR, which refuses `par`/channels/`delay` outright;
+/// the structured two (hardwarec, handelc) walk the HIR and keep them.
+pub const CONSTRUCT_MATRIX: &[ConstructSupport] = &[
+    ConstructSupport {
+        backend: "cones",
+        par: Support::Rejected("combinational target; parallelism is implicit in the netlist"),
+        channels: Support::Rejected("no clock, so no rendezvous"),
+        delay: Support::Rejected("no clock to wait on"),
+        pointers: Support::Ok,
+        multi_target_pointers: Support::Penalized(
+            "targets merge into one monolithic memory, then scalarize into mux trees",
+        ),
+        data_dependent_loops: Support::Rejected(
+            "every loop must fully unroll into the combinational network",
+        ),
+        timing_constraints: Support::Rejected("no cycles to budget"),
+    },
+    ConstructSupport {
+        backend: "hardwarec",
+        par: Support::Penalized("straight-line arms only; control flow inside par is refused"),
+        channels: Support::Rejected("no channel hardware; use the handelc backend"),
+        delay: Support::Ok,
+        pointers: Support::Ok,
+        multi_target_pointers: Support::Penalized(
+            "targets merge into one monolithic memory with a single port",
+        ),
+        data_dependent_loops: Support::Ok,
+        timing_constraints: Support::Ok,
+    },
+    ConstructSupport {
+        backend: "transmogrifier",
+        par: Support::Rejected("sequential-only: one cycle per loop iteration, no processes"),
+        channels: Support::Rejected("sequential-only"),
+        delay: Support::Rejected("timing is the per-iteration rule, not explicit waits"),
+        pointers: Support::Ok,
+        multi_target_pointers: Support::Penalized(
+            "targets merge into one monolithic memory with a single port",
+        ),
+        data_dependent_loops: Support::Penalized(
+            "accepted, but the implicit rule charges one cycle per iteration",
+        ),
+        timing_constraints: Support::Penalized("ignored; timing comes from the iteration rule"),
+    },
+    ConstructSupport {
+        backend: "c2v",
+        par: Support::Rejected("compiler-driven concurrency only; explicit par is refused"),
+        channels: Support::Rejected("plain C subset has no channels"),
+        delay: Support::Rejected("scheduling is the compiler's, not the program's"),
+        pointers: Support::Ok,
+        multi_target_pointers: Support::Penalized(
+            "C2Verilog strategy: all targets share one monolithic memory and contend for its port",
+        ),
+        data_dependent_loops: Support::Ok,
+        timing_constraints: Support::Penalized("ignored; constraints live outside the language"),
+    },
+    ConstructSupport {
+        backend: "cyber",
+        par: Support::Rejected("BDL is sequential; the scheduler finds the parallelism"),
+        channels: Support::Rejected("BDL has no channels"),
+        delay: Support::Rejected("cycles come from behavioral scheduling"),
+        pointers: Support::Rejected("BDL prohibits pointers outright"),
+        multi_target_pointers: Support::Rejected("BDL prohibits pointers outright"),
+        data_dependent_loops: Support::Ok,
+        timing_constraints: Support::Penalized("ignored; scheduling constraints are external"),
+    },
+    ConstructSupport {
+        backend: "handelc",
+        par: Support::Ok,
+        channels: Support::Ok,
+        delay: Support::Ok,
+        pointers: Support::Ok,
+        multi_target_pointers: Support::Penalized(
+            "targets merge into one monolithic memory with a single port",
+        ),
+        data_dependent_loops: Support::Penalized(
+            "accepted, but a body with no assignment or delay is a zero-cycle loop and is refused",
+        ),
+        timing_constraints: Support::Penalized("ignored; timing is the per-assignment rule"),
+    },
+    ConstructSupport {
+        backend: "cash",
+        par: Support::Rejected("pure ANSI C input; concurrency is extracted, never written"),
+        channels: Support::Rejected("pure ANSI C input"),
+        delay: Support::Rejected("asynchronous target has no clock"),
+        pointers: Support::Ok,
+        multi_target_pointers: Support::Penalized(
+            "targets merge into one monolithic memory; token-serialized access",
+        ),
+        data_dependent_loops: Support::Ok,
+        timing_constraints: Support::Rejected("no cycles to budget in an asynchronous circuit"),
+    },
+    ConstructSupport {
+        backend: "ocapi",
+        par: Support::Penalized("parallelism is structural: you instantiate it, nothing is inferred"),
+        channels: Support::Penalized("hand-built as wires and handshakes"),
+        delay: Support::Ok,
+        pointers: Support::Rejected("structural descriptions have no memory model for pointers"),
+        multi_target_pointers: Support::Rejected("structural descriptions have no memory model"),
+        data_dependent_loops: Support::Penalized("written as explicit FSM states by hand"),
+        timing_constraints: Support::Penalized("implicit: one state is one cycle, by construction"),
+    },
+    ConstructSupport {
+        backend: "specc",
+        par: Support::Ok,
+        channels: Support::Ok,
+        delay: Support::Ok,
+        pointers: Support::Rejected("the synthesizable subset excludes pointers"),
+        multi_target_pointers: Support::Rejected("the synthesizable subset excludes pointers"),
+        data_dependent_loops: Support::Ok,
+        timing_constraints: Support::Penalized("refined manually into explicit states"),
+    },
+];
+
+/// Looks up the construct-support row for `backend`.
+pub fn construct_support(backend: &str) -> Option<&'static ConstructSupport> {
+    CONSTRUCT_MATRIX.iter().find(|r| r.backend == backend)
+}
+
 /// Runs inline → unroll (pragmas) → pointer elimination, staying at HIR
 /// (for the structured backends: Handel-C, HardwareC).
 ///

@@ -307,7 +307,7 @@ impl<'p> Compile<'p> {
 
     fn stmt(&mut self, s: &HirStmt, next: usize) -> Result<usize, SynthError> {
         match s {
-            HirStmt::Assign { place, value } => {
+            HirStmt::Assign { place, value, .. } => {
                 let d = self.dst(place)?;
                 let v = self.rv(value)?;
                 Ok(self.add(HcNode::Step {
@@ -316,7 +316,7 @@ impl<'p> Compile<'p> {
                 }))
             }
             HirStmt::Delay => Ok(self.add(HcNode::Delay { next })),
-            HirStmt::Send { chan, value } => {
+            HirStmt::Send { chan, value, .. } => {
                 let v = self.rv(value)?;
                 Ok(self.add(HcNode::Send {
                     chan: self.chan_of[chan],
@@ -324,7 +324,7 @@ impl<'p> Compile<'p> {
                     next,
                 }))
             }
-            HirStmt::Recv { dst, chan } => {
+            HirStmt::Recv { dst, chan, .. } => {
                 let d = self.dst(dst)?;
                 Ok(self.add(HcNode::Recv {
                     chan: self.chan_of[chan],

@@ -244,7 +244,7 @@ impl<'p> Compiler<'p> {
         let mut chunk = Chunk::default();
         for stmt in &block.stmts {
             match stmt {
-                HirStmt::Assign { place, value } => {
+                HirStmt::Assign { place, value, .. } => {
                     self.chunk_assign(&mut chunk, place, value)?;
                 }
                 HirStmt::Par(branches) => {
@@ -494,12 +494,12 @@ impl<'p> Compiler<'p> {
             chunk.cur = base.clone();
             for stmt in &b.stmts {
                 match stmt {
-                    HirStmt::Assign { place, value } => {
+                    HirStmt::Assign { place, value, .. } => {
                         self.chunk_assign(chunk, place, value)?;
                     }
                     HirStmt::Block(inner) => {
                         for s in &inner.stmts {
-                            let HirStmt::Assign { place, value } = s else {
+                            let HirStmt::Assign { place, value, .. } = s else {
                                 return Err(SynthError::Unsupported {
                                     backend: "hardwarec",
                                     what: "control flow inside par (straight-line only)"

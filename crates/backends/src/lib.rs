@@ -31,7 +31,8 @@ pub(crate) mod pipeline;
 pub mod transmogrifier;
 
 pub use common::{
-    Backend, BackendInfo, ConcurrencyModel, Design, SynthError, SynthOptions, TimingModel,
+    construct_support, prepare_structured, Backend, BackendInfo, ConcurrencyModel,
+    ConstructSupport, Design, Support, SynthError, SynthOptions, TimingModel, CONSTRUCT_MATRIX,
 };
 pub use c2v::C2Verilog;
 pub use cash::Cash;

@@ -293,12 +293,9 @@ pub(crate) fn try_pipeline(
                         let d = shadow_depth.entry(o).or_insert(0);
                         *d = (*d).max(stage_of(t_u));
                     }
-                    Some(t_l) => {
-                        // Late latch: reader must beat the overwrite.
-                        if t_u > t_l {
-                            bad = true;
-                        }
-                    }
+                    // Late latch: reader must beat the overwrite.
+                    Some(t_l) if t_u > t_l => bad = true,
+                    Some(_) => {}
                     None => {} // const/extern latch: phi is stable enough
                 }
             }

@@ -9,6 +9,8 @@
 //! chls verilog <backend> <file.chl> <entry>    synthesize and emit Verilog
 //! chls equiv <fileA.chl> <entryA> <fileB.chl> <entryB>
 //!                                              formally compare two functions
+//! chls lint <file.chl> <entry>                 static analysis: races,
+//!                                              per-backend support, cycle bounds
 //! ```
 //!
 //! `synth` and `verilog` accept `--pipeline` (hardware loop pipelining)
@@ -17,6 +19,9 @@
 //! `check` accepts `--jobs N` to run backends on N worker threads
 //! (default: the `CHLS_JOBS` environment variable, else all cores);
 //! verdict order and content are identical at any job count.
+//! `lint` accepts `--backend B` to restrict findings to one paradigm
+//! (rejections then fail the exit code) and `--json` for the
+//! machine-readable report documented in the README.
 //!
 //! Scalar arguments are integers; array arguments are comma-separated
 //! lists like `1,2,3,4`.
@@ -35,7 +40,8 @@ fn usage() -> ExitCode {
          chls check [--jobs N] <file> <entry> [args...]\n  chls ir <file> <entry>\n  \
          chls synth [--pipeline] [--narrow] <backend> <file> <entry> [args...]\n  \
          chls verilog [--pipeline] [--narrow] <backend> <file> <entry>\n  \
-         chls equiv <fileA> <entryA> <fileB> <entryB>\n\n\
+         chls equiv <fileA> <entryA> <fileB> <entryB>\n  \
+         chls lint [--backend B] [--json] <file> <entry>\n\n\
          args: integers (42) or comma-separated arrays (1,2,3)"
     );
     ExitCode::FAILURE
@@ -67,6 +73,8 @@ fn main() -> ExitCode {
     let pipeline = argv.iter().any(|a| a == "--pipeline");
     let narrow = argv.iter().any(|a| a == "--narrow");
     argv.retain(|a| a != "--pipeline" && a != "--narrow");
+    let json = argv.iter().any(|a| a == "--json");
+    argv.retain(|a| a != "--json");
     let mut jobs: Option<usize> = None;
     if let Some(i) = argv.iter().position(|a| a == "--jobs") {
         let Some(n) = argv.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
@@ -74,6 +82,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         jobs = Some(n.max(1));
+        argv.drain(i..=i + 1);
+    }
+    let mut lint_backend: Option<String> = None;
+    if let Some(i) = argv.iter().position(|a| a == "--backend") {
+        let Some(b) = argv.get(i + 1) else {
+            eprintln!("--backend needs a backend name (try `chls backends`)");
+            return ExitCode::FAILURE;
+        };
+        lint_backend = Some(b.clone());
         argv.drain(i..=i + 1);
     }
     let mut it = argv.iter();
@@ -102,6 +119,9 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            for w in compiler.rendered_warnings() {
+                eprintln!("{w}");
+            }
             match compiler.interpret(entry, &args) {
                 Ok(r) => {
                     if let Some(v) = r.ret {
@@ -137,6 +157,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if let Ok(c) = Compiler::parse(&src) {
+                for w in c.rendered_warnings() {
+                    eprintln!("{w}");
+                }
+            }
             match check_conformance_with_jobs(
                 &src,
                 entry,
@@ -199,6 +224,35 @@ fn main() -> ExitCode {
                     eprintln!("{e}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        "lint" => {
+            let (Some(file), Some(entry)) = (it.next(), it.next()) else {
+                return usage();
+            };
+            let compiler = match load(file) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = match compiler.lint(entry, lint_backend.as_deref()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render(compiler.source()));
+            }
+            if report.has_errors() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
             }
         }
         "equiv" => {

@@ -40,6 +40,30 @@ impl Compiler {
         &self.source
     }
 
+    /// Warnings collected during semantic analysis, rendered against the
+    /// source (one line per warning, note lines indented).
+    pub fn rendered_warnings(&self) -> Vec<String> {
+        self.hir
+            .warnings
+            .iter()
+            .map(|w| w.render(&self.source))
+            .collect()
+    }
+
+    /// Runs the static-analysis lint: par-race detection, per-backend
+    /// synthesizability findings, and static cycle bounds.
+    ///
+    /// # Errors
+    ///
+    /// See [`chls_analysis::LintError`].
+    pub fn lint(
+        &self,
+        entry: &str,
+        backend: Option<&str>,
+    ) -> Result<chls_analysis::LintReport, chls_analysis::LintError> {
+        chls_analysis::lint_program(&self.hir, entry, backend)
+    }
+
     /// Runs the golden-model interpreter.
     ///
     /// # Errors

@@ -36,6 +36,7 @@ pub mod programs;
 pub mod registry;
 pub mod report;
 
+pub use chls_analysis::{lint_program, LintError, LintReport};
 pub use chls_backends::{Backend, BackendInfo, Design, SynthError, SynthOptions};
 pub use chls_sim::interp;
 pub use driver::{

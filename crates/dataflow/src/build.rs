@@ -199,20 +199,18 @@ impl<'f> Builder<'f> {
                 }
             }
             match &block.term {
-                Term::Br { cond, .. } => {
+                Term::Br { cond, .. }
                     if !self.sticky_val[cond.0 as usize]
                         && self.def_block[cond.0 as usize].0 as usize != bi
-                    {
+                    => {
                         uses[bi].insert(*cond);
                     }
-                }
-                Term::Ret(Some(v)) => {
+                Term::Ret(Some(v))
                     if !self.sticky_val[v.0 as usize]
                         && self.def_block[v.0 as usize].0 as usize != bi
-                    {
+                    => {
                         uses[bi].insert(*v);
                     }
-                }
                 _ => {}
             }
         }
@@ -271,12 +269,9 @@ impl<'f> Builder<'f> {
         let node = self.g.add_node(kind, inst.ty);
         self.sticky_node.insert(v, node);
         // Wire sticky operands immediately (they are all sticky too).
-        let mut port = 0u8;
-        let operands = collect_operands(&inst.kind);
-        for o in operands {
+        for (port, o) in collect_operands(&inst.kind).into_iter().enumerate() {
             let src = self.sticky_node_for(o);
-            self.g.connect(src, node, port);
-            port += 1;
+            self.g.connect(src, node, port as u8);
         }
         node
     }
@@ -515,11 +510,9 @@ impl<'f> Builder<'f> {
                         last_token.insert(mem.0, node);
                     }
                     other => {
-                        let mut port = 0u8;
-                        for o in collect_operands(other) {
+                        for (port, o) in collect_operands(other).into_iter().enumerate() {
                             let src = self.operand(b, o);
-                            self.g.connect(src, node, port);
-                            port += 1;
+                            self.g.connect(src, node, port as u8);
                         }
                     }
                 }

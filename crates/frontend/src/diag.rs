@@ -12,6 +12,15 @@ pub enum Severity {
     Warning,
 }
 
+/// A secondary location attached to a diagnostic ("first write here …").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Note {
+    /// Human-readable message, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Where in the source the note points.
+    pub span: Span,
+}
+
 /// A single diagnostic message anchored to a source span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -21,6 +30,8 @@ pub struct Diagnostic {
     pub message: String,
     /// Where in the source the problem occurred.
     pub span: Span,
+    /// Secondary locations elaborating the diagnostic (may be empty).
+    pub notes: Vec<Note>,
 }
 
 impl Diagnostic {
@@ -30,6 +41,7 @@ impl Diagnostic {
             severity: Severity::Error,
             message: message.into(),
             span,
+            notes: Vec::new(),
         }
     }
 
@@ -39,17 +51,35 @@ impl Diagnostic {
             severity: Severity::Warning,
             message: message.into(),
             span,
+            notes: Vec::new(),
         }
     }
 
+    /// Attaches a secondary-span note; builder style.
+    pub fn with_note(mut self, message: impl Into<String>, span: Span) -> Self {
+        self.notes.push(Note {
+            message: message.into(),
+            span,
+        });
+        self
+    }
+
     /// Renders the diagnostic with line/column info resolved against `src`.
+    ///
+    /// Without notes the output is a single line, byte-identical to the
+    /// historical format; each note adds an indented `note:` line.
     pub fn render(&self, src: &str) -> String {
         let (line, col) = line_col(src, self.span.start);
         let sev = match self.severity {
             Severity::Error => "error",
             Severity::Warning => "warning",
         };
-        format!("{sev}: {} at {line}:{col}", self.message)
+        let mut out = format!("{sev}: {} at {line}:{col}", self.message);
+        for note in &self.notes {
+            let (nl, nc) = line_col(src, note.span.start);
+            out.push_str(&format!("\n  note: {} at {nl}:{nc}", note.message));
+        }
+        out
     }
 }
 
@@ -128,6 +158,17 @@ mod tests {
         let src = "int x;\nint y@;\n";
         let d = Diagnostic::error("unexpected character", Span::new(12, 13));
         assert_eq!(d.render(src), "error: unexpected character at 2:6");
+    }
+
+    #[test]
+    fn render_appends_notes() {
+        let src = "int x;\nint y@;\n";
+        let d = Diagnostic::error("unexpected character", Span::new(12, 13))
+            .with_note("declared here", Span::new(4, 5));
+        assert_eq!(
+            d.render(src),
+            "error: unexpected character at 2:6\n  note: declared here at 1:5"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!   form so the unroller can find them.
 
 use crate::ast::{BinOp, UnOp};
+use crate::span::Span;
 use crate::types::Type;
 use std::fmt;
 
@@ -73,6 +74,9 @@ pub struct HirProgram {
     pub globals: Vec<HirGlobal>,
     /// Target clock period in picoseconds from `#pragma clock_period`.
     pub clock_period_ps: Option<u64>,
+    /// Warning-severity diagnostics collected during lowering; compilation
+    /// succeeded despite them. Callers decide whether and where to print.
+    pub warnings: Vec<crate::diag::Diagnostic>,
 }
 
 impl HirProgram {
@@ -207,6 +211,9 @@ pub enum HirStmt {
         place: HirPlace,
         /// Side-effect-free value, already cast to the place's type.
         value: HirExpr,
+        /// Source location of the statement ([`Span::dummy`] when
+        /// synthesized by an optimizer rather than lowered from source).
+        span: Span,
     },
     /// `dst = func(args);` or bare `func(args);`
     Call {
@@ -216,6 +223,8 @@ pub enum HirStmt {
         func: FuncId,
         /// Actual arguments.
         args: Vec<HirArg>,
+        /// Source location of the call.
+        span: Span,
     },
     /// `dst = recv(chan);`
     Recv {
@@ -223,6 +232,8 @@ pub enum HirStmt {
         dst: HirPlace,
         /// The channel local.
         chan: LocalId,
+        /// Source location of the receive.
+        span: Span,
     },
     /// `send(chan, value);`
     Send {
@@ -230,6 +241,8 @@ pub enum HirStmt {
         chan: LocalId,
         /// Value to transmit.
         value: HirExpr,
+        /// Source location of the send.
+        span: Span,
     },
     /// Two-armed conditional (missing `else` becomes an empty block).
     If {

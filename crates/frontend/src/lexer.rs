@@ -145,7 +145,7 @@ impl<'a> Lexer<'a> {
             .filter(|&c| c != '_')
             .collect();
         // Strip C integer suffixes (u, l, ul, ll, ull in any case).
-        let trimmed = text.trim_end_matches(|c: char| matches!(c, 'u' | 'U' | 'l' | 'L'));
+        let trimmed = text.trim_end_matches(['u', 'U', 'l', 'L']);
         let span = Span::new(start as u32, self.pos as u32);
         if trimmed.is_empty() && radix != 10 {
             return Err(Diagnostic::error("missing digits in integer literal", span));

@@ -39,13 +39,185 @@ pub fn analyze(program: &ast::Program) -> Result<HirProgram, FrontendError> {
         let f = FnLower::new(&ctx, FuncId(id as u32)).lower(decl)?;
         funcs.push(f);
     }
+    let mut warnings = Vec::new();
+    for f in &funcs {
+        warnings.extend(unused_local_warnings(f));
+    }
     let prog = HirProgram {
         funcs,
         globals: ctx.globals,
         clock_period_ps: ctx.clock_period_ps,
+        warnings,
     };
     check_no_recursion(&prog)?;
     Ok(prog)
+}
+
+/// Warns about named scalar locals that are assigned but never read.
+///
+/// Parameters, compiler temporaries (`$tN`), channels, arrays, and any
+/// local whose address is taken are exempt; an unread store to the rest is
+/// almost always a bug the timing rules will silently charge cycles for.
+fn unused_local_warnings(func: &HirFunc) -> Vec<Diagnostic> {
+    #[derive(Default)]
+    struct Uses {
+        read: Vec<bool>,
+        addr_taken: Vec<bool>,
+        first_write: Vec<Option<Span>>,
+    }
+    impl Uses {
+        fn place_read(&mut self, p: &HirPlace) {
+            match p {
+                HirPlace::Local(id) => self.read[id.0 as usize] = true,
+                HirPlace::Global(_) => {}
+                HirPlace::Index { base, index } => {
+                    self.place_read(base);
+                    self.expr(index);
+                }
+                HirPlace::Deref(ptr) => self.expr(ptr),
+            }
+        }
+        fn place_written(&mut self, p: &HirPlace, span: Span) {
+            match p {
+                HirPlace::Local(id) => {
+                    let slot = &mut self.first_write[id.0 as usize];
+                    if slot.is_none() {
+                        *slot = Some(span);
+                    }
+                }
+                HirPlace::Global(_) => {}
+                // Writing one element still needs the whole array live.
+                HirPlace::Index { base, index } => {
+                    self.place_read(base);
+                    self.expr(index);
+                }
+                HirPlace::Deref(ptr) => self.expr(ptr),
+            }
+        }
+        fn expr(&mut self, e: &HirExpr) {
+            match &e.kind {
+                HirExprKind::Const(_) => {}
+                HirExprKind::Load(p) => self.place_read(p),
+                HirExprKind::Unary(_, a) | HirExprKind::Cast(a) => self.expr(a),
+                HirExprKind::Binary(_, a, b) => {
+                    self.expr(a);
+                    self.expr(b);
+                }
+                HirExprKind::Select(c, t, f) => {
+                    self.expr(c);
+                    self.expr(t);
+                    self.expr(f);
+                }
+                HirExprKind::AddrOf(p) => {
+                    if let Some(id) = p.root_local() {
+                        self.addr_taken[id.0 as usize] = true;
+                    }
+                    self.place_read(p);
+                }
+            }
+        }
+        fn block(&mut self, b: &HirBlock) {
+            for s in &b.stmts {
+                self.stmt(s);
+            }
+        }
+        fn stmt(&mut self, s: &HirStmt) {
+            match s {
+                HirStmt::Assign { place, value, span } => {
+                    self.place_written(place, *span);
+                    self.expr(value);
+                }
+                HirStmt::Call {
+                    dst, args, span, ..
+                } => {
+                    if let Some(p) = dst {
+                        self.place_written(p, *span);
+                    }
+                    for a in args {
+                        match a {
+                            HirArg::Value(e) => self.expr(e),
+                            // By-reference arrays may be written or read
+                            // inside the callee; treat as both.
+                            HirArg::Array(p) => self.place_read(p),
+                        }
+                    }
+                }
+                HirStmt::Recv { dst, chan, span } => {
+                    self.place_written(dst, *span);
+                    self.read[chan.0 as usize] = true;
+                }
+                HirStmt::Send { chan, value, .. } => {
+                    self.read[chan.0 as usize] = true;
+                    self.expr(value);
+                }
+                HirStmt::If { cond, then, els } => {
+                    self.expr(cond);
+                    self.block(then);
+                    self.block(els);
+                }
+                HirStmt::While { cond, body, .. } => {
+                    self.expr(cond);
+                    self.block(body);
+                }
+                HirStmt::DoWhile { body, cond } => {
+                    self.block(body);
+                    self.expr(cond);
+                }
+                HirStmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    ..
+                } => {
+                    self.block(init);
+                    self.expr(cond);
+                    self.block(step);
+                    self.block(body);
+                }
+                HirStmt::Return(v) => {
+                    if let Some(e) = v {
+                        self.expr(e);
+                    }
+                }
+                HirStmt::Break | HirStmt::Continue | HirStmt::Delay => {}
+                HirStmt::Block(b) => self.block(b),
+                HirStmt::Par(arms) => {
+                    for arm in arms {
+                        self.block(arm);
+                    }
+                }
+                HirStmt::Constraint { body, .. } => self.block(body),
+            }
+        }
+    }
+
+    let n = func.locals.len();
+    let mut uses = Uses {
+        read: vec![false; n],
+        addr_taken: vec![false; n],
+        first_write: vec![None; n],
+    };
+    uses.block(&func.body);
+    let mut out = Vec::new();
+    for (i, local) in func.locals.iter().enumerate() {
+        if local.is_param || local.name.starts_with("$t") || !local.ty.is_scalar() {
+            continue;
+        }
+        if uses.read[i] || uses.addr_taken[i] {
+            continue;
+        }
+        if let Some(span) = uses.first_write[i] {
+            out.push(Diagnostic::warning(
+                format!(
+                    "local `{}` in `{}` is assigned but its value is never read",
+                    local.name, func.name
+                ),
+                span,
+            ));
+        }
+    }
+    out
 }
 
 /// A name binding visible in some scope.
@@ -517,6 +689,7 @@ impl<'a> FnLower<'a> {
                 out.push(HirStmt::Send {
                     chan: chan_id,
                     value: v,
+                    span: stmt.span,
                 });
                 Ok(())
             }
@@ -586,6 +759,7 @@ impl<'a> FnLower<'a> {
                     out.push(HirStmt::Assign {
                         place: HirPlace::Local(id),
                         value: v,
+                        span: decl.span,
                     });
                 } else if let Some(Init::List(_, span)) = init {
                     return Err(err("scalar cannot take a list initializer", *span));
@@ -629,10 +803,10 @@ impl<'a> FnLower<'a> {
     /// Lowers an expression to a boolean condition.
     fn lower_cond(&mut self, e: &Expr, out: &mut Vec<HirStmt>) -> Result<HirExpr, FrontendError> {
         let v = self.lower_expr(e, out)?;
-        self.to_bool(v, e.span)
+        self.coerce_bool(v, e.span)
     }
 
-    fn to_bool(&mut self, e: HirExpr, span: Span) -> Result<HirExpr, FrontendError> {
+    fn coerce_bool(&mut self, e: HirExpr, span: Span) -> Result<HirExpr, FrontendError> {
         match &e.ty {
             Type::Bool => Ok(e),
             Type::Int(_) | Type::Ptr(_) => {
@@ -690,20 +864,13 @@ impl<'a> FnLower<'a> {
             return Ok(Some(self.lower_expr(&as_prefix, out)?));
         }
         if let ExprKind::Call { callee, args } = &e.kind {
-            let (func, ret_ty) = self.resolve_call(callee, e.span)?;
+            let (func, _ret_ty) = self.resolve_call(callee, e.span)?;
             let args = self.lower_args(func, args, e.span, out)?;
-            if ret_ty == Type::Void {
-                out.push(HirStmt::Call {
-                    dst: None,
-                    func,
-                    args,
-                });
-                return Ok(None);
-            }
             out.push(HirStmt::Call {
                 dst: None,
                 func,
                 args,
+                span: e.span,
             });
             return Ok(None);
         }
@@ -932,7 +1099,7 @@ impl<'a> FnLower<'a> {
                 let v = self.lower_expr(inner, out)?;
                 match op {
                     UnOp::LogNot => {
-                        let b = self.to_bool(v, inner.span)?;
+                        let b = self.coerce_bool(v, inner.span)?;
                         Ok(HirExpr {
                             ty: Type::Bool,
                             kind: HirExprKind::Unary(UnOp::LogNot, Box::new(b)),
@@ -1003,6 +1170,7 @@ impl<'a> FnLower<'a> {
                 out.push(HirStmt::Assign {
                     place: place.clone(),
                     value: rhs,
+                    span: e.span,
                 });
                 Ok(HirExpr {
                     ty: pty,
@@ -1045,6 +1213,7 @@ impl<'a> FnLower<'a> {
                     dst: Some(HirPlace::Local(tmp)),
                     func,
                     args,
+                    span: e.span,
                 });
                 Ok(HirExpr {
                     ty: ret_ty,
@@ -1091,6 +1260,7 @@ impl<'a> FnLower<'a> {
                 out.push(HirStmt::Recv {
                     dst: HirPlace::Local(tmp),
                     chan: chan_id,
+                    span: e.span,
                 });
                 Ok(HirExpr {
                     ty: elem_ty,
@@ -1114,6 +1284,7 @@ impl<'a> FnLower<'a> {
                     out.push(HirStmt::Assign {
                         place: HirPlace::Local(tmp),
                         value: cur.clone(),
+                        span: e.span,
                     });
                     Some(tmp)
                 };
@@ -1124,6 +1295,7 @@ impl<'a> FnLower<'a> {
                 out.push(HirStmt::Assign {
                     place: place.clone(),
                     value: updated,
+                    span: e.span,
                 });
                 let load_of = match result {
                     Some(tmp) => HirPlace::Local(tmp),

@@ -29,7 +29,7 @@ impl IntType {
     /// Panics if `width` is 0 or greater than [`MAX_WIDTH`].
     pub fn new(width: u16, signed: bool) -> Self {
         assert!(
-            width >= 1 && width <= MAX_WIDTH,
+            (1..=MAX_WIDTH).contains(&width),
             "integer width {width} out of range 1..={MAX_WIDTH}"
         );
         IntType { width, signed }

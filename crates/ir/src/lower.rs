@@ -295,7 +295,7 @@ impl<'a> Lower<'a> {
 
     fn lower_stmt(&mut self, stmt: &HirStmt) -> Result<(), LowerError> {
         match stmt {
-            HirStmt::Assign { place, value } => {
+            HirStmt::Assign { place, value, .. } => {
                 let v = self.lower_expr(value)?;
                 self.store_place(place, v)
             }

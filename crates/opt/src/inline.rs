@@ -13,7 +13,7 @@
 
 use crate::subst::{remap_block, LocalBinding};
 use chls_frontend::hir::*;
-use chls_frontend::Type;
+use chls_frontend::{Span, Type};
 use std::fmt;
 
 /// Inlining errors.
@@ -65,6 +65,7 @@ pub fn inline_program(prog: &HirProgram, entry: FuncId) -> Result<HirProgram, In
         funcs: vec![func],
         globals: prog.globals.clone(),
         clock_period_ps: prog.clock_period_ps,
+        warnings: Vec::new(),
     })
 }
 
@@ -114,7 +115,12 @@ impl Inliner<'_> {
 
     fn expand_stmt(&mut self, stmt: &HirStmt, out: &mut Vec<HirStmt>) -> Result<(), InlineError> {
         match stmt {
-            HirStmt::Call { dst, func, args } => self.splice(*func, args, dst.clone(), out),
+            HirStmt::Call {
+                dst,
+                func,
+                args,
+                span,
+            } => self.splice(*func, args, dst.clone(), *span, out),
             HirStmt::If { cond, then, els } => {
                 out.push(HirStmt::If {
                     cond: cond.clone(),
@@ -183,6 +189,7 @@ impl Inliner<'_> {
         callee_id: FuncId,
         args: &[HirArg],
         dst: Option<HirPlace>,
+        call_span: Span,
         out: &mut Vec<HirStmt>,
     ) -> Result<(), InlineError> {
         let callee = self.prog.func(callee_id);
@@ -219,6 +226,7 @@ impl Inliner<'_> {
                 out.push(HirStmt::Assign {
                     place: HirPlace::Local(fresh),
                     value: e.clone(),
+                    span: call_span,
                 });
             }
         }
@@ -242,6 +250,7 @@ impl Inliner<'_> {
                     out.push(HirStmt::Assign {
                         place: dst,
                         value: v,
+                        span: call_span,
                     });
                 }
             }
@@ -263,6 +272,7 @@ impl Inliner<'_> {
         out.push(HirStmt::Assign {
             place: HirPlace::Local(done),
             value: HirExpr::konst(0, Type::Bool),
+            span: call_span,
         });
         let guarded = guard_returns(&body, done, ret_local);
         let expanded = self.expand_block(&guarded)?;
@@ -274,6 +284,7 @@ impl Inliner<'_> {
                     kind: HirExprKind::Load(Box::new(HirPlace::Local(rl))),
                     ty: self.locals[rl.0 as usize].ty.clone(),
                 },
+                span: call_span,
             });
         }
         Ok(())
@@ -381,11 +392,13 @@ fn guard_stmt(stmt: &HirStmt, done: LocalId, ret: Option<LocalId>) -> (Vec<HirSt
                 out.push(HirStmt::Assign {
                     place: HirPlace::Local(rl),
                     value: e.clone(),
+                    span: Span::dummy(),
                 });
             }
             out.push(HirStmt::Assign {
                 place: HirPlace::Local(done),
                 value: HirExpr::konst(1, Type::Bool),
+                span: Span::dummy(),
             });
             (out, true)
         }

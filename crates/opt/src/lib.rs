@@ -30,3 +30,4 @@ pub mod unroll;
 
 
 pub use inline::{inline_program, InlineError};
+pub use ptr::{points_to, PointsTo};

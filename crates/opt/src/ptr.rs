@@ -77,12 +77,47 @@ enum PtrLowering {
     Dead,
 }
 
-/// Eliminates pointers from `func` (in place), returning statistics.
+/// Result of the Andersen-style points-to query over one function.
 ///
-/// # Errors
+/// This is the analysis half of [`lower_pointers`], exposed as a reusable
+/// query so other consumers — the par-race detector in `chls-analysis`,
+/// the per-backend synthesizability lints — can resolve `Deref` accesses
+/// without committing to (or mutating anything for) a lowering.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PointsTo {
+    /// May-point-to sets: pointer local → locals it may target.
+    pub pts: BTreeMap<LocalId, BTreeSet<LocalId>>,
+    /// Targets the heap cascade forces into the shared monolithic memory:
+    /// every target of a multi-target pointer, transitively closed over
+    /// pointers that can reach an already-heapified object.
+    pub heap: BTreeSet<LocalId>,
+    /// Fixpoint iterations the copy-constraint solver took.
+    pub iterations: usize,
+}
+
+impl PointsTo {
+    /// Iterates the may-point-to set of `p` (empty for non-pointers and
+    /// dead pointers).
+    pub fn targets(&self, p: LocalId) -> impl Iterator<Item = LocalId> + '_ {
+        self.pts.get(&p).into_iter().flatten().copied()
+    }
+
+    /// Pointers whose points-to set has more than one element — the ones
+    /// a C2Verilog-style flow must serve from one monolithic memory.
+    pub fn multi_target(&self) -> impl Iterator<Item = LocalId> + '_ {
+        self.pts
+            .iter()
+            .filter(|(_, set)| set.len() > 1)
+            .map(|(&p, _)| p)
+    }
+}
+
+/// Computes may-point-to sets for every pointer-typed local of `func`.
 ///
-/// See [`PtrError`].
-pub fn lower_pointers(func: &mut HirFunc, stats_out: &mut PtrStats) -> Result<(), PtrError> {
+/// Flow-insensitive Andersen-style fixpoint over assignment constraints;
+/// read-only (the lowering in [`lower_pointers`] consumes this query and
+/// then rewrites).
+pub fn points_to(func: &HirFunc) -> PointsTo {
     let ptr_locals: Vec<LocalId> = func
         .locals
         .iter()
@@ -90,12 +125,10 @@ pub fn lower_pointers(func: &mut HirFunc, stats_out: &mut PtrStats) -> Result<()
         .filter(|(_, l)| matches!(l.ty, Type::Ptr(_)))
         .map(|(i, _)| LocalId(i as u32))
         .collect();
-    stats_out.pointers = ptr_locals.len();
     if ptr_locals.is_empty() {
-        return Ok(());
+        return PointsTo::default();
     }
 
-    // ---- Andersen-style analysis ----
     // pts[p]: set of target locals; copies[q] -> {p}: pts(q) ⊆ pts(p).
     let mut pts: BTreeMap<LocalId, BTreeSet<LocalId>> = BTreeMap::new();
     let mut copies: BTreeMap<LocalId, BTreeSet<LocalId>> = BTreeMap::new();
@@ -122,9 +155,7 @@ pub fn lower_pointers(func: &mut HirFunc, stats_out: &mut PtrStats) -> Result<()
             break;
         }
     }
-    stats_out.iterations = iterations;
 
-    // ---- Lowering decisions ----
     // Heap cascade: any pointer with >1 targets heapifies those targets;
     // any pointer touching a heapified target becomes absolute as well.
     let mut heap: BTreeSet<LocalId> = BTreeSet::new();
@@ -136,7 +167,7 @@ pub fn lower_pointers(func: &mut HirFunc, stats_out: &mut PtrStats) -> Result<()
     loop {
         let mut changed = false;
         for set in pts.values() {
-            if set.iter().any(|t| heap.contains(t)) && set.len() > 0 {
+            if set.iter().any(|t| heap.contains(t)) && !set.is_empty() {
                 for t in set {
                     changed |= heap.insert(*t);
                 }
@@ -147,6 +178,37 @@ pub fn lower_pointers(func: &mut HirFunc, stats_out: &mut PtrStats) -> Result<()
         }
     }
 
+    PointsTo {
+        pts,
+        heap,
+        iterations,
+    }
+}
+
+/// Eliminates pointers from `func` (in place), returning statistics.
+///
+/// # Errors
+///
+/// See [`PtrError`].
+pub fn lower_pointers(func: &mut HirFunc, stats_out: &mut PtrStats) -> Result<(), PtrError> {
+    let ptr_locals: Vec<LocalId> = func
+        .locals
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| matches!(l.ty, Type::Ptr(_)))
+        .map(|(i, _)| LocalId(i as u32))
+        .collect();
+    stats_out.pointers = ptr_locals.len();
+    if ptr_locals.is_empty() {
+        return Ok(());
+    }
+
+    // ---- Andersen-style analysis (shared query) ----
+    let analysis = points_to(func);
+    stats_out.iterations = analysis.iterations;
+    let PointsTo { pts, heap, .. } = analysis;
+
+    // ---- Lowering decisions ----
     let mut lowering: BTreeMap<LocalId, PtrLowering> = BTreeMap::new();
     for &p in &ptr_locals {
         let set = &pts[&p];
@@ -199,7 +261,7 @@ pub fn lower_pointers(func: &mut HirFunc, stats_out: &mut PtrStats) -> Result<()
             heaps_by_ty.insert(key, (heap_local, next_base + len));
         }
         // Patch heap sizes and neutralize moved locals.
-        for (_, &(hl, total)) in &heaps_by_ty {
+        for &(hl, total) in heaps_by_ty.values() {
             if let Type::Array(e, _) = func.locals[hl.0 as usize].ty.clone() {
                 func.locals[hl.0 as usize].ty = Type::Array(e, total.max(1));
             }
@@ -242,12 +304,12 @@ fn collect_constraints(
 ) {
     for stmt in &block.stmts {
         match stmt {
-            HirStmt::Assign { place, value } => {
-                if let HirPlace::Local(p) = place {
-                    if pts.contains_key(p) {
-                        add_sources(value, *p, pts, copies);
-                    }
-                }
+            HirStmt::Assign {
+                place: HirPlace::Local(p),
+                value,
+                ..
+            } if pts.contains_key(p) => {
+                add_sources(value, *p, pts, copies);
             }
             HirStmt::If { then, els, .. } => {
                 collect_constraints(then, pts, copies);
@@ -357,7 +419,7 @@ fn walk_derefs_place(p: &HirPlace, f: &mut impl FnMut(&HirExpr)) {
 fn visit_exprs(block: &HirBlock, f: &mut impl FnMut(&HirExpr)) {
     for s in &block.stmts {
         match s {
-            HirStmt::Assign { place, value } => {
+            HirStmt::Assign { place, value, .. } => {
                 visit_place_exprs(place, f);
                 f(value);
             }
@@ -476,18 +538,21 @@ impl Rewrite {
 
     fn stmt(&self, s: &HirStmt) -> HirStmt {
         match s {
-            HirStmt::Assign { place, value } => HirStmt::Assign {
+            HirStmt::Assign { place, value, span } => HirStmt::Assign {
                 place: self.place(place),
                 value: self.expr(value),
+                span: *span,
             },
             HirStmt::Call { .. } => s.clone(), // inlining ran first; unreachable in practice
-            HirStmt::Recv { dst, chan } => HirStmt::Recv {
+            HirStmt::Recv { dst, chan, span } => HirStmt::Recv {
                 dst: self.place(dst),
                 chan: *chan,
+                span: *span,
             },
-            HirStmt::Send { chan, value } => HirStmt::Send {
+            HirStmt::Send { chan, value, span } => HirStmt::Send {
                 chan: *chan,
                 value: self.expr(value),
+                span: *span,
             },
             HirStmt::If { cond, then, els } => HirStmt::If {
                 cond: self.expr(cond),
@@ -672,6 +737,33 @@ mod tests {
     use crate::inline::inline_program;
     use chls_frontend::compile_to_hir;
     use chls_ir::exec::{execute, ArgValue, ExecOptions};
+
+    #[test]
+    fn points_to_query_reports_aliases() {
+        let hir = compile_to_hir(
+            "int f(int c) {
+                 int x = 1; int y = 2;
+                 int *p = &x;
+                 if (c) { p = &y; }
+                 return *p;
+             }",
+        )
+        .unwrap();
+        let (_, f) = hir.func_by_name("f").unwrap();
+        let q = points_to(f);
+        let lid = |name: &str| {
+            LocalId(
+                f.locals.iter().position(|l| l.name == name).unwrap() as u32
+            )
+        };
+        let targets: Vec<LocalId> = q.targets(lid("p")).collect();
+        assert_eq!(targets, vec![lid("x"), lid("y")]);
+        // Multi-target pointer → both targets heapified by the cascade.
+        assert_eq!(q.multi_target().collect::<Vec<_>>(), vec![lid("p")]);
+        assert!(q.heap.contains(&lid("x")) && q.heap.contains(&lid("y")));
+        // The query is read-only: the function still has its pointer.
+        assert!(matches!(f.local(lid("p")).ty, Type::Ptr(_)));
+    }
 
     fn run_lowered(src: &str, entry: &str, args: &[ArgValue]) -> (Option<i64>, PtrStats) {
         let prog = compile_to_hir(src).expect("frontend ok");

@@ -49,16 +49,14 @@ fn replace_uses(f: &mut Function, from: Value, to: Value) {
     }
     for block in &mut f.blocks {
         match &mut block.term {
-            Term::Br { cond, .. } => {
-                if *cond == from {
+            Term::Br { cond, .. }
+                if *cond == from => {
                     *cond = to;
                 }
-            }
-            Term::Ret(Some(v)) => {
-                if *v == from {
+            Term::Ret(Some(v))
+                if *v == from => {
                     *v = to;
                 }
-            }
             _ => {}
         }
     }
@@ -205,8 +203,8 @@ fn prune_unreachable(f: &mut Function, stats: &mut SimplifyStats) -> bool {
         }
     }
     let mut changed = false;
-    for bi in 0..f.blocks.len() {
-        if reachable[bi] {
+    for (bi, live) in reachable.iter().enumerate() {
+        if *live {
             continue;
         }
         let self_jump = matches!(f.blocks[bi].term, Term::Jump(t) if t.0 as usize == bi);

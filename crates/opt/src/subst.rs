@@ -75,11 +75,17 @@ pub fn remap_expr(e: &HirExpr, map: &[LocalBinding]) -> HirExpr {
 
 fn remap_stmt(stmt: &HirStmt, map: &[LocalBinding]) -> HirStmt {
     match stmt {
-        HirStmt::Assign { place, value } => HirStmt::Assign {
+        HirStmt::Assign { place, value, span } => HirStmt::Assign {
             place: remap_place(place, map),
             value: remap_expr(value, map),
+            span: *span,
         },
-        HirStmt::Call { dst, func, args } => HirStmt::Call {
+        HirStmt::Call {
+            dst,
+            func,
+            args,
+            span,
+        } => HirStmt::Call {
             dst: dst.as_ref().map(|p| remap_place(p, map)),
             func: *func,
             args: args
@@ -89,14 +95,17 @@ fn remap_stmt(stmt: &HirStmt, map: &[LocalBinding]) -> HirStmt {
                     HirArg::Array(p) => HirArg::Array(remap_place(p, map)),
                 })
                 .collect(),
+            span: *span,
         },
-        HirStmt::Recv { dst, chan } => HirStmt::Recv {
+        HirStmt::Recv { dst, chan, span } => HirStmt::Recv {
             dst: remap_place(dst, map),
             chan: remap_local(*chan, map),
+            span: *span,
         },
-        HirStmt::Send { chan, value } => HirStmt::Send {
+        HirStmt::Send { chan, value, span } => HirStmt::Send {
             chan: remap_local(*chan, map),
             value: remap_expr(value, map),
+            span: *span,
         },
         HirStmt::If { cond, then, els } => HirStmt::If {
             cond: remap_expr(cond, map),
@@ -212,11 +221,17 @@ pub fn subst_local_in_block(block: &HirBlock, target: LocalId, repl: &HirExpr) -
 
 fn subst_local_in_stmt(stmt: &HirStmt, target: LocalId, repl: &HirExpr) -> HirStmt {
     match stmt {
-        HirStmt::Assign { place, value } => HirStmt::Assign {
+        HirStmt::Assign { place, value, span } => HirStmt::Assign {
             place: subst_local_in_place(place, target, repl),
             value: subst_local_in_expr(value, target, repl),
+            span: *span,
         },
-        HirStmt::Call { dst, func, args } => HirStmt::Call {
+        HirStmt::Call {
+            dst,
+            func,
+            args,
+            span,
+        } => HirStmt::Call {
             dst: dst.as_ref().map(|p| subst_local_in_place(p, target, repl)),
             func: *func,
             args: args
@@ -226,14 +241,17 @@ fn subst_local_in_stmt(stmt: &HirStmt, target: LocalId, repl: &HirExpr) -> HirSt
                     HirArg::Array(p) => HirArg::Array(subst_local_in_place(p, target, repl)),
                 })
                 .collect(),
+            span: *span,
         },
-        HirStmt::Recv { dst, chan } => HirStmt::Recv {
+        HirStmt::Recv { dst, chan, span } => HirStmt::Recv {
             dst: subst_local_in_place(dst, target, repl),
             chan: *chan,
+            span: *span,
         },
-        HirStmt::Send { chan, value } => HirStmt::Send {
+        HirStmt::Send { chan, value, span } => HirStmt::Send {
             chan: *chan,
             value: subst_local_in_expr(value, target, repl),
+            span: *span,
         },
         HirStmt::If { cond, then, els } => HirStmt::If {
             cond: subst_local_in_expr(cond, target, repl),

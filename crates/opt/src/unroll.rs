@@ -16,7 +16,7 @@
 use crate::subst::{block_writes_local, subst_local_in_block};
 use chls_frontend::ast::BinOp;
 use chls_frontend::hir::*;
-use chls_frontend::Type;
+use chls_frontend::{Span, Type};
 use chls_ir::{eval_bin, BinKind};
 use std::fmt;
 
@@ -79,6 +79,7 @@ pub fn recognize(
         [HirStmt::Assign {
             place: HirPlace::Local(var),
             value,
+            ..
         }] => match value.as_const() {
             Some(c) => (*var, c),
             None => return Err(UnrollError::NotCanonical),
@@ -102,6 +103,7 @@ pub fn recognize(
         [HirStmt::Assign {
             place: HirPlace::Local(v),
             value,
+            ..
         }] if *v == var => match &value.kind {
             HirExprKind::Binary(dir @ (BinOp::Add | BinOp::Sub), a, b) => {
                 match (&a.kind, b.as_const()) {
@@ -327,6 +329,7 @@ fn emit_unrolled(
         out.push(HirStmt::Assign {
             place: HirPlace::Local(canon.var),
             value: HirExpr::konst(post_loop_value(canon), var_ty),
+            span: Span::dummy(),
         });
         return;
     }
@@ -376,6 +379,7 @@ fn emit_unrolled(
         out.push(HirStmt::Assign {
             place: HirPlace::Local(canon.var),
             value: HirExpr::konst(post_loop_value(canon), var_ty),
+            span: Span::dummy(),
         });
     }
 }

@@ -232,6 +232,7 @@ pub enum ActionKind {
 
 /// Control transfer out of a state.
 #[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
 pub enum NextState {
     /// Unconditional.
     Goto(StateId),
@@ -253,6 +254,7 @@ pub enum NextState {
         default: StateId,
     },
     /// Execution complete; the return value (if any) is sampled.
+    #[default]
     Done,
 }
 
@@ -265,11 +267,6 @@ pub struct State {
     pub next: NextState,
 }
 
-impl Default for NextState {
-    fn default() -> Self {
-        NextState::Done
-    }
-}
 
 /// A complete FSMD design.
 #[derive(Debug, Clone, PartialEq, Default)]

@@ -115,7 +115,6 @@ pub fn fsmd_to_netlist(f: &Fsmd) -> Netlist {
     // hardware would read garbage it then ignores).
     fn build_rv(
         nl: &mut Netlist,
-        f: &Fsmd,
         regs: &[CellId],
         rams: &[RamId],
         inputs: &[CellId],
@@ -127,27 +126,27 @@ pub fn fsmd_to_netlist(f: &Fsmd) -> Netlist {
             RvKind::Reg(r) => regs[r.0 as usize],
             RvKind::Input(i) => inputs[*i],
             RvKind::Un(op, a) => {
-                let av = build_rv(nl, f, regs, rams, inputs, gate, a);
+                let av = build_rv(nl, regs, rams, inputs, gate, a);
                 nl.add(CellKind::Un(*op, av), rv.ty)
             }
             RvKind::Bin(op, a, b) => {
-                let av = build_rv(nl, f, regs, rams, inputs, gate, a);
-                let bv = build_rv(nl, f, regs, rams, inputs, gate, b);
+                let av = build_rv(nl, regs, rams, inputs, gate, a);
+                let bv = build_rv(nl, regs, rams, inputs, gate, b);
                 nl.add(CellKind::Bin(*op, av, bv), rv.ty)
             }
             RvKind::Mux(s, a, b) => {
-                let sv = build_rv(nl, f, regs, rams, inputs, gate, s);
-                let av = build_rv(nl, f, regs, rams, inputs, gate, a);
-                let bv = build_rv(nl, f, regs, rams, inputs, gate, b);
+                let sv = build_rv(nl, regs, rams, inputs, gate, s);
+                let av = build_rv(nl, regs, rams, inputs, gate, a);
+                let bv = build_rv(nl, regs, rams, inputs, gate, b);
                 nl.add(CellKind::Mux { sel: sv, a: av, b: bv }, rv.ty)
             }
             RvKind::Cast(a) => {
-                let av = build_rv(nl, f, regs, rams, inputs, gate, a);
+                let av = build_rv(nl, regs, rams, inputs, gate, a);
                 let from = a.ty;
                 nl.add(CellKind::Cast { from, val: av }, rv.ty)
             }
             RvKind::MemRead { mem, addr } => {
-                let av = build_rv(nl, f, regs, rams, inputs, gate, addr);
+                let av = build_rv(nl, regs, rams, inputs, gate, addr);
                 let aty = nl.cell(av).ty;
                 let z = nl.add(CellKind::Const(0), aty);
                 let gated = nl.add(CellKind::Mux { sel: gate, a: av, b: z }, aty);
@@ -175,13 +174,13 @@ pub fn fsmd_to_netlist(f: &Fsmd) -> Netlist {
             let guard = match &action.guard {
                 None => active,
                 Some(g) => {
-                    let gv = build_rv(&mut nl, f, &regs, &rams, &inputs, active, g);
+                    let gv = build_rv(&mut nl, &regs, &rams, &inputs, active, g);
                     nl.add(CellKind::Bin(BinKind::And, active, gv), u1())
                 }
             };
             match &action.kind {
                 ActionKind::SetReg(r, rv) => {
-                    let v = build_rv(&mut nl, f, &regs, &rams, &inputs, guard, rv);
+                    let v = build_rv(&mut nl, &regs, &rams, &inputs, guard, rv);
                     let prev = reg_next[r.0 as usize];
                     reg_next[r.0 as usize] = nl.add(
                         CellKind::Mux {
@@ -193,8 +192,8 @@ pub fn fsmd_to_netlist(f: &Fsmd) -> Netlist {
                     );
                 }
                 ActionKind::MemWrite { mem, addr, value } => {
-                    let av = build_rv(&mut nl, f, &regs, &rams, &inputs, guard, addr);
-                    let vv = build_rv(&mut nl, f, &regs, &rams, &inputs, guard, value);
+                    let av = build_rv(&mut nl, &regs, &rams, &inputs, guard, addr);
+                    let vv = build_rv(&mut nl, &regs, &rams, &inputs, guard, value);
                     nl.add(
                         CellKind::RamWrite {
                             ram: rams[mem.0 as usize],
@@ -221,7 +220,7 @@ pub fn fsmd_to_netlist(f: &Fsmd) -> Netlist {
                 );
             }
             NextState::Branch { cond, then, els } => {
-                let cv = build_rv(&mut nl, f, &regs, &rams, &inputs, active, cond);
+                let cv = build_rv(&mut nl, &regs, &rams, &inputs, active, cond);
                 let tv = nl.add(CellKind::Const(then.0 as i64), state_ty);
                 let ev = nl.add(CellKind::Const(els.0 as i64), state_ty);
                 let pick = nl.add(CellKind::Mux { sel: cv, a: tv, b: ev }, state_ty);
@@ -237,7 +236,7 @@ pub fn fsmd_to_netlist(f: &Fsmd) -> Netlist {
             NextState::Cases { cases, default } => {
                 let mut pick = nl.add(CellKind::Const(default.0 as i64), state_ty);
                 for (c, t) in cases.iter().rev() {
-                    let cv = build_rv(&mut nl, f, &regs, &rams, &inputs, active, c);
+                    let cv = build_rv(&mut nl, &regs, &rams, &inputs, active, c);
                     let tv = nl.add(CellKind::Const(t.0 as i64), state_ty);
                     pick = nl.add(
                         CellKind::Mux {
@@ -268,7 +267,7 @@ pub fn fsmd_to_netlist(f: &Fsmd) -> Netlist {
                     u1(),
                 );
                 if let (Some(rr), Some(ret_rv)) = (ret_reg, f.ret.as_ref()) {
-                    let v = build_rv(&mut nl, f, &regs, &rams, &inputs, active, ret_rv);
+                    let v = build_rv(&mut nl, &regs, &rams, &inputs, active, ret_rv);
                     let _ = rr;
                     ret_next = nl.add(
                         CellKind::Mux {

@@ -126,7 +126,7 @@ pub fn force_directed(dfg: &Dfg, period_ns: f64, deadline: u32) -> Schedule {
         .map(|i| cycle[i] + duration[i])
         .max()
         .unwrap_or(1)
-        .max(deadline.min(u32::MAX));
+        .max(deadline);
     Schedule {
         cycle,
         arrival_ns: vec![0.0; n],

@@ -210,10 +210,11 @@ pub fn list_schedule(dfg: &Dfg, period_ns: f64, res: &Resources) -> Schedule {
     let preds = dfg.preds();
     let asap_sched = asap(dfg, period_ns);
     let alap_sched = alap(dfg, period_ns, asap_sched.length.max(1));
-    let mut duration = vec![1u32; n];
-    for i in 0..n {
-        duration[i] = cycles_needed(dfg.nodes[i].delay_ns, period_ns);
-    }
+    let duration: Vec<u32> = dfg
+        .nodes
+        .iter()
+        .map(|nd| cycles_needed(nd.delay_ns, period_ns))
+        .collect();
 
     let mut cycle = vec![u32::MAX; n];
     let mut arrival = vec![0f64; n];

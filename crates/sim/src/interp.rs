@@ -87,17 +87,41 @@ pub struct InterpResult {
     pub steps: u64,
 }
 
+/// How `par` arms are scheduled.
+///
+/// The C-like-language problem the paper dwells on: a program whose
+/// `par` arms race on shared state has no single meaning, and different
+/// (all legal) schedules give different answers. The non-default orders
+/// exist to *demonstrate* that divergence deterministically — a
+/// lint-clean program must compute the same result under all three.
+/// Sequential orders cannot perform a rendezvous (one arm would block
+/// forever waiting for a sibling that never runs), so programs using
+/// channels inside `par` must use [`ParOrder::Concurrent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParOrder {
+    /// One thread per arm; rendezvous channels synchronize (default).
+    #[default]
+    Concurrent,
+    /// Run arms to completion left-to-right on one thread.
+    Sequential,
+    /// Run arms to completion right-to-left on one thread.
+    Reversed,
+}
+
 /// Interpreter options.
 #[derive(Debug, Clone)]
 pub struct InterpOptions {
     /// Abort after this many executed statements.
     pub step_limit: u64,
+    /// `par` arm scheduling.
+    pub par_order: ParOrder,
 }
 
 impl Default for InterpOptions {
     fn default() -> Self {
         InterpOptions {
             step_limit: 50_000_000,
+            par_order: ParOrder::Concurrent,
         }
     }
 }
@@ -225,6 +249,7 @@ pub fn run(
         prog,
         steps: &steps,
         step_limit: opts.step_limit,
+        par_order: opts.par_order,
     };
 
     // Bind the entry frame from the arguments.
@@ -305,6 +330,7 @@ struct Interp<'p> {
     prog: &'p HirProgram,
     steps: &'p AtomicU64,
     step_limit: u64,
+    par_order: ParOrder,
 }
 
 impl<'p> Interp<'p> {
@@ -378,19 +404,19 @@ impl<'p> Interp<'p> {
     ) -> Result<Flow, InterpError> {
         self.tick()?;
         match stmt {
-            HirStmt::Assign { place, value } => {
+            HirStmt::Assign { place, value, .. } => {
                 let v = self.eval(func, frame, value)?;
                 self.store(func, frame, place, v)?;
                 Ok(Flow::Normal)
             }
-            HirStmt::Call { dst, func: callee, args } => {
+            HirStmt::Call { dst, func: callee, args, .. } => {
                 let ret = self.call(func, frame, *callee, args)?;
                 if let (Some(dst), Some(v)) = (dst, ret) {
                     self.store(func, frame, dst, V::Int(v))?;
                 }
                 Ok(Flow::Normal)
             }
-            HirStmt::Recv { dst, chan } => {
+            HirStmt::Recv { dst, chan, .. } => {
                 let ch = frame.chans[chan.0 as usize]
                     .as_ref()
                     .ok_or(InterpError::BadPointer)?
@@ -399,7 +425,7 @@ impl<'p> Interp<'p> {
                 self.store(func, frame, dst, V::Int(v))?;
                 Ok(Flow::Normal)
             }
-            HirStmt::Send { chan, value } => {
+            HirStmt::Send { chan, value, .. } => {
                 let v = self.eval(func, frame, value)?.as_int();
                 let elem = match &func.local(*chan).ty {
                     Type::Chan(e) => (**e).clone(),
@@ -485,25 +511,46 @@ impl<'p> Interp<'p> {
             HirStmt::Constraint { body, .. } => self.exec_block(func, frame, body, in_par),
             HirStmt::Delay => Ok(Flow::Normal),
             HirStmt::Par(branches) => {
-                // Each branch runs on its own thread; rendezvous channels
-                // synchronize them. Shared state is already behind per-slot
-                // mutexes.
-                let result: Result<Vec<Flow>, InterpError> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = branches
-                        .iter()
-                        .map(|branch| {
-                            scope.spawn(move || self.exec_block(func, frame, branch, true))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| {
-                            h.join()
-                                .map_err(|_| InterpError::ParFailure("panic".to_string()))?
-                        })
-                        .collect()
-                });
-                result?;
+                match self.par_order {
+                    ParOrder::Concurrent => {
+                        // Each branch runs on its own thread; rendezvous
+                        // channels synchronize them. Shared state is
+                        // already behind per-slot mutexes.
+                        let result: Result<Vec<Flow>, InterpError> =
+                            std::thread::scope(|scope| {
+                                let handles: Vec<_> = branches
+                                    .iter()
+                                    .map(|branch| {
+                                        scope.spawn(move || {
+                                            self.exec_block(func, frame, branch, true)
+                                        })
+                                    })
+                                    .collect();
+                                handles
+                                    .into_iter()
+                                    .map(|h| {
+                                        h.join().map_err(|_| {
+                                            InterpError::ParFailure("panic".to_string())
+                                        })?
+                                    })
+                                    .collect()
+                            });
+                        result?;
+                    }
+                    // The sequential orders run arms to completion one at
+                    // a time — legal schedules for channel-free `par`,
+                    // used to demonstrate racy-program divergence.
+                    ParOrder::Sequential => {
+                        for branch in branches {
+                            self.exec_block(func, frame, branch, true)?;
+                        }
+                    }
+                    ParOrder::Reversed => {
+                        for branch in branches.iter().rev() {
+                            self.exec_block(func, frame, branch, true)?;
+                        }
+                    }
+                }
                 Ok(Flow::Normal)
             }
         }

@@ -31,7 +31,7 @@ pub mod interp;
 pub mod netlist_sim;
 pub mod token_sim;
 
-pub use interp::{run, ArgValue, InterpError, InterpOptions, InterpResult};
+pub use interp::{run, ArgValue, InterpError, InterpOptions, InterpResult, ParOrder};
 
 #[cfg(test)]
 mod interp_tests {
@@ -217,7 +217,7 @@ mod interp_tests {
     #[test]
     fn step_limit_enforced() {
         let hir = compile_to_hir("void f() { while (true) { } }").unwrap();
-        let err = run(&hir, "f", &[], &InterpOptions { step_limit: 100 }).unwrap_err();
+        let err = run(&hir, "f", &[], &InterpOptions { step_limit: 100, ..InterpOptions::default() }).unwrap_err();
         assert!(matches!(err, InterpError::StepLimit(_)));
     }
 

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 tests, a conformance smoke run through the
+# Repo verification: tier-1 tests, lint hygiene (clippy + a `chls lint`
+# sweep over the example corpus), a conformance smoke run through the
 # CLI (sequential and parallel must agree), and the simulator benchmark
 # harness (refreshes BENCH_sim.json at the repo root).
 set -euo pipefail
@@ -11,8 +12,17 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
-echo "== chls check smoke (jobs=1 vs jobs=4 must match) =="
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== chls lint sweep (examples must be race-free) =="
 cargo build --release -p chls --bins
+for f in examples/chl/*.chl; do
+    echo "-- lint $f"
+    ./target/release/chls lint "$f" main
+done
+
+echo "== chls check smoke (jobs=1 vs jobs=4 must match) =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 cat > "$tmp/gcd.chl" <<'EOF'

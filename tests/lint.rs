@@ -1,0 +1,404 @@
+//! Integration tests for the static-analysis layer (`chls lint`).
+//!
+//! Two cross-validations anchor the lint in observable behavior:
+//!
+//! 1. **Races**: programs the lint declares race-free compute identical
+//!    results across every backend, every conformance job count, and
+//!    every legal `par` arm ordering; a curated racy corpus is flagged
+//!    by the lint *and* demonstrably diverges when the interpreter picks
+//!    different (all legal) arm orderings. The lint's verdict is thus
+//!    checked against ground truth in both directions.
+//! 2. **Timing**: the static `[min, max]` cycle interval computed from
+//!    the Handel-C and Transmogrifier timing rules must contain the
+//!    cycle count the FSMD simulator actually measures.
+
+use chls::interp::{ArgValue, InterpOptions, ParOrder};
+use chls::{
+    backend_by_name, check_conformance_with_jobs, simulate_design, Compiler, SynthOptions, Verdict,
+};
+
+fn lint(src: &str, entry: &str) -> chls_analysis::LintReport {
+    let c = Compiler::parse(src).expect("parse");
+    c.lint(entry, None).expect("lint")
+}
+
+fn interpret_with_order(src: &str, entry: &str, args: &[ArgValue], order: ParOrder) -> Option<i64> {
+    let c = Compiler::parse(src).expect("parse");
+    let opts = InterpOptions {
+        par_order: order,
+        ..InterpOptions::default()
+    };
+    chls_sim::interp::run(c.hir(), entry, args, &opts)
+        .expect("interpret")
+        .ret
+}
+
+// ---------------------------------------------------------------- races
+
+/// Race-free `par` programs: every arm touches disjoint state, or arms
+/// synchronize through a rendezvous.
+const RACE_FREE: &[(&str, &str)] = &[
+    (
+        "disjoint scalars",
+        "int main(int a) {
+            int x = 0; int y = 0;
+            par { { x = a + 1; } { y = a * 2; } }
+            return x + y;
+        }",
+    ),
+    (
+        "disjoint through pointers",
+        "int main(int a) {
+            int x = 0; int y = 0;
+            int *p = &x; int *q = &y;
+            par { { *p = a; } { *q = a + 1; } }
+            return x + 10 * y;
+        }",
+    ),
+    (
+        "rendezvous pipeline",
+        "int main(int a) {
+            chan<int> c;
+            int got = 0;
+            par { { send(c, a * 3); } { got = recv(c); } }
+            return got;
+        }",
+    ),
+    (
+        "read-read sharing is fine",
+        "int main(int a) {
+            int x = 0; int y = 0;
+            par { { x = a + a; } { y = a - 1; } }
+            return x + y;
+        }",
+    ),
+];
+
+/// Racy `par` programs, each with argument sets under which legal arm
+/// orderings produce different results.
+const RACY: &[(&str, &str)] = &[
+    (
+        "write/write on a scalar",
+        "int main() {
+            int x = 0;
+            par { { x = 1; } { x = 2; } }
+            return x;
+        }",
+    ),
+    (
+        "read/write on a scalar",
+        "int main(int a) {
+            int x = 0; int y = 0;
+            par { { x = a; } { y = x + 100; } }
+            return y;
+        }",
+    ),
+    (
+        "write/write through a pointer alias",
+        "int main() {
+            int x = 0;
+            int *p = &x;
+            par { { x = 1; } { *p = 2; } }
+            return x;
+        }",
+    ),
+    (
+        "race hidden in a callee",
+        "void bump(int *q, int v) { *q = v; }
+         int main() {
+            int x = 0;
+            par { { x = 5; } { bump(&x, 9); } }
+            return x;
+        }",
+    ),
+];
+
+#[test]
+fn race_free_corpus_is_lint_clean() {
+    for (name, src) in RACE_FREE {
+        let r = lint(src, "main");
+        assert!(
+            r.races.is_empty(),
+            "{name}: expected race-free, lint said {:?}",
+            r.races
+        );
+    }
+}
+
+#[test]
+fn race_free_programs_agree_across_backends_and_job_counts() {
+    let args = [ArgValue::Scalar(7)];
+    for (name, src) in RACE_FREE {
+        let for_jobs = |jobs: usize| {
+            check_conformance_with_jobs(src, "main", &args, jobs)
+                .unwrap_or_else(|e| panic!("{name}: conformance failed: {e}"))
+        };
+        let one = for_jobs(1);
+        let eight = for_jobs(8);
+        assert_eq!(one.len(), eight.len(), "{name}");
+        for ((b1, v1), (b8, v8)) in one.iter().zip(eight.iter()) {
+            assert_eq!(b1, b8, "{name}: verdict order must not depend on --jobs");
+            assert_eq!(
+                format!("{v1:?}"),
+                format!("{v8:?}"),
+                "{name}/{b1}: verdict must not depend on --jobs"
+            );
+            match v1 {
+                Verdict::Pass { .. } | Verdict::Unsupported(_) => {}
+                bad => panic!("{name}/{b1}: lint-clean program diverged: {bad:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn race_free_programs_are_order_independent() {
+    let args = [ArgValue::Scalar(7)];
+    for (name, src) in RACE_FREE {
+        if src.contains("chan<") {
+            // Rendezvous requires truly concurrent arms; sequential
+            // orderings would deadlock by construction.
+            continue;
+        }
+        let base = interpret_with_order(src, "main", &args, ParOrder::Concurrent);
+        for order in [ParOrder::Sequential, ParOrder::Reversed] {
+            let got = interpret_with_order(src, "main", &args, order);
+            assert_eq!(
+                got, base,
+                "{name}: lint-clean program changed answer under {order:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn racy_corpus_is_flagged_by_lint() {
+    for (name, src) in RACY {
+        let r = lint(src, "main");
+        assert!(
+            !r.races.is_empty(),
+            "{name}: lint missed the race"
+        );
+        assert!(r.has_errors(), "{name}: races must fail the lint");
+        for d in &r.races {
+            assert!(
+                d.notes.len() == 2,
+                "{name}: race diagnostics carry both access sites, got {:?}",
+                d.notes
+            );
+        }
+    }
+}
+
+#[test]
+fn racy_corpus_diverges_under_arm_orderings() {
+    let args = [ArgValue::Scalar(7)];
+    for (name, src) in RACY {
+        let seq = interpret_with_order(src, "main", &args, ParOrder::Sequential);
+        let rev = interpret_with_order(src, "main", &args, ParOrder::Reversed);
+        assert_ne!(
+            seq, rev,
+            "{name}: both legal orderings agreed; corpus entry demonstrates nothing"
+        );
+    }
+}
+
+// --------------------------------------------------------------- timing
+
+/// Measures FSMD cycles for `src` under a backend, and the lint's static
+/// interval for the same backend; asserts containment.
+fn assert_interval_contains_simulation(
+    name: &str,
+    src: &str,
+    entry: &str,
+    backend_name: &str,
+    args: &[ArgValue],
+) {
+    let compiler = Compiler::parse(src).expect("parse");
+    let report = compiler.lint(entry, Some(backend_name)).expect("lint");
+    let bound = report
+        .cycle_bounds
+        .iter()
+        .find(|b| b.backend == backend_name)
+        .unwrap_or_else(|| panic!("{name}: no {backend_name} bound computed"));
+    let backend = backend_by_name(backend_name).expect("registered");
+    let design = compiler
+        .synthesize(backend.as_ref(), entry, &SynthOptions::default())
+        .unwrap_or_else(|e| panic!("{name}: synthesis failed: {e}"));
+    let out = simulate_design(&design, args).unwrap_or_else(|e| panic!("{name}: sim failed: {e}"));
+    let cycles = out.cycles.unwrap_or_else(|| panic!("{name}: no cycle count"));
+    assert!(
+        bound.interval.contains(cycles),
+        "{name}/{backend_name}: simulated {cycles} cycles outside static {}",
+        bound.interval
+    );
+}
+
+const FIR: &str = "
+    const int coeff[8] = {1, 2, 3, 4, 4, 3, 2, 1};
+    void fir(int x[16], int y[16]) {
+        for (int n = 7; n < 16; n++) {
+            int acc = 0;
+            for (int k = 0; k < 8; k++) {
+                acc = acc + coeff[k] * x[n - k];
+            }
+            y[n] = acc >> 4;
+        }
+    }
+";
+
+fn fir_args() -> Vec<ArgValue> {
+    vec![
+        ArgValue::Array((0..16).map(|i| (i * 7 + 3) % 50).collect()),
+        ArgValue::Array(vec![0; 16]),
+    ]
+}
+
+#[test]
+fn static_bounds_contain_simulated_cycles_for_fir() {
+    for backend in ["handelc", "transmogrifier"] {
+        assert_interval_contains_simulation("fir", FIR, "fir", backend, &fir_args());
+    }
+}
+
+#[test]
+fn static_bounds_contain_simulated_cycles_across_programs() {
+    let programs: &[(&str, &str, Vec<ArgValue>)] = &[
+        (
+            "straight-line",
+            "int f(int a) { int x = a + 1; x = x * 3; return x - 2; }",
+            vec![ArgValue::Scalar(5)],
+        ),
+        (
+            "branchy",
+            "int f(int a) {
+                int x = 0;
+                if (a > 10) { x = a; x = x + 1; x = x + 2; } else { x = 3; }
+                return x;
+            }",
+            vec![ArgValue::Scalar(42)],
+        ),
+        (
+            "counted loop",
+            "int f(int a) {
+                int acc = 0;
+                for (int i = 0; i < 6; i++) { acc = acc + a; }
+                return acc;
+            }",
+            vec![ArgValue::Scalar(4)],
+        ),
+        (
+            "nested counted loops",
+            "int f(int a) {
+                int acc = 0;
+                for (int i = 0; i < 3; i++) {
+                    for (int j = 0; j < 4; j++) { acc = acc + a + j; }
+                }
+                return acc;
+            }",
+            vec![ArgValue::Scalar(2)],
+        ),
+        (
+            "data-dependent loop (gcd)",
+            "int f(int a, int b) {
+                while (b != 0) { int t = b; b = a % b; a = t; }
+                return a;
+            }",
+            vec![ArgValue::Scalar(48), ArgValue::Scalar(36)],
+        ),
+    ];
+    for (name, src, args) in programs {
+        for backend in ["handelc", "transmogrifier"] {
+            assert_interval_contains_simulation(name, src, "f", backend, args);
+        }
+    }
+    // Both branch directions of the branchy program stay inside the hull.
+    assert_interval_contains_simulation(
+        "branchy (else side)",
+        "int f(int a) {
+            int x = 0;
+            if (a > 10) { x = a; x = x + 1; x = x + 2; } else { x = 3; }
+            return x;
+        }",
+        "f",
+        "handelc",
+        &[ArgValue::Scalar(1)],
+    );
+}
+
+#[test]
+fn static_bounds_contain_simulated_cycles_for_par_and_delay() {
+    // Handel-C only: the sequential pipeline refuses these programs.
+    let programs: &[(&str, &str, Vec<ArgValue>)] = &[
+        (
+            "par lockstep",
+            "int f(int a) {
+                int x = 0; int y = 0;
+                par { { x = a; x = x + 1; x = x * 2; } { y = a - 1; } }
+                return x + y;
+            }",
+            vec![ArgValue::Scalar(6)],
+        ),
+        (
+            "delay chain",
+            "int f(int a) { delay; delay; delay; return a; }",
+            vec![ArgValue::Scalar(1)],
+        ),
+        (
+            "rendezvous",
+            "int f(int a) {
+                chan<int> c;
+                int got = 0;
+                par { { send(c, a * 3); } { got = recv(c); got = got + 1; } }
+                return got;
+            }",
+            vec![ArgValue::Scalar(5)],
+        ),
+    ];
+    for (name, src, args) in programs {
+        assert_interval_contains_simulation(name, src, "f", "handelc", args);
+    }
+}
+
+#[test]
+fn handelc_straight_line_bound_is_exact() {
+    // Cross-check the rule constants, not just containment: entry + two
+    // assignments + return + done.
+    let src = "int f(int a) { int x = a + 1; x = x * 3; return x; }";
+    let compiler = Compiler::parse(src).expect("parse");
+    let report = compiler.lint("f", Some("handelc")).expect("lint");
+    let interval = report.cycle_bounds[0].interval;
+    let backend = backend_by_name("handelc").expect("registered");
+    let design = compiler
+        .synthesize(backend.as_ref(), "f", &SynthOptions::default())
+        .expect("synth");
+    let out = simulate_design(&design, &[ArgValue::Scalar(4)]).expect("sim");
+    assert_eq!(interval.min, interval.max.unwrap(), "straight-line is exact");
+    assert_eq!(Some(interval.min), out.cycles);
+}
+
+// ------------------------------------------------------------- warnings
+
+#[test]
+fn sema_warnings_surface_through_the_driver() {
+    let src = "int main(int a) { int dead = a * 2; return a + 1; }";
+    let compiler = Compiler::parse(src).expect("parse");
+    let rendered = compiler.rendered_warnings();
+    assert!(
+        rendered.iter().any(|w| w.starts_with("warning:") && w.contains("`dead`")),
+        "expected an unused-local warning, got {rendered:?}"
+    );
+    // And the lint report carries the same warnings.
+    let report = compiler.lint("main", None).expect("lint");
+    assert!(report.warnings.iter().any(|w| w.message.contains("dead")));
+}
+
+#[test]
+fn lint_report_json_round_trips_key_fields() {
+    let r = lint(RACY[2].1, "main");
+    let j = r.to_json();
+    assert!(j.contains(r#""races":[{"severity":"error""#));
+    assert!(j.contains(r#""backend":"handelc","min":"#));
+    // Notes carry byte spans for both access sites.
+    assert_eq!(j.matches(r#"{"message":"#).count(), 2);
+}
