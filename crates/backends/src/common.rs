@@ -255,6 +255,7 @@ pub fn prepare_sequential(
     entry: &str,
     force_full_unroll: bool,
 ) -> Result<Prepared, SynthError> {
+    let _span = chls_trace::span("backend.prepare");
     let (entry_id, _) = prog
         .func_by_name(entry)
         .ok_or_else(|| SynthError::NoSuchFunction(entry.to_string()))?;
@@ -270,7 +271,7 @@ pub fn prepare_sequential(
     let mut ptr_stats = PtrStats::default();
     chls_opt::ptr::lower_pointers(&mut inlined.funcs[0], &mut ptr_stats)
         .map_err(|e| SynthError::Transform(e.to_string()))?;
-    let mut func = chls_ir::lower_function(&inlined, FuncId(0))
+    let mut func = chls_trace::time("ir.lower", || chls_ir::lower_function(&inlined, FuncId(0)))
         .map_err(|e| SynthError::Transform(e.to_string()))?;
     chls_opt::memory::merge_monolithic(&mut func);
     chls_opt::memory::split_banks(&mut func);
@@ -470,6 +471,7 @@ pub fn construct_support(backend: &str) -> Option<&'static ConstructSupport> {
 ///
 /// See [`SynthError`].
 pub fn prepare_structured(prog: &HirProgram, entry: &str) -> Result<HirProgram, SynthError> {
+    let _span = chls_trace::span("backend.prepare");
     let (entry_id, _) = prog
         .func_by_name(entry)
         .ok_or_else(|| SynthError::NoSuchFunction(entry.to_string()))?;

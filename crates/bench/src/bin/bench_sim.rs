@@ -134,10 +134,36 @@ fn speedup(now: f64, before: f64) -> f64 {
     }
 }
 
+/// Pulls `"cycles_per_sec": <n>` out of a named block of a previous
+/// BENCH_sim.json, by string search (the shape is fixed; no parser here).
+fn prior_cps(json: &str, block: &str) -> Option<f64> {
+    let body = &json[json.find(&format!("\"{block}\""))?..];
+    let key = "\"cycles_per_sec\": ";
+    let body = &body[body.find(key)? + key.len()..];
+    let end = body.find([',', '}'])?;
+    body[..end].trim().parse().ok()
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| format!("{}/../../BENCH_sim.json", env!("CARGO_MANIFEST_DIR")));
+    let mut out_path = None;
+    let mut check_pct: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--check" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("bench_sim: --check needs a percentage");
+                std::process::exit(2);
+            });
+            check_pct = Some(v.parse().unwrap_or_else(|_| {
+                eprintln!("bench_sim: --check wants a number, got `{v}`");
+                std::process::exit(2);
+            }));
+        } else {
+            out_path = Some(a);
+        }
+    }
+    let out_path =
+        out_path.unwrap_or_else(|| format!("{}/../../BENCH_sim.json", env!("CARGO_MANIFEST_DIR")));
 
     // fsmd_mac: the headline multi-million-cycle workload.
     let mac = mac_fsmd(MAC_CYCLES);
@@ -205,6 +231,38 @@ fn main() {
         WIDE_REPS, wide_s, wide_eps, baseline::NETLIST_WIDE_EPS, speedup(wide_eps, baseline::NETLIST_WIDE_EPS),
         verdicts, conf1_s, confn_s, jobs, baseline::CONFORMANCE_S,
     );
+    // Regression gate: with `--check <pct>`, compare against the numbers
+    // already on disk before overwriting them.
+    if let Some(pct) = check_pct {
+        let floor = 1.0 - pct / 100.0;
+        if let Ok(prev) = std::fs::read_to_string(&out_path) {
+            let mut failed = false;
+            for (name, now) in [("fsmd_mac", mac_cps), ("fsmd_crc32", crc_cps)] {
+                if let Some(old) = prior_cps(&prev, name) {
+                    if now < old * floor {
+                        eprintln!(
+                            "bench_sim: REGRESSION in {name}: {now:.0} cycles/sec vs \
+                             previous {old:.0} (floor {:.0}, -{pct}%)",
+                            old * floor
+                        );
+                        failed = true;
+                    } else {
+                        eprintln!(
+                            "bench_sim: {name} ok: {now:.0} cycles/sec vs previous {old:.0} \
+                             (floor {:.0})",
+                            old * floor
+                        );
+                    }
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        } else {
+            eprintln!("bench_sim: --check: no previous {out_path}, nothing to compare");
+        }
+    }
+
     std::fs::write(&out_path, &json).expect("writes BENCH_sim.json");
     print!("{json}");
     eprintln!("wrote {out_path}");

@@ -11,39 +11,239 @@
 //!                                              formally compare two functions
 //! chls lint <file.chl> <entry>                 static analysis: races,
 //!                                              per-backend support, cycle bounds
+//! chls report <file.chl> <entry> [args...]     per-backend QoR metrics and
+//!                                              per-phase wall-clock timing
 //! ```
 //!
-//! `synth` and `verilog` accept `--pipeline` (hardware loop pipelining)
-//! and `--narrow` (width-analysis-driven register/datapath narrowing)
-//! before the backend name, where the backend supports them.
-//! `check` accepts `--jobs N` to run backends on N worker threads
-//! (default: the `CHLS_JOBS` environment variable, else all cores);
-//! verdict order and content are identical at any job count.
-//! `lint` accepts `--backend B` to restrict findings to one paradigm
-//! (rejections then fail the exit code) and `--json` for the
-//! machine-readable report documented in the README.
+//! Every verb declares its accepted flags and positional arity in
+//! [`VERBS`]; a flag a verb does not declare is an error with that
+//! verb's usage string, never silently accepted. `check`, `lint`, and
+//! `report` accept `--json` and then emit the unified envelope
+//! documented in DESIGN.md §10:
+//! `{"tool":"chls","verb":...,"version":...,"ok":...,"data":...}`.
 //!
 //! Scalar arguments are integers; array arguments are comma-separated
 //! lists like `1,2,3,4`.
 
 use chls::interp::ArgValue;
-use chls::{
-    backend_by_name, check_conformance_with_jobs, conformance_jobs, simulate_design, Compiler,
-    Design, SynthOptions, Verdict,
-};
+use chls::prelude::*;
+use chls::{check_conformance_with_jobs, jsonout};
 use chls_rtl::CostModel;
 use std::process::ExitCode;
 
+/// One flag a verb accepts.
+struct FlagSpec {
+    /// Flag name including the leading dashes.
+    name: &'static str,
+    /// Does the flag consume the following argument as its value?
+    takes_value: bool,
+}
+
+/// One verb's argument specification.
+struct VerbSpec {
+    name: &'static str,
+    usage: &'static str,
+    /// Minimum required positional arguments.
+    min_pos: usize,
+    /// Maximum positional arguments (`None` = variadic trailing args).
+    max_pos: Option<usize>,
+    flags: &'static [FlagSpec],
+}
+
+const JSON: FlagSpec = FlagSpec {
+    name: "--json",
+    takes_value: false,
+};
+
+/// The whole CLI surface, one row per verb.
+const VERBS: &[VerbSpec] = &[
+    VerbSpec {
+        name: "backends",
+        usage: "chls backends",
+        min_pos: 0,
+        max_pos: Some(0),
+        flags: &[],
+    },
+    VerbSpec {
+        name: "run",
+        usage: "chls run <file> <entry> [args...]",
+        min_pos: 2,
+        max_pos: None,
+        flags: &[],
+    },
+    VerbSpec {
+        name: "check",
+        usage: "chls check [--jobs N] [--json] <file> <entry> [args...]",
+        min_pos: 2,
+        max_pos: None,
+        flags: &[
+            FlagSpec {
+                name: "--jobs",
+                takes_value: true,
+            },
+            JSON,
+        ],
+    },
+    VerbSpec {
+        name: "ir",
+        usage: "chls ir <file> <entry>",
+        min_pos: 2,
+        max_pos: Some(2),
+        flags: &[],
+    },
+    VerbSpec {
+        name: "synth",
+        usage: "chls synth [--pipeline] [--narrow] <backend> <file> <entry> [args...]",
+        min_pos: 3,
+        max_pos: None,
+        flags: &[
+            FlagSpec {
+                name: "--pipeline",
+                takes_value: false,
+            },
+            FlagSpec {
+                name: "--narrow",
+                takes_value: false,
+            },
+        ],
+    },
+    VerbSpec {
+        name: "verilog",
+        usage: "chls verilog [--pipeline] [--narrow] <backend> <file> <entry>",
+        min_pos: 3,
+        max_pos: Some(3),
+        flags: &[
+            FlagSpec {
+                name: "--pipeline",
+                takes_value: false,
+            },
+            FlagSpec {
+                name: "--narrow",
+                takes_value: false,
+            },
+        ],
+    },
+    VerbSpec {
+        name: "equiv",
+        usage: "chls equiv <fileA> <entryA> <fileB> <entryB>",
+        min_pos: 4,
+        max_pos: Some(4),
+        flags: &[],
+    },
+    VerbSpec {
+        name: "lint",
+        usage: "chls lint [--backend B] [--json] <file> <entry>",
+        min_pos: 2,
+        max_pos: Some(2),
+        flags: &[
+            FlagSpec {
+                name: "--backend",
+                takes_value: true,
+            },
+            JSON,
+        ],
+    },
+    VerbSpec {
+        name: "report",
+        usage: "chls report [--backend B | --all] [--json] <file> <entry> [args...]",
+        min_pos: 2,
+        max_pos: None,
+        flags: &[
+            FlagSpec {
+                name: "--backend",
+                takes_value: true,
+            },
+            FlagSpec {
+                name: "--all",
+                takes_value: false,
+            },
+            JSON,
+        ],
+    },
+];
+
+/// Flags (with values) and positionals, as parsed against one verb's spec.
+#[derive(Default)]
+struct Parsed {
+    flags: Vec<(&'static str, Option<String>)>,
+    pos: Vec<String>,
+}
+
+impl Parsed {
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| *n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+/// Parses `argv` (after the verb) against `spec`. Flags may appear
+/// anywhere; tokens starting with `--` that the verb does not declare
+/// are errors. Single-dash tokens stay positional so negative numbers
+/// pass through as arguments.
+fn parse_verb_args(spec: &VerbSpec, argv: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed::default();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        if a.starts_with("--") {
+            let Some(flag) = spec.flags.iter().find(|f| f.name == a) else {
+                return Err(format!(
+                    "unknown flag `{a}` for `chls {}`\nusage: {}",
+                    spec.name, spec.usage
+                ));
+            };
+            let value = if flag.takes_value {
+                match it.next() {
+                    Some(v) => Some(v.clone()),
+                    None => {
+                        return Err(format!(
+                            "flag `{a}` needs a value\nusage: {}",
+                            spec.usage
+                        ))
+                    }
+                }
+            } else {
+                None
+            };
+            parsed.flags.push((flag.name, value));
+        } else {
+            parsed.pos.push(a.clone());
+        }
+    }
+    if parsed.pos.len() < spec.min_pos {
+        return Err(format!(
+            "`chls {}` needs at least {} argument{}\nusage: {}",
+            spec.name,
+            spec.min_pos,
+            if spec.min_pos == 1 { "" } else { "s" },
+            spec.usage
+        ));
+    }
+    if let Some(max) = spec.max_pos {
+        if parsed.pos.len() > max {
+            return Err(format!(
+                "`chls {}` takes at most {max} argument{}, got {}\nusage: {}",
+                spec.name,
+                if max == 1 { "" } else { "s" },
+                parsed.pos.len(),
+                spec.usage
+            ));
+        }
+    }
+    Ok(parsed)
+}
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  chls backends\n  chls run <file> <entry> [args...]\n  \
-         chls check [--jobs N] <file> <entry> [args...]\n  chls ir <file> <entry>\n  \
-         chls synth [--pipeline] [--narrow] <backend> <file> <entry> [args...]\n  \
-         chls verilog [--pipeline] [--narrow] <backend> <file> <entry>\n  \
-         chls equiv <fileA> <entryA> <fileB> <entryB>\n  \
-         chls lint [--backend B] [--json] <file> <entry>\n\n\
-         args: integers (42) or comma-separated arrays (1,2,3)"
-    );
+    eprintln!("usage:");
+    for v in VERBS {
+        eprintln!("  {}", v.usage);
+    }
+    eprintln!("\nargs: integers (42) or comma-separated arrays (1,2,3)");
     ExitCode::FAILURE
 }
 
@@ -68,336 +268,270 @@ fn load(path: &str) -> Result<Compiler, String> {
     Compiler::parse(&src).map_err(|e| e.render(&src))
 }
 
+fn cmd_backends() -> ExitCode {
+    println!("{}", taxonomy_table());
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(p: &Parsed) -> Result<ExitCode, String> {
+    let (file, entry) = (&p.pos[0], &p.pos[1]);
+    let args = parse_args(&p.pos[2..])?;
+    let compiler = load(file)?;
+    for w in compiler.rendered_warnings() {
+        eprintln!("{w}");
+    }
+    let r = compiler
+        .interpret(entry, &args)
+        .map_err(|e| format!("interpreter error: {e}"))?;
+    if let Some(v) = r.ret {
+        println!("ret = {v}");
+    }
+    for (i, a) in r.arrays {
+        println!("arg{i} = {a:?}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check(p: &Parsed) -> Result<ExitCode, String> {
+    let (file, entry) = (&p.pos[0], &p.pos[1]);
+    let json = p.has("--json");
+    let mut opts = CompileOptions::new();
+    if let Some(v) = p.value("--jobs") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| "--jobs needs a positive integer".to_string())?;
+        opts = opts.jobs(n);
+    }
+    let jobs = opts.effective_jobs();
+    let args = parse_args(&p.pos[2..])?;
+    let src =
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    if let Ok(c) = Compiler::parse(&src) {
+        for w in c.rendered_warnings() {
+            eprintln!("{w}");
+        }
+    }
+    let results = check_conformance_with_jobs(&src, entry, &args, jobs)?;
+    let bad = results.iter().any(|(_, v)| {
+        matches!(v, Verdict::Mismatch { .. } | Verdict::Error(_))
+    });
+    if json {
+        println!(
+            "{}",
+            jsonout::envelope("check", !bad, &jsonout::check_json(entry, jobs, &results))
+        );
+    } else {
+        for (backend, verdict) in &results {
+            match verdict {
+                Verdict::Pass { cycles, time_units } => {
+                    let timing = cycles
+                        .map(|c| format!("{c} cycles"))
+                        .or_else(|| time_units.map(|t| format!("{t} time units")))
+                        .unwrap_or_else(|| "combinational".to_string());
+                    println!("{backend:<16} PASS  ({timing})");
+                }
+                Verdict::Unsupported(why) => println!("{backend:<16} skip  ({why})"),
+                Verdict::Mismatch { got, expected } => {
+                    println!("{backend:<16} FAIL  got {got}, expected {expected}");
+                }
+                Verdict::Error(e) => println!("{backend:<16} ERROR {e}"),
+            }
+        }
+    }
+    Ok(if bad { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn cmd_ir(p: &Parsed) -> Result<ExitCode, String> {
+    let compiler = load(&p.pos[0])?;
+    let text = compiler.prepared_ir(&p.pos[1]).map_err(|e| e.to_string())?;
+    println!("{text}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_lint(p: &Parsed) -> Result<ExitCode, String> {
+    let compiler = load(&p.pos[0])?;
+    let report = compiler
+        .lint(&p.pos[1], p.value("--backend"))
+        .map_err(|e| e.to_string())?;
+    let ok = !report.has_errors();
+    if p.has("--json") {
+        println!("{}", jsonout::envelope("lint", ok, &report.to_json()));
+    } else {
+        print!("{}", report.render(compiler.source()));
+    }
+    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn cmd_report(p: &Parsed) -> Result<ExitCode, String> {
+    let (file, entry) = (&p.pos[0], &p.pos[1]);
+    let which = p.value("--backend");
+    if which.is_some() && p.has("--all") {
+        return Err("`--backend` and `--all` are mutually exclusive".to_string());
+    }
+    let args = if p.pos.len() > 2 {
+        Some(parse_args(&p.pos[2..])?)
+    } else {
+        None
+    };
+    let compiler = load(file)?;
+    let report = chls::qor_report(
+        &compiler,
+        entry,
+        which,
+        args.as_deref(),
+        &CompileOptions::new().trace(true),
+    )
+    .map_err(|e| e.to_string())?;
+    let ok = !report
+        .backends
+        .iter()
+        .any(|q| matches!(q.status, QorStatus::Error(_)));
+    if p.has("--json") {
+        println!(
+            "{}",
+            jsonout::envelope("report", ok, &jsonout::report_json(&report))
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn cmd_equiv(p: &Parsed) -> Result<ExitCode, String> {
+    let netlist = |file: &str, entry: &str| -> Result<chls_rtl::Netlist, String> {
+        let compiler = load(file)?;
+        let backend = backend_by_name("cones").expect("cones registered");
+        match compiler.synthesize(backend.as_ref(), entry, &SynthOptions::default()) {
+            Ok(Design::Comb(nl)) => Ok(nl),
+            Ok(_) => Err("expected a combinational design".to_string()),
+            Err(e) => Err(format!(
+                "{file}:{entry}: not synthesizable combinationally: {e}"
+            )),
+        }
+    };
+    let (a, b) = (netlist(&p.pos[0], &p.pos[1])?, netlist(&p.pos[2], &p.pos[3])?);
+    match chls_rtl::check_equivalence(&a, &b, 1 << 22) {
+        Ok(chls_rtl::Equivalence::Equivalent) => {
+            println!(
+                "EQUIVALENT: {} and {} compute the same function",
+                p.pos[1], p.pos[3]
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Ok(chls_rtl::Equivalence::Differ {
+            output,
+            bit,
+            witness,
+        }) => {
+            println!("DIFFER at output `{output}` bit {bit}");
+            println!("counterexample:");
+            for (name, value) in witness {
+                println!("  {name} = {value}");
+            }
+            Ok(ExitCode::FAILURE)
+        }
+        Err(e) => Err(format!("cannot check: {e}")),
+    }
+}
+
+fn cmd_synth_verilog(verb: &str, p: &Parsed) -> Result<ExitCode, String> {
+    let (backend_name, file, entry) = (&p.pos[0], &p.pos[1], &p.pos[2]);
+    let backend = backend_by_name(backend_name)
+        .ok_or_else(|| format!("unknown backend `{backend_name}` (try `chls backends`)"))?;
+    let compiler = load(file)?;
+    let opts = CompileOptions::new()
+        .pipeline(p.has("--pipeline"))
+        .narrow(p.has("--narrow"));
+    let design = compiler
+        .synthesize(backend.as_ref(), entry, &opts.synth_options())
+        .map_err(|e| format!("synthesis failed: {e}"))?;
+    if verb == "verilog" {
+        match &design {
+            Design::Comb(nl) => println!("{}", chls_rtl::netlist_to_verilog(nl)),
+            Design::Fsmd(f) => println!("{}", chls_rtl::fsmd_to_verilog(f)),
+            Design::Dataflow(_) => {
+                return Err(
+                    "the cash backend emits asynchronous dataflow circuits, \
+                     not synchronous Verilog"
+                        .to_string(),
+                )
+            }
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    // synth report.
+    let model = CostModel::new();
+    println!("backend:  {}", backend.info().models);
+    println!("area:     {:.0} NAND2-equivalent gates", design.area(&model));
+    match &design {
+        Design::Comb(nl) => {
+            println!("style:    combinational ({} cells)", nl.cells.len());
+            println!("delay:    {:.2} ns", nl.critical_path(&model));
+        }
+        Design::Fsmd(f) => {
+            println!(
+                "style:    FSMD ({} states, {} registers, {} memories)",
+                f.states.len(),
+                f.regs.len(),
+                f.mems.len()
+            );
+            println!(
+                "clock:    {:.2} ns min period ({:.0} MHz)",
+                f.critical_path(&model) + model.sequential_overhead_ns,
+                f.fmax_mhz(&model)
+            );
+        }
+        Design::Dataflow(g) => {
+            println!("style:    asynchronous dataflow ({} nodes)", g.nodes.len());
+            println!("nodes:    {:?}", g.histogram());
+        }
+    }
+    // Run it if sample args were provided.
+    if p.pos.len() > 3 {
+        let args = parse_args(&p.pos[3..])?;
+        let out = simulate_design(&design, &args)
+            .map_err(|e| format!("simulation failed: {e}"))?;
+        println!("result:   {:?}", out.ret);
+        if let Some(c) = out.cycles {
+            println!("cycles:   {c}");
+        }
+        if let Some(t) = out.time_units {
+            println!("time:     {t} units");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
-    let mut argv: Vec<String> = std::env::args().skip(1).collect();
-    let pipeline = argv.iter().any(|a| a == "--pipeline");
-    let narrow = argv.iter().any(|a| a == "--narrow");
-    argv.retain(|a| a != "--pipeline" && a != "--narrow");
-    let json = argv.iter().any(|a| a == "--json");
-    argv.retain(|a| a != "--json");
-    let mut jobs: Option<usize> = None;
-    if let Some(i) = argv.iter().position(|a| a == "--jobs") {
-        let Some(n) = argv.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
-            eprintln!("--jobs needs a positive integer");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { return usage() };
+    let Some(spec) = VERBS.iter().find(|v| v.name == cmd.as_str()) else {
+        eprintln!("unknown verb `{cmd}`");
+        return usage();
+    };
+    let parsed = match parse_verb_args(spec, &argv[1..]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
-        };
-        jobs = Some(n.max(1));
-        argv.drain(i..=i + 1);
-    }
-    let mut lint_backend: Option<String> = None;
-    if let Some(i) = argv.iter().position(|a| a == "--backend") {
-        let Some(b) = argv.get(i + 1) else {
-            eprintln!("--backend needs a backend name (try `chls backends`)");
-            return ExitCode::FAILURE;
-        };
-        lint_backend = Some(b.clone());
-        argv.drain(i..=i + 1);
-    }
-    let mut it = argv.iter();
-    let Some(cmd) = it.next() else { return usage() };
-    match cmd.as_str() {
-        "backends" => {
-            println!("{}", chls::taxonomy_table());
-            ExitCode::SUCCESS
         }
-        "run" => {
-            let (Some(file), Some(entry)) = (it.next(), it.next()) else {
-                return usage();
-            };
-            let rest: Vec<String> = it.cloned().collect();
-            let args = match parse_args(&rest) {
-                Ok(a) => a,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let compiler = match load(file) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            for w in compiler.rendered_warnings() {
-                eprintln!("{w}");
-            }
-            match compiler.interpret(entry, &args) {
-                Ok(r) => {
-                    if let Some(v) = r.ret {
-                        println!("ret = {v}");
-                    }
-                    for (i, a) in r.arrays {
-                        println!("arg{i} = {a:?}");
-                    }
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("interpreter error: {e}");
-                    ExitCode::FAILURE
-                }
-            }
+    };
+    let result = match spec.name {
+        "backends" => Ok(cmd_backends()),
+        "run" => cmd_run(&parsed),
+        "check" => cmd_check(&parsed),
+        "ir" => cmd_ir(&parsed),
+        "lint" => cmd_lint(&parsed),
+        "report" => cmd_report(&parsed),
+        "equiv" => cmd_equiv(&parsed),
+        "synth" | "verilog" => cmd_synth_verilog(spec.name, &parsed),
+        _ => unreachable!("every VERBS row is dispatched"),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
         }
-        "check" => {
-            let (Some(file), Some(entry)) = (it.next(), it.next()) else {
-                return usage();
-            };
-            let rest: Vec<String> = it.cloned().collect();
-            let args = match parse_args(&rest) {
-                Ok(a) => a,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let src = match std::fs::read_to_string(file) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("cannot read {file}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if let Ok(c) = Compiler::parse(&src) {
-                for w in c.rendered_warnings() {
-                    eprintln!("{w}");
-                }
-            }
-            match check_conformance_with_jobs(
-                &src,
-                entry,
-                &args,
-                jobs.unwrap_or_else(conformance_jobs),
-            ) {
-                Err(e) => {
-                    eprintln!("{e}");
-                    ExitCode::FAILURE
-                }
-                Ok(results) => {
-                    let mut bad = false;
-                    for (backend, verdict) in results {
-                        match verdict {
-                            Verdict::Pass { cycles, time_units } => {
-                                let timing = cycles
-                                    .map(|c| format!("{c} cycles"))
-                                    .or_else(|| time_units.map(|t| format!("{t} time units")))
-                                    .unwrap_or_else(|| "combinational".to_string());
-                                println!("{backend:<16} PASS  ({timing})");
-                            }
-                            Verdict::Unsupported(why) => {
-                                println!("{backend:<16} skip  ({why})");
-                            }
-                            Verdict::Mismatch { got, expected } => {
-                                bad = true;
-                                println!("{backend:<16} FAIL  got {got}, expected {expected}");
-                            }
-                            Verdict::Error(e) => {
-                                bad = true;
-                                println!("{backend:<16} ERROR {e}");
-                            }
-                        }
-                    }
-                    if bad {
-                        ExitCode::FAILURE
-                    } else {
-                        ExitCode::SUCCESS
-                    }
-                }
-            }
-        }
-        "ir" => {
-            let (Some(file), Some(entry)) = (it.next(), it.next()) else {
-                return usage();
-            };
-            let compiler = match load(file) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match compiler.prepared_ir(entry) {
-                Ok(text) => {
-                    println!("{text}");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("{e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        "lint" => {
-            let (Some(file), Some(entry)) = (it.next(), it.next()) else {
-                return usage();
-            };
-            let compiler = match load(file) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let report = match compiler.lint(entry, lint_backend.as_deref()) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if json {
-                println!("{}", report.to_json());
-            } else {
-                print!("{}", report.render(compiler.source()));
-            }
-            if report.has_errors() {
-                ExitCode::FAILURE
-            } else {
-                ExitCode::SUCCESS
-            }
-        }
-        "equiv" => {
-            let (Some(fa), Some(ea), Some(fb), Some(eb)) =
-                (it.next(), it.next(), it.next(), it.next())
-            else {
-                return usage();
-            };
-            let netlist = |file: &str, entry: &str| -> Result<chls_rtl::Netlist, String> {
-                let compiler = load(file)?;
-                let backend = backend_by_name("cones").expect("cones registered");
-                match compiler.synthesize(backend.as_ref(), entry, &SynthOptions::default()) {
-                    Ok(Design::Comb(nl)) => Ok(nl),
-                    Ok(_) => Err("expected a combinational design".to_string()),
-                    Err(e) => Err(format!(
-                        "{file}:{entry}: not synthesizable combinationally: {e}"
-                    )),
-                }
-            };
-            let (a, b) = match (netlist(fa, ea), netlist(fb, eb)) {
-                (Ok(a), Ok(b)) => (a, b),
-                (Err(e), _) | (_, Err(e)) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match chls_rtl::check_equivalence(&a, &b, 1 << 22) {
-                Ok(chls_rtl::Equivalence::Equivalent) => {
-                    println!("EQUIVALENT: {ea} and {eb} compute the same function");
-                    ExitCode::SUCCESS
-                }
-                Ok(chls_rtl::Equivalence::Differ {
-                    output,
-                    bit,
-                    witness,
-                }) => {
-                    println!("DIFFER at output `{output}` bit {bit}");
-                    println!("counterexample:");
-                    for (name, value) in witness {
-                        println!("  {name} = {value}");
-                    }
-                    ExitCode::FAILURE
-                }
-                Err(e) => {
-                    eprintln!("cannot check: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        "synth" | "verilog" => {
-            let (Some(backend_name), Some(file), Some(entry)) = (it.next(), it.next(), it.next())
-            else {
-                return usage();
-            };
-            let Some(backend) = backend_by_name(backend_name) else {
-                eprintln!("unknown backend `{backend_name}` (try `chls backends`)");
-                return ExitCode::FAILURE;
-            };
-            let compiler = match load(file) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let opts = SynthOptions {
-                pipeline_loops: pipeline,
-                narrow_widths: narrow,
-                ..Default::default()
-            };
-            let design = match compiler.synthesize(backend.as_ref(), entry, &opts) {
-                Ok(d) => d,
-                Err(e) => {
-                    eprintln!("synthesis failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if cmd == "verilog" {
-                match &design {
-                    Design::Comb(nl) => println!("{}", chls_rtl::netlist_to_verilog(nl)),
-                    Design::Fsmd(f) => println!("{}", chls_rtl::fsmd_to_verilog(f)),
-                    Design::Dataflow(_) => {
-                        eprintln!(
-                            "the cash backend emits asynchronous dataflow circuits, \
-                             not synchronous Verilog"
-                        );
-                        return ExitCode::FAILURE;
-                    }
-                }
-                return ExitCode::SUCCESS;
-            }
-            // synth report.
-            let model = CostModel::new();
-            println!("backend:  {}", backend.info().models);
-            println!("area:     {:.0} NAND2-equivalent gates", design.area(&model));
-            match &design {
-                Design::Comb(nl) => {
-                    println!("style:    combinational ({} cells)", nl.cells.len());
-                    println!("delay:    {:.2} ns", nl.critical_path(&model));
-                }
-                Design::Fsmd(f) => {
-                    println!(
-                        "style:    FSMD ({} states, {} registers, {} memories)",
-                        f.states.len(),
-                        f.regs.len(),
-                        f.mems.len()
-                    );
-                    println!(
-                        "clock:    {:.2} ns min period ({:.0} MHz)",
-                        f.critical_path(&model) + model.sequential_overhead_ns,
-                        f.fmax_mhz(&model)
-                    );
-                }
-                Design::Dataflow(g) => {
-                    println!("style:    asynchronous dataflow ({} nodes)", g.nodes.len());
-                    println!("nodes:    {:?}", g.histogram());
-                }
-            }
-            // Run it if sample args were provided.
-            let rest: Vec<String> = it.cloned().collect();
-            if !rest.is_empty() {
-                match parse_args(&rest) {
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return ExitCode::FAILURE;
-                    }
-                    Ok(args) => match simulate_design(&design, &args) {
-                        Ok(out) => {
-                            println!("result:   {:?}", out.ret);
-                            if let Some(c) = out.cycles {
-                                println!("cycles:   {c}");
-                            }
-                            if let Some(t) = out.time_units {
-                                println!("time:     {t} units");
-                            }
-                        }
-                        Err(e) => {
-                            eprintln!("simulation failed: {e}");
-                            return ExitCode::FAILURE;
-                        }
-                    },
-                }
-            }
-            ExitCode::SUCCESS
-        }
-        _ => usage(),
     }
 }

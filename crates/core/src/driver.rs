@@ -23,7 +23,7 @@ impl Compiler {
     ///
     /// Returns frontend diagnostics.
     pub fn parse(source: &str) -> Result<Self, FrontendError> {
-        let hir = chls_frontend::compile_to_hir(source)?;
+        let hir = chls_trace::time("frontend.parse", || chls_frontend::compile_to_hir(source))?;
         Ok(Compiler {
             hir,
             source: source.to_string(),
@@ -88,6 +88,7 @@ impl Compiler {
         entry: &str,
         opts: &SynthOptions,
     ) -> Result<Design, SynthError> {
+        let _span = chls_trace::span("backend.synthesize");
         backend.synthesize(&self.hir, entry, opts)
     }
 
@@ -138,6 +139,7 @@ pub const MAX_CYCLES: u64 = 5_000_000;
 ///
 /// Returns a [`SimulateError`] wrapping the specific simulator's failure.
 pub fn simulate_design(design: &Design, args: &[ArgValue]) -> Result<SimOutcome, SimulateError> {
+    let _span = chls_trace::span("sim.design");
     match design {
         Design::Comb(nl) => {
             let mut sim = chls_sim::netlist_sim::NetlistSim::new(nl)

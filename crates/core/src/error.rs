@@ -1,0 +1,111 @@
+//! The unified `chls` error type.
+//!
+//! Every layer of the pipeline has its own precise error enum
+//! ([`FrontendError`], [`SynthError`], [`InterpError`], [`LintError`],
+//! [`SimulateError`]); callers that drive the whole pipeline want one.
+//! [`Error`] wraps them all, implements [`std::error::Error`] with
+//! `source()` delegation, and converts from each via `?`.
+
+use crate::driver::SimulateError;
+use chls_analysis::LintError;
+use chls_backends::SynthError;
+use chls_frontend::FrontendError;
+use chls_sim::interp::InterpError;
+use std::fmt;
+
+/// Any error the `chls` pipeline can produce.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// Lexing, parsing, or semantic analysis failed.
+    Frontend(FrontendError),
+    /// A backend refused or failed to synthesize the program.
+    Synth(SynthError),
+    /// The golden interpreter failed.
+    Interp(InterpError),
+    /// Static analysis could not run.
+    Lint(LintError),
+    /// A synthesized design failed to simulate.
+    Sim(SimulateError),
+    /// Anything outside the pipeline proper (e.g. unreadable input).
+    Other(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Frontend(e) => write!(f, "frontend: {e}"),
+            Error::Synth(e) => write!(f, "synthesis: {e}"),
+            Error::Interp(e) => write!(f, "interpreter: {e}"),
+            Error::Lint(e) => write!(f, "lint: {e}"),
+            Error::Sim(e) => write!(f, "{e}"),
+            Error::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Frontend(e) => Some(e),
+            Error::Synth(e) => Some(e),
+            Error::Interp(e) => Some(e),
+            Error::Lint(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Other(_) => None,
+        }
+    }
+}
+
+impl From<FrontendError> for Error {
+    fn from(e: FrontendError) -> Self {
+        Error::Frontend(e)
+    }
+}
+
+impl From<SynthError> for Error {
+    fn from(e: SynthError) -> Self {
+        Error::Synth(e)
+    }
+}
+
+impl From<InterpError> for Error {
+    fn from(e: InterpError) -> Self {
+        Error::Interp(e)
+    }
+}
+
+impl From<LintError> for Error {
+    fn from(e: LintError) -> Self {
+        Error::Lint(e)
+    }
+}
+
+impl From<SimulateError> for Error {
+    fn from(e: SimulateError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e: Error = SynthError::NoSuchFunction("f".into()).into();
+        assert!(e.to_string().contains("no function named `f`"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        fn takes_std_error(_: &dyn std::error::Error) {}
+        takes_std_error(&e);
+    }
+
+    #[test]
+    fn question_mark_converts() {
+        fn inner() -> Result<(), Error> {
+            Err(LintError::UnknownBackend("x".into()))?;
+            Ok(())
+        }
+        assert!(matches!(inner(), Err(Error::Lint(_))));
+    }
+}

@@ -1,0 +1,151 @@
+//! The unified machine-readable output surface.
+//!
+//! Every `--json` verb (`check`, `lint`, `report`) emits one envelope
+//! shape, documented in DESIGN.md §10:
+//!
+//! ```json
+//! {"tool":"chls","verb":"<verb>","version":"<semver>","ok":<bool>,"data":<verb-specific>}
+//! ```
+//!
+//! `ok` mirrors the process exit code (`true` ⇔ exit 0), so scripted
+//! consumers can branch without re-deriving verdicts from `data`. Like
+//! the rest of this tree the emitters are hand-rolled — the shapes are
+//! small and fixed, and the container has no registry access for serde.
+
+use crate::driver::Verdict;
+use crate::qor::{BackendQor, QorReport};
+use chls_analysis::json::escape;
+
+/// Wraps verb-specific `data` (already-serialized JSON) in the unified
+/// envelope.
+pub fn envelope(verb: &str, ok: bool, data: &str) -> String {
+    format!(
+        r#"{{"tool":"chls","verb":"{}","version":"{}","ok":{ok},"data":{data}}}"#,
+        escape(verb),
+        env!("CARGO_PKG_VERSION"),
+    )
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+fn opt_str(v: Option<&str>) -> String {
+    v.map_or_else(|| "null".to_string(), |s| format!("\"{}\"", escape(s)))
+}
+
+/// Serializes conformance verdicts (the `data` of `check --json`): one
+/// object per backend with the verdict tag and per-design timing.
+pub fn check_json(entry: &str, jobs: usize, results: &[(&'static str, Verdict)]) -> String {
+    let rows = results
+        .iter()
+        .map(|(backend, verdict)| {
+            let (tag, cycles, time_units, detail) = match verdict {
+                Verdict::Pass { cycles, time_units } => ("pass", *cycles, *time_units, None),
+                Verdict::Unsupported(why) => ("unsupported", None, None, Some(why.clone())),
+                Verdict::Mismatch { got, expected } => (
+                    "mismatch",
+                    None,
+                    None,
+                    Some(format!("got {got}, expected {expected}")),
+                ),
+                Verdict::Error(e) => ("error", None, None, Some(e.clone())),
+            };
+            format!(
+                r#"{{"backend":"{backend}","verdict":"{tag}","cycles":{},"time_units":{},"detail":{}}}"#,
+                opt_u64(cycles),
+                opt_u64(time_units),
+                opt_str(detail.as_deref()),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        r#"{{"entry":"{}","jobs":{jobs},"results":[{rows}]}}"#,
+        escape(entry)
+    )
+}
+
+fn phase_json(phases: &[(String, f64)]) -> String {
+    phases
+        .iter()
+        .map(|(name, s)| format!(r#"{{"phase":"{}","seconds":{s:.9}}}"#, escape(name)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn backend_qor_json(q: &BackendQor) -> String {
+    format!(
+        r#"{{"backend":"{}","status":"{}","reason":{},"style":{},"fsm_states":{},"registers":{},"memories":{},"gates":{},"area":{},"sched_cycles":{},"ii":{},"cycles":{},"time_units":{},"sim_note":{},"phases":[{}]}}"#,
+        q.backend,
+        q.status.tag(),
+        opt_str(q.status.reason()),
+        opt_str(q.style),
+        opt_u64(q.fsm_states),
+        opt_u64(q.registers),
+        opt_u64(q.memories),
+        opt_u64(q.gates),
+        q.area
+            .map_or_else(|| "null".to_string(), |a| format!("{a:.1}")),
+        opt_u64(q.sched_cycles),
+        opt_u64(q.ii),
+        opt_u64(q.cycles),
+        opt_u64(q.time_units),
+        opt_str(q.sim_note.as_deref()),
+        phase_json(&q.phases),
+    )
+}
+
+/// Serializes a QoR report (the `data` of `report --json`).
+pub fn report_json(r: &QorReport) -> String {
+    let backends = r
+        .backends
+        .iter()
+        .map(backend_qor_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        r#"{{"entry":"{}","parse_seconds":{:.9},"args":{},"backends":[{backends}]}}"#,
+        escape(&r.entry),
+        r.parse_seconds,
+        opt_str(r.args_used.as_deref()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_shape() {
+        let e = envelope("check", true, r#"{"x":1}"#);
+        assert!(e.starts_with(r#"{"tool":"chls","verb":"check","version":""#));
+        assert!(e.ends_with(r#""ok":true,"data":{"x":1}}"#), "{e}");
+    }
+
+    #[test]
+    fn check_json_tags_verdicts() {
+        let results: Vec<(&'static str, Verdict)> = vec![
+            (
+                "c2v",
+                Verdict::Pass {
+                    cycles: Some(37),
+                    time_units: None,
+                },
+            ),
+            ("cones", Verdict::Unsupported("loop".into())),
+            (
+                "cyber",
+                Verdict::Mismatch {
+                    got: "1".into(),
+                    expected: "2".into(),
+                },
+            ),
+        ];
+        let j = check_json("gcd", 2, &results);
+        assert!(j.contains(r#""backend":"c2v","verdict":"pass","cycles":37"#), "{j}");
+        assert!(j.contains(r#""verdict":"unsupported""#), "{j}");
+        assert!(j.contains(r#""detail":"got 1, expected 2""#), "{j}");
+        assert!(j.contains(r#""jobs":2"#), "{j}");
+    }
+}

@@ -32,7 +32,11 @@
 //! ```
 
 pub mod driver;
+pub mod error;
+pub mod jsonout;
+pub mod options;
 pub mod programs;
+pub mod qor;
 pub mod registry;
 pub mod report;
 
@@ -43,6 +47,28 @@ pub use driver::{
     check_conformance, check_conformance_with_jobs, conformance_jobs, simulate_design, Compiler,
     SimOutcome, SimulateError, Verdict,
 };
+pub use error::Error;
+pub use options::CompileOptions;
 pub use programs::{benchmark, benchmarks, Benchmark};
+pub use qor::{default_args, qor_report, BackendQor, QorReport, QorStatus};
 pub use registry::{backend_by_name, backends, taxonomy_table};
 pub use report::{fnum, Table};
+
+/// The stable import surface, in one line: `use chls::prelude::*;`.
+///
+/// Everything a pipeline driver needs — the compiler facade, the unified
+/// error and options types, backend lookup, conformance checking, design
+/// simulation, and QoR reporting. Crate-internal plumbing (individual
+/// pass entry points, simulator internals) is deliberately excluded.
+pub mod prelude {
+    pub use crate::driver::{
+        check_conformance, check_conformance_with_jobs, conformance_jobs, simulate_design,
+        Compiler, SimOutcome, Verdict,
+    };
+    pub use crate::error::Error;
+    pub use crate::interp::ArgValue;
+    pub use crate::options::CompileOptions;
+    pub use crate::qor::{qor_report, QorReport, QorStatus};
+    pub use crate::registry::{backend_by_name, backends, taxonomy_table};
+    pub use chls_backends::{Backend, Design, SynthOptions};
+}

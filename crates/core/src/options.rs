@@ -1,0 +1,107 @@
+//! [`CompileOptions`] — the builder callers use instead of threading
+//! loose bools through the pipeline.
+//!
+//! Backends consume a [`SynthOptions`]; the conformance driver wants a
+//! job count; the observability layer wants to know whether to collect
+//! traces. `CompileOptions` carries all of it behind chainable setters:
+//!
+//! ```
+//! use chls::CompileOptions;
+//! let opts = CompileOptions::new().pipeline(true).jobs(4).trace(true);
+//! assert!(opts.synth_options().pipeline_loops);
+//! assert_eq!(opts.jobs_requested(), Some(4));
+//! ```
+
+use chls_backends::SynthOptions;
+
+/// Pipeline-wide options, built fluently.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompileOptions {
+    pipeline: bool,
+    narrow: bool,
+    jobs: Option<usize>,
+    trace: bool,
+}
+
+impl CompileOptions {
+    /// Defaults: no pipelining, no narrowing, automatic job count, no
+    /// tracing.
+    pub fn new() -> Self {
+        CompileOptions::default()
+    }
+
+    /// Enables hardware loop pipelining (modulo scheduling) where the
+    /// backend supports it.
+    pub fn pipeline(mut self, on: bool) -> Self {
+        self.pipeline = on;
+        self
+    }
+
+    /// Enables width-analysis-driven register/datapath narrowing.
+    pub fn narrow(mut self, on: bool) -> Self {
+        self.narrow = on;
+        self
+    }
+
+    /// Fixes the conformance driver's worker-thread count (clamped to at
+    /// least 1). Unset means [`crate::conformance_jobs`].
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = Some(n.max(1));
+        self
+    }
+
+    /// Enables per-pass trace collection (spans, counters, gauges) in
+    /// the global [`chls_trace`] collector while pipeline stages run.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// The requested job count, if fixed.
+    #[allow(clippy::missing_const_for_fn)]
+    pub fn jobs_requested(&self) -> Option<usize> {
+        self.jobs
+    }
+
+    /// The effective job count: the fixed request, else
+    /// [`crate::conformance_jobs`].
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(crate::conformance_jobs)
+    }
+
+    /// Is trace collection requested?
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
+
+    /// The [`SynthOptions`] these options imply.
+    pub fn synth_options(&self) -> SynthOptions {
+        SynthOptions {
+            pipeline_loops: self.pipeline,
+            narrow_widths: self.narrow,
+            ..SynthOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let o = CompileOptions::new().pipeline(true).narrow(true).jobs(0).trace(true);
+        let s = o.synth_options();
+        assert!(s.pipeline_loops && s.narrow_widths);
+        assert_eq!(o.jobs_requested(), Some(1), "jobs clamp to >= 1");
+        assert!(o.trace_enabled());
+    }
+
+    #[test]
+    fn defaults_match_synth_defaults() {
+        let s = CompileOptions::new().synth_options();
+        let d = SynthOptions::default();
+        assert_eq!(s.pipeline_loops, d.pipeline_loops);
+        assert_eq!(s.narrow_widths, d.narrow_widths);
+    }
+}

@@ -1,0 +1,436 @@
+//! Quality-of-results (QoR) extraction — the measurable half of the
+//! paper's paradigm comparison.
+//!
+//! For each backend × program this module reports what the synthesized
+//! design *costs*: FSM states, registers, memories, netlist gates,
+//! NAND2-equivalent area, schedule length and initiation interval (from
+//! the scheduler's trace gauges), simulated cycles or async time units,
+//! and per-phase wall-clock time (from the `chls-trace` spans the
+//! pipeline records). `chls report` renders this as an aligned table or
+//! as JSON inside the unified envelope.
+
+use crate::driver::{simulate_design, Compiler};
+use crate::error::Error;
+use crate::options::CompileOptions;
+use crate::report::{fnum, Table};
+use chls_backends::{Design, SynthError};
+use chls_frontend::types::Type;
+use chls_sim::interp::ArgValue;
+
+/// How one backend fared.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QorStatus {
+    /// Synthesized; metrics below are valid.
+    Ok,
+    /// The backend's language refuses this program.
+    Unsupported(String),
+    /// Synthesis crashed.
+    Error(String),
+}
+
+impl QorStatus {
+    /// Short machine-readable tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            QorStatus::Ok => "ok",
+            QorStatus::Unsupported(_) => "unsupported",
+            QorStatus::Error(_) => "error",
+        }
+    }
+
+    /// The reason, when there is one.
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            QorStatus::Ok => None,
+            QorStatus::Unsupported(r) | QorStatus::Error(r) => Some(r),
+        }
+    }
+}
+
+/// One backend's quality-of-results row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendQor {
+    /// Backend name (registry order).
+    pub backend: &'static str,
+    /// Outcome of synthesis.
+    pub status: QorStatus,
+    /// Design style (`comb` / `fsmd` / `dataflow`).
+    pub style: Option<&'static str>,
+    /// FSM state count (FSMD designs).
+    pub fsm_states: Option<u64>,
+    /// Datapath register count (FSMD designs).
+    pub registers: Option<u64>,
+    /// Memory/RAM block count.
+    pub memories: Option<u64>,
+    /// Netlist gate count: cells for combinational designs, cells of the
+    /// lowered netlist for FSMDs, nodes for dataflow circuits.
+    pub gates: Option<u64>,
+    /// NAND2-equivalent area under the default cost model.
+    pub area: Option<f64>,
+    /// Total cycles the schedulers emitted while compiling this design
+    /// (sum over scheduled blocks; `None` for rule-timed backends).
+    pub sched_cycles: Option<u64>,
+    /// Initiation interval achieved by modulo scheduling, if it ran.
+    pub ii: Option<u64>,
+    /// Simulated clock cycles (clocked designs, when simulation ran).
+    pub cycles: Option<u64>,
+    /// Simulated async time units (dataflow designs).
+    pub time_units: Option<u64>,
+    /// Why simulation was skipped or failed, if it was.
+    pub sim_note: Option<String>,
+    /// Per-phase wall-clock seconds, in first-recorded order.
+    pub phases: Vec<(String, f64)>,
+}
+
+/// A full per-program QoR report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QorReport {
+    /// Entry function.
+    pub entry: String,
+    /// Frontend wall-clock seconds (lex + parse + sema, once).
+    pub parse_seconds: f64,
+    /// Rendered argument vector the simulations used, if any.
+    pub args_used: Option<String>,
+    /// One row per backend, in registry order.
+    pub backends: Vec<BackendQor>,
+}
+
+/// Builds an all-zero argument vector from the entry signature: scalars
+/// become `0`, arrays become zero-filled. Returns `None` when a
+/// parameter has no value representation (pointers, channels).
+pub fn default_args(compiler: &Compiler, entry: &str) -> Option<Vec<ArgValue>> {
+    let (_, f) = compiler.hir().func_by_name(entry)?;
+    let mut args = Vec::with_capacity(f.num_params);
+    for (_, l) in f.params() {
+        match &l.ty {
+            Type::Bool | Type::Int(_) => args.push(ArgValue::Scalar(0)),
+            Type::Array(_, _) => args.push(ArgValue::Array(vec![0; l.ty.flat_len()])),
+            Type::Void | Type::Ptr(_) | Type::Chan(_) => return None,
+        }
+    }
+    Some(args)
+}
+
+fn render_args(args: &[ArgValue]) -> String {
+    args.iter()
+        .map(|a| match a {
+            ArgValue::Scalar(v) => v.to_string(),
+            ArgValue::Array(v) => v
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Extracts the static cost metrics of one design.
+fn extract_design(q: &mut BackendQor, design: &Design, opts: &CompileOptions) {
+    let model = opts.synth_options().model;
+    q.area = Some(design.area(&model));
+    match design {
+        Design::Comb(nl) => {
+            q.style = Some("comb");
+            q.gates = Some(nl.cells.len() as u64);
+            q.memories = Some(nl.rams.len() as u64);
+        }
+        Design::Fsmd(f) => {
+            q.style = Some("fsmd");
+            q.fsm_states = Some(f.states.len() as u64);
+            q.registers = Some(f.regs.len() as u64);
+            q.memories = Some(f.mems.len() as u64);
+            // Lower to gates for a netlist cost figure (also times the
+            // `rtl.fsmd_to_netlist` phase).
+            q.gates = Some(chls_rtl::fsmd_to_netlist(f).cells.len() as u64);
+        }
+        Design::Dataflow(g) => {
+            q.style = Some("dataflow");
+            q.gates = Some(g.nodes.len() as u64);
+            q.memories = Some(g.mems.len() as u64);
+        }
+    }
+}
+
+/// Synthesizes (and, when arguments are available, simulates) `entry`
+/// on the selected backends, collecting QoR metrics and per-phase
+/// wall-clock time through the global trace collector.
+///
+/// `which` restricts to one backend by name; `None` means all registered
+/// backends. `args` supplies simulation inputs; `None` falls back to
+/// [`default_args`] (all zeros), and simulation is skipped with a note
+/// when no argument vector can be built.
+///
+/// Tracing is force-enabled for the duration of the call and restored
+/// afterward; the global collector is reset per backend, so concurrent
+/// tracing users should not run while a report is being built.
+///
+/// # Errors
+///
+/// Fails when the entry function does not exist or `which` names an
+/// unknown backend. Per-backend synthesis failures are reported in the
+/// row, not as an `Err`.
+pub fn qor_report(
+    compiler: &Compiler,
+    entry: &str,
+    which: Option<&str>,
+    args: Option<&[ArgValue]>,
+    opts: &CompileOptions,
+) -> Result<QorReport, Error> {
+    if compiler.hir().func_by_name(entry).is_none() {
+        return Err(Error::Synth(SynthError::NoSuchFunction(entry.to_string())));
+    }
+    let backends = match which {
+        None => crate::registry::backends(),
+        Some(name) => match crate::registry::backend_by_name(name) {
+            Some(b) => vec![b],
+            None => return Err(Error::Other(format!(
+                "unknown backend `{name}` (try `chls backends`)"
+            ))),
+        },
+    };
+    let synth_opts = opts.synth_options();
+    let owned_default: Option<Vec<ArgValue>>;
+    let sim_args: Option<&[ArgValue]> = match args {
+        Some(a) => Some(a),
+        None => {
+            owned_default = default_args(compiler, entry);
+            owned_default.as_deref()
+        }
+    };
+
+    let was_enabled = chls_trace::enabled();
+    chls_trace::set_enabled(true);
+
+    // Time the frontend once, by re-parsing the stored source — the
+    // original parse may have happened before tracing was on.
+    chls_trace::reset();
+    let _ = Compiler::parse(compiler.source());
+    let parse_seconds = chls_trace::snapshot()
+        .span("frontend.parse")
+        .map_or(0.0, chls_trace::SpanStat::seconds);
+
+    let mut rows = Vec::with_capacity(backends.len());
+    for backend in &backends {
+        chls_trace::reset();
+        let name = backend.info().name;
+        let mut q = BackendQor {
+            backend: name,
+            status: QorStatus::Ok,
+            style: None,
+            fsm_states: None,
+            registers: None,
+            memories: None,
+            gates: None,
+            area: None,
+            sched_cycles: None,
+            ii: None,
+            cycles: None,
+            time_units: None,
+            sim_note: None,
+            phases: Vec::new(),
+        };
+        match compiler.synthesize(backend.as_ref(), entry, &synth_opts) {
+            Err(
+                e @ (SynthError::Unsupported { .. }
+                | SynthError::Loop(_)
+                | SynthError::Transform(_)),
+            ) => q.status = QorStatus::Unsupported(e.to_string()),
+            Err(e) => q.status = QorStatus::Error(e.to_string()),
+            Ok(design) => {
+                extract_design(&mut q, &design, opts);
+                match sim_args {
+                    None => {
+                        q.sim_note =
+                            Some("no argument vector (pointer/channel parameter)".to_string());
+                    }
+                    Some(a) => match simulate_design(&design, a) {
+                        Ok(out) => {
+                            q.cycles = out.cycles;
+                            q.time_units = out.time_units;
+                        }
+                        Err(e) => q.sim_note = Some(e.to_string()),
+                    },
+                }
+            }
+        }
+        let snap = chls_trace::snapshot();
+        q.sched_cycles = snap.counter("sched.cycles").filter(|&c| c > 0);
+        q.ii = snap.gauge("sched.ii");
+        q.phases = snap
+            .spans
+            .iter()
+            .map(|s| (s.name.to_string(), s.seconds()))
+            .collect();
+        rows.push(q);
+    }
+    chls_trace::set_enabled(was_enabled);
+
+    Ok(QorReport {
+        entry: entry.to_string(),
+        parse_seconds,
+        args_used: sim_args.map(render_args),
+        backends: rows,
+    })
+}
+
+fn opt_num<T: ToString>(v: Option<T>) -> String {
+    v.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
+impl QorReport {
+    /// Renders the aligned QoR table plus an aggregated per-phase
+    /// wall-clock table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "backend", "status", "style", "states", "regs", "mems", "gates", "area", "sched",
+            "II", "cycles", "time",
+        ]);
+        for q in &self.backends {
+            t.row(vec![
+                q.backend.to_string(),
+                q.status.tag().to_string(),
+                q.style.unwrap_or("-").to_string(),
+                opt_num(q.fsm_states),
+                opt_num(q.registers),
+                opt_num(q.memories),
+                opt_num(q.gates),
+                q.area.map_or_else(|| "-".to_string(), fnum),
+                opt_num(q.sched_cycles),
+                opt_num(q.ii),
+                opt_num(q.cycles),
+                opt_num(q.time_units),
+            ]);
+        }
+        let mut out = format!(
+            "QoR report for `{}`{} (parse {:.3} ms)\n\n{t}",
+            self.entry,
+            self.args_used
+                .as_ref()
+                .map_or_else(String::new, |a| format!(" on args [{a}]")),
+            self.parse_seconds * 1e3,
+        );
+        // Aggregate phase times across backends.
+        let mut phases: Vec<(String, u64, f64)> = Vec::new();
+        for q in &self.backends {
+            for (name, s) in &q.phases {
+                if let Some(p) = phases.iter_mut().find(|p| &p.0 == name) {
+                    p.1 += 1;
+                    p.2 += s;
+                } else {
+                    phases.push((name.clone(), 1, *s));
+                }
+            }
+        }
+        if !phases.is_empty() {
+            let mut pt = Table::new(vec!["phase", "calls", "total ms"]);
+            for (name, calls, secs) in &phases {
+                pt.row(vec![
+                    name.clone(),
+                    calls.to_string(),
+                    format!("{:.3}", secs * 1e3),
+                ]);
+            }
+            out.push_str(&format!("\nwall-clock per phase (all backends)\n\n{pt}"));
+        }
+        for q in &self.backends {
+            if let Some(reason) = q.status.reason() {
+                out.push_str(&format!("note: {}: {reason}\n", q.backend));
+            } else if let Some(note) = &q.sim_note {
+                out.push_str(&format!("note: {}: simulation skipped: {note}\n", q.backend));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `qor_report` resets the shared global trace collector, so the
+    // tests that call it serialize on this lock.
+    static QOR_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    const GCD: &str = "int gcd(int a, int b) {
+        while (b != 0) { int t = b; b = a % b; a = t; }
+        return a;
+    }";
+
+    #[test]
+    fn qor_covers_all_backends_with_metrics() {
+        let _l = QOR_LOCK.lock().unwrap();
+        let compiler = Compiler::parse(GCD).unwrap();
+        let r = qor_report(
+            &compiler,
+            "gcd",
+            None,
+            Some(&[ArgValue::Scalar(48), ArgValue::Scalar(36)]),
+            &CompileOptions::new(),
+        )
+        .unwrap();
+        assert_eq!(r.backends.len(), crate::registry::backends().len());
+        let c2v = r.backends.iter().find(|q| q.backend == "c2v").unwrap();
+        assert_eq!(c2v.status, QorStatus::Ok);
+        assert_eq!(c2v.style, Some("fsmd"));
+        assert!(c2v.fsm_states.unwrap() > 0);
+        assert!(c2v.registers.unwrap() > 0);
+        assert!(c2v.gates.unwrap() > 0);
+        assert!(c2v.sched_cycles.unwrap() > 0, "list scheduler ran");
+        assert!(c2v.cycles.unwrap() > 0, "c2v simulated a clocked design");
+        assert!(
+            c2v.phases.iter().any(|(n, _)| n == "backend.prepare"),
+            "phases recorded: {:?}",
+            c2v.phases
+        );
+        // Cones must fully unroll a data-dependent loop: unsupported.
+        let cones = r.backends.iter().find(|q| q.backend == "cones").unwrap();
+        assert!(matches!(cones.status, QorStatus::Unsupported(_)));
+        // The dataflow backend reports async time, not cycles.
+        let cash = r.backends.iter().find(|q| q.backend == "cash").unwrap();
+        assert_eq!(cash.style, Some("dataflow"));
+        assert!(cash.time_units.is_some());
+    }
+
+    #[test]
+    fn default_args_fill_zeros() {
+        let _l = QOR_LOCK.lock().unwrap();
+        let compiler =
+            Compiler::parse("int f(int a, int b[4]) { return a + b[0]; }").unwrap();
+        let args = default_args(&compiler, "f").unwrap();
+        assert_eq!(
+            args,
+            vec![ArgValue::Scalar(0), ArgValue::Array(vec![0; 4])]
+        );
+        let r = qor_report(&compiler, "f", None, None, &CompileOptions::new()).unwrap();
+        assert_eq!(r.args_used.as_deref(), Some("0 0,0,0,0"));
+    }
+
+    #[test]
+    fn single_backend_filter_and_unknown() {
+        let _l = QOR_LOCK.lock().unwrap();
+        let compiler = Compiler::parse(GCD).unwrap();
+        let r = qor_report(
+            &compiler,
+            "gcd",
+            Some("c2v"),
+            None,
+            &CompileOptions::new(),
+        )
+        .unwrap();
+        assert_eq!(r.backends.len(), 1);
+        assert!(qor_report(&compiler, "gcd", Some("nope"), None, &CompileOptions::new()).is_err());
+        assert!(qor_report(&compiler, "nope", None, None, &CompileOptions::new()).is_err());
+    }
+
+    #[test]
+    fn render_is_aligned_and_noted() {
+        let _l = QOR_LOCK.lock().unwrap();
+        let compiler = Compiler::parse(GCD).unwrap();
+        let r = qor_report(&compiler, "gcd", None, None, &CompileOptions::new()).unwrap();
+        let s = r.render();
+        assert!(s.contains("| backend"), "{s}");
+        assert!(s.contains("wall-clock per phase"), "{s}");
+        assert!(s.contains("note: cones:"), "{s}");
+    }
+}

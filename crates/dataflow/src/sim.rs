@@ -133,6 +133,19 @@ pub fn simulate(
     args: &[ArgValue],
     opts: &TokenSimOptions,
 ) -> Result<TokenSimResult, TokenSimError> {
+    let _span = chls_trace::span("sim.dataflow");
+    let r = simulate_inner(g, args, opts);
+    if let Ok(r) = &r {
+        chls_trace::add("sim.time_units", r.time);
+    }
+    r
+}
+
+fn simulate_inner(
+    g: &DataflowGraph,
+    args: &[ArgValue],
+    opts: &TokenSimOptions,
+) -> Result<TokenSimResult, TokenSimError> {
     let n = g.nodes.len();
     // Dense per-node input-port table: queue index (or `NO_EDGE`) at
     // `in_edge_idx[port_base[node] + port]`.

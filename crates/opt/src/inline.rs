@@ -41,6 +41,7 @@ impl std::error::Error for InlineError {}
 ///
 /// See [`InlineError`].
 pub fn inline_program(prog: &HirProgram, entry: FuncId) -> Result<HirProgram, InlineError> {
+    let _span = chls_trace::span("opt.inline");
     let f = prog.func(entry);
     let mut ctx = Inliner {
         prog,

@@ -23,6 +23,7 @@ use std::collections::HashMap;
 /// Merges all monolithic-marked, non-parameter memories of equal element
 /// type into one. Returns how many memories were merged away.
 pub fn merge_monolithic(f: &mut Function) -> usize {
+    let _span = chls_trace::span("opt.memory");
     // Candidate groups by element type.
     let mut groups: HashMap<IntType, Vec<MemId>> = HashMap::new();
     for (mi, m) in f.mems.iter().enumerate() {
@@ -177,6 +178,7 @@ fn static_bank(f: &Function, addr: Value, k: i64) -> Option<i64> {
 /// with a dynamic access, a non-power-of-two `K`, or parameter sourcing
 /// are left whole.
 pub fn split_banks(f: &mut Function) -> usize {
+    let _span = chls_trace::span("opt.memory");
     let mut split = 0;
     for mi in 0..f.mems.len() {
         let m = &f.mems[mi];

@@ -191,6 +191,7 @@ pub fn points_to(func: &HirFunc) -> PointsTo {
 ///
 /// See [`PtrError`].
 pub fn lower_pointers(func: &mut HirFunc, stats_out: &mut PtrStats) -> Result<(), PtrError> {
+    let _span = chls_trace::span("opt.ptr");
     let ptr_locals: Vec<LocalId> = func
         .locals
         .iter()

@@ -27,6 +27,7 @@ pub struct SimplifyStats {
 
 /// Runs all IR cleanups to a fixpoint.
 pub fn simplify(f: &mut Function) -> SimplifyStats {
+    let _span = chls_trace::span("opt.simplify");
     let mut stats = SimplifyStats::default();
     loop {
         let mut changed = false;

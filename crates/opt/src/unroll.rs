@@ -202,6 +202,7 @@ pub struct UnrollStats {
 /// Unrolls loops in `func` according to pragmas (or everything when
 /// `force_full`). Returns the rewritten function and statistics.
 pub fn unroll_function(func: &HirFunc, opts: UnrollOptions) -> (HirFunc, UnrollStats) {
+    let _span = chls_trace::span("opt.unroll");
     let mut stats = UnrollStats::default();
     let body = unroll_block(&func.body, opts, &mut stats);
     (

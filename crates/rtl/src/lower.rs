@@ -27,6 +27,7 @@ fn u1() -> IntType {
 /// [`Fsmd::mems`]; bind their contents via [`Netlist::rams`] before
 /// simulation.
 pub fn fsmd_to_netlist(f: &Fsmd) -> Netlist {
+    let _span = chls_trace::span("rtl.fsmd_to_netlist");
     let mut nl = Netlist::new(f.name.clone());
     let nstates = f.states.len().max(1);
     let state_bits = (usize::BITS - (nstates.max(2) - 1).leading_zeros()) as u16;

@@ -21,6 +21,14 @@ use std::collections::HashMap;
 /// Falls back to the budget implied by ASAP when the deadline is too
 /// tight. Cycle granularity (no chaining) — standard for FDS.
 pub fn force_directed(dfg: &Dfg, period_ns: f64, deadline: u32) -> Schedule {
+    let _span = chls_trace::span("sched.fds");
+    let s = force_directed_inner(dfg, period_ns, deadline);
+    chls_trace::add("sched.cycles", u64::from(s.length));
+    chls_trace::gauge("sched.length", u64::from(s.length));
+    s
+}
+
+fn force_directed_inner(dfg: &Dfg, period_ns: f64, deadline: u32) -> Schedule {
     let n = dfg.nodes.len();
     if n == 0 {
         return Schedule {

@@ -130,6 +130,14 @@ pub fn rec_mii(dfg: &Dfg, period_ns: f64) -> u32 {
 
 /// Iterative modulo scheduling. Returns the achieved schedule.
 pub fn modulo_schedule(dfg: &Dfg, period_ns: f64, res: &Resources) -> ModuloSchedule {
+    let _span = chls_trace::span("sched.modulo");
+    let s = modulo_schedule_inner(dfg, period_ns, res);
+    chls_trace::gauge("sched.ii", u64::from(s.ii));
+    chls_trace::gauge("sched.length", u64::from(s.iteration_length));
+    s
+}
+
+fn modulo_schedule_inner(dfg: &Dfg, period_ns: f64, res: &Resources) -> ModuloSchedule {
     let n = dfg.nodes.len();
     let dur: Vec<u32> = dfg
         .nodes

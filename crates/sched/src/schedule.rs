@@ -198,6 +198,14 @@ impl Resources {
 /// Resource-constrained list scheduling with chaining, priority =
 /// least ALAP slack (critical path first).
 pub fn list_schedule(dfg: &Dfg, period_ns: f64, res: &Resources) -> Schedule {
+    let _span = chls_trace::span("sched.list");
+    let s = list_schedule_inner(dfg, period_ns, res);
+    chls_trace::add("sched.cycles", u64::from(s.length));
+    chls_trace::gauge("sched.length", u64::from(s.length));
+    s
+}
+
+fn list_schedule_inner(dfg: &Dfg, period_ns: f64, res: &Resources) -> Schedule {
     let n = dfg.nodes.len();
     if n == 0 {
         return Schedule {

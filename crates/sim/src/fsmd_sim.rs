@@ -893,6 +893,21 @@ pub fn simulate(
     args: &[ArgValue],
     max_cycles: u64,
 ) -> Result<FsmdSimResult, FsmdSimError> {
+    let _span = chls_trace::span("sim.fsmd");
+    let r = simulate_inner(f, args, max_cycles);
+    if let Ok(r) = &r {
+        // One counter add per run, never per cycle — the hot loop is
+        // untouched (BENCH_sim.json guards this).
+        chls_trace::add("sim.cycles", r.cycles);
+    }
+    r
+}
+
+fn simulate_inner(
+    f: &Fsmd,
+    args: &[ArgValue],
+    max_cycles: u64,
+) -> Result<FsmdSimResult, FsmdSimError> {
     // Bind inputs.
     let mut inputs = vec![0i64; f.inputs.len()];
     for (i, (_, ty)) in f.inputs.iter().enumerate() {

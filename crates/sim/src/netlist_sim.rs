@@ -103,6 +103,7 @@ impl<'n> NetlistSim<'n> {
     ///
     /// Returns [`NetlistSimError::CombinationalCycle`] for cyclic netlists.
     pub fn new(nl: &'n Netlist) -> Result<Self, NetlistSimError> {
+        let _span = chls_trace::span("sim.netlist.build");
         let n = nl.cells.len();
         let mut reg_state = vec![0i64; n];
         let mut reg_ports = Vec::new();
@@ -300,6 +301,8 @@ impl<'n> NetlistSim<'n> {
     ///
     /// See [`NetlistSimError`].
     pub fn eval_outputs(&mut self) -> Result<Vec<(&'n str, i64)>, NetlistSimError> {
+        let _span = chls_trace::span("sim.netlist.eval");
+        chls_trace::add("sim.evals", 1);
         let mut values = std::mem::take(&mut self.values);
         let r = self.eval_into(&mut values);
         let out = r.map(|()| {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 tests, lint hygiene (clippy + a `chls lint`
-# sweep over the example corpus), a conformance smoke run through the
-# CLI (sequential and parallel must agree), and the simulator benchmark
-# harness (refreshes BENCH_sim.json at the repo root).
+# Repo verification: tier-1 tests, the CLI integration suite, lint
+# hygiene (clippy + a `chls lint` sweep over the example corpus), a
+# conformance smoke run through the CLI (sequential and parallel must
+# agree), a `chls report` QoR smoke over the example corpus, and the
+# simulator benchmark harness (refreshes BENCH_sim.json at the repo
+# root, failing on a >10% throughput regression).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +13,9 @@ cargo build --release
 
 echo "== tier-1: tests =="
 cargo test -q
+
+echo "== CLI integration suite =="
+cargo test -q --test cli
 
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace -- -D warnings
@@ -36,7 +41,23 @@ EOF
 diff "$tmp/seq.txt" "$tmp/par.txt"
 echo "verdicts identical"
 
-echo "== simulator benchmarks =="
-cargo run --release -p chls-bench --bin bench_sim
+echo "== chls report smoke (QoR JSON over the example corpus) =="
+for f in examples/chl/*.chl; do
+    echo "-- report $f"
+    ./target/release/chls report --all --json "$f" main > "$tmp/report.json"
+    python3 - "$tmp/report.json" <<'EOF'
+import json, sys
+env = json.load(open(sys.argv[1]))
+assert env["tool"] == "chls" and env["verb"] == "report", env
+assert isinstance(env["ok"], bool) and "version" in env, env
+rows = env["data"]["backends"]
+assert rows, "report emitted no backends"
+assert any(r["status"] == "ok" for r in rows), rows
+EOF
+done
+echo "report envelopes valid"
+
+echo "== simulator benchmarks (fail on >10% throughput regression) =="
+cargo run --release -p chls-bench --bin bench_sim -- --check 10
 
 echo "== verify OK =="
