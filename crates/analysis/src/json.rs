@@ -61,7 +61,7 @@ fn opt_str(s: &Option<String>) -> String {
 
 /// Serializes the whole report. Stable field order:
 /// `entry`, `backend`, `races`, `warnings`, `features`, `backends`,
-/// `cycles`.
+/// `cycles`, `memory`, `dead_branches`.
 pub fn report_to_json(r: &LintReport) -> String {
     let races = r.races.iter().map(diag_json).collect::<Vec<_>>().join(",");
     let warnings = r
@@ -111,8 +111,15 @@ pub fn report_to_json(r: &LintReport) -> String {
         })
         .collect::<Vec<_>>()
         .join(",");
+    let memory = r.memory.iter().map(diag_json).collect::<Vec<_>>().join(",");
+    let dead = r
+        .dead_branches
+        .iter()
+        .map(diag_json)
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
-        r#"{{"entry":"{}","backend":{},"races":[{races}],"warnings":[{warnings}],"features":{features},"backends":[{backends}],"cycles":[{cycles}]}}"#,
+        r#"{{"entry":"{}","backend":{},"races":[{races}],"warnings":[{warnings}],"features":{features},"backends":[{backends}],"cycles":[{cycles}],"memory":[{memory}],"dead_branches":[{dead}]}}"#,
         escape(&r.entry),
         opt_str(&r.backend),
     )

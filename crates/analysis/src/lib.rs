@@ -18,6 +18,11 @@
 //! * **Static cycle bounds** ([`cycles`]) — for the two backends whose
 //!   timing rule is a sentence (Handel-C, Transmogrifier C), evaluate
 //!   the rule statically to a `[min, max]` latency interval.
+//! * **Dataflow lint clients** ([`memlint`]) — the abstract-interpretation
+//!   engine in [`chls_ir::dataflow`] drives three definite-only checks
+//!   over the prepared sequential IR: out-of-bounds accesses,
+//!   uninitialized reads (of memories at the IR level and of scalars via
+//!   a HIR must-init walk), and provably dead branches.
 //!
 //! The entry point is [`lint_program`]; `chls-core` wires it to the
 //! `chls lint` CLI verb and [`json`] serializes the result.
@@ -26,11 +31,13 @@ pub mod backend_lint;
 pub mod cycles;
 pub mod effects;
 pub mod json;
+pub mod memlint;
 pub mod race;
 
 pub use backend_lint::{check_backends, detect_features, BackendFinding, Features};
 pub use cycles::{handelc_interval, transmogrifier_interval, Interval};
 pub use effects::{block_effects, Access, AccessKind, Loc};
+pub use memlint::{check_dead_branches, check_memory, check_uninit_scalars};
 pub use race::find_races;
 
 use chls_backends::{construct_support, prepare_structured};
@@ -59,6 +66,13 @@ pub struct LintReport {
     pub races: Vec<Diagnostic>,
     /// Warnings carried over from semantic analysis (e.g. unused locals).
     pub warnings: Vec<Diagnostic>,
+    /// Memory-safety diagnostics from the dataflow engine: definite
+    /// out-of-bounds accesses (errors) and definite uninitialized reads
+    /// (warnings), both at the IR level and for scalars at the HIR level.
+    pub memory: Vec<Diagnostic>,
+    /// Branches whose condition the interval analysis proves constant
+    /// (warning severity).
+    pub dead_branches: Vec<Diagnostic>,
     /// Constructs the (inlined) entry function exercises.
     pub features: Features,
     /// Per-backend rejections and penalties for those constructs.
@@ -69,10 +83,15 @@ pub struct LintReport {
 
 impl LintReport {
     /// Whether the program has findings that make synthesis fail or
-    /// behave nondeterministically: any race, or (when a backend filter
-    /// was given) any outright rejection by that backend.
+    /// behave nondeterministically: any race, any definite memory error
+    /// (out of bounds), or (when a backend filter was given) any
+    /// outright rejection by that backend.
     pub fn has_errors(&self) -> bool {
         !self.races.is_empty()
+            || self
+                .memory
+                .iter()
+                .any(|d| d.severity == chls_frontend::diag::Severity::Error)
             || (self.backend.is_some() && self.backend_findings.iter().any(|f| f.is_rejection()))
     }
 
@@ -91,6 +110,10 @@ impl LintReport {
         }
         for r in &self.races {
             out.push_str(&r.render(src));
+            out.push('\n');
+        }
+        for d in self.memory.iter().chain(&self.dead_branches) {
+            out.push_str(&d.render(src));
             out.push('\n');
         }
         let used = self.used_constructs();
@@ -126,9 +149,13 @@ impl LintReport {
             .count();
         let penalties = self.backend_findings.len() - rejections;
         out.push_str(&format!(
-            "summary: {} race{}, {} rejection{}, {} penalt{}\n",
+            "summary: {} race{}, {} memory finding{}, {} dead branch{}, {} rejection{}, {} penalt{}\n",
             self.races.len(),
             if self.races.len() == 1 { "" } else { "s" },
+            self.memory.len(),
+            if self.memory.len() == 1 { "" } else { "s" },
+            self.dead_branches.len(),
+            if self.dead_branches.len() == 1 { "" } else { "es" },
             rejections,
             if rejections == 1 { "" } else { "s" },
             penalties,
@@ -225,6 +252,19 @@ pub fn lint_program(
     let features = detect_features(func, &pts);
     let backend_findings = check_backends(&features, backend);
 
+    // Dataflow clients. Scalar use-before-init walks the inlined HIR
+    // (SSA construction would erase the distinction); the memory and
+    // dead-branch checks run on the prepared sequential IR, so they are
+    // skipped when preparation fails (concurrency constructs,
+    // recursion) — exactly the programs with no sequential lowering to
+    // check.
+    let mut memory = memlint::check_uninit_scalars(func);
+    let mut dead_branches = Vec::new();
+    if let Ok(prepared) = chls_backends::prepare_sequential(prog, entry, false) {
+        memory.extend(memlint::check_memory(&prepared.func));
+        dead_branches = memlint::check_dead_branches(&prepared.func);
+    }
+
     let mut cycle_bounds = Vec::new();
     if let Ok(prepared) = prepare_structured(prog, entry) {
         let pf = &prepared.funcs[0];
@@ -250,6 +290,8 @@ pub fn lint_program(
         backend: backend.map(str::to_string),
         races,
         warnings: prog.warnings.clone(),
+        memory,
+        dead_branches,
         features,
         backend_findings,
         cycle_bounds,

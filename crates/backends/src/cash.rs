@@ -39,9 +39,9 @@ impl Backend for Cash {
         &self,
         prog: &HirProgram,
         entry: &str,
-        _opts: &SynthOptions,
+        opts: &SynthOptions,
     ) -> Result<Design, SynthError> {
-        let prepared = prepare_sequential(prog, entry, false)?;
+        let prepared = prepare_sequential_opts(prog, entry, false, opts.narrow_widths)?;
         let g = build_dataflow(&prepared.func)
             .map_err(|e| SynthError::Transform(e.to_string()))?;
         Ok(Design::Dataflow(g))

@@ -255,6 +255,21 @@ pub fn prepare_sequential(
     entry: &str,
     force_full_unroll: bool,
 ) -> Result<Prepared, SynthError> {
+    prepare_sequential_opts(prog, entry, force_full_unroll, false)
+}
+
+/// [`prepare_sequential`] with the width-narrowing transform optionally
+/// appended (narrow → re-simplify) before verification.
+///
+/// # Errors
+///
+/// See [`SynthError`].
+pub fn prepare_sequential_opts(
+    prog: &HirProgram,
+    entry: &str,
+    force_full_unroll: bool,
+    narrow: bool,
+) -> Result<Prepared, SynthError> {
     let _span = chls_trace::span("backend.prepare");
     let (entry_id, _) = prog
         .func_by_name(entry)
@@ -276,6 +291,10 @@ pub fn prepare_sequential(
     chls_opt::memory::merge_monolithic(&mut func);
     chls_opt::memory::split_banks(&mut func);
     chls_opt::simplify::simplify(&mut func);
+    if narrow {
+        chls_opt::narrow::narrow(&mut func);
+        chls_opt::simplify::simplify(&mut func);
+    }
     chls_ir::verify::verify(&func).map_err(|e| SynthError::Transform(e.to_string()))?;
     Ok(Prepared {
         func,

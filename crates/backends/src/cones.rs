@@ -43,9 +43,9 @@ impl Backend for Cones {
         &self,
         prog: &HirProgram,
         entry: &str,
-        _opts: &SynthOptions,
+        opts: &SynthOptions,
     ) -> Result<Design, SynthError> {
-        let prepared = prepare_sequential(prog, entry, true)?;
+        let prepared = prepare_sequential_opts(prog, entry, true, opts.narrow_widths)?;
         let f = &prepared.func;
         // Any remaining loop is fatal: Cones has no clock to wait with.
         let loops = chls_ir::loops::LoopForest::compute(f);

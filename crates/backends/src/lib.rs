@@ -31,8 +31,9 @@ pub(crate) mod pipeline;
 pub mod transmogrifier;
 
 pub use common::{
-    construct_support, prepare_structured, Backend, BackendInfo, ConcurrencyModel,
-    ConstructSupport, Design, Support, SynthError, SynthOptions, TimingModel, CONSTRUCT_MATRIX,
+    construct_support, prepare_sequential, prepare_sequential_opts, prepare_structured, Backend,
+    BackendInfo, ConcurrencyModel, ConstructSupport, Design, Prepared, Support, SynthError,
+    SynthOptions, TimingModel, CONSTRUCT_MATRIX,
 };
 pub use c2v::C2Verilog;
 pub use cash::Cash;

@@ -52,9 +52,9 @@ impl Backend for Transmogrifier {
         &self,
         prog: &HirProgram,
         entry: &str,
-        _opts: &SynthOptions,
+        opts: &SynthOptions,
     ) -> Result<Design, SynthError> {
-        let prepared = prepare_sequential(prog, entry, false)?;
+        let prepared = prepare_sequential_opts(prog, entry, false, opts.narrow_widths)?;
         let fsmd = build(&prepared.func)?;
         Ok(Design::Fsmd(fsmd))
     }

@@ -145,7 +145,7 @@ const VERBS: &[VerbSpec] = &[
     },
     VerbSpec {
         name: "report",
-        usage: "chls report [--backend B | --all] [--json] <file> <entry> [args...]",
+        usage: "chls report [--backend B | --all] [--narrow] [--json] <file> <entry> [args...]",
         min_pos: 2,
         max_pos: None,
         flags: &[
@@ -155,6 +155,10 @@ const VERBS: &[VerbSpec] = &[
             },
             FlagSpec {
                 name: "--all",
+                takes_value: false,
+            },
+            FlagSpec {
+                name: "--narrow",
                 takes_value: false,
             },
             JSON,
@@ -379,7 +383,7 @@ fn cmd_report(p: &Parsed) -> Result<ExitCode, String> {
         entry,
         which,
         args.as_deref(),
-        &CompileOptions::new().trace(true),
+        &CompileOptions::new().trace(true).narrow(p.has("--narrow")),
     )
     .map_err(|e| e.to_string())?;
     let ok = !report

@@ -326,11 +326,28 @@ pub fn check_conformance_with_jobs(
     args: &[ArgValue],
     jobs: usize,
 ) -> Result<Vec<(&'static str, Verdict)>, String> {
+    check_conformance_with_options(source, entry, args, jobs, &SynthOptions::default())
+}
+
+/// [`check_conformance_with_jobs`] with explicit synthesis options, so
+/// callers can conformance-test optional transforms (e.g. width
+/// narrowing) against the golden interpreter.
+///
+/// # Errors
+///
+/// Fails only if the golden interpreter itself cannot run the program.
+pub fn check_conformance_with_options(
+    source: &str,
+    entry: &str,
+    args: &[ArgValue],
+    jobs: usize,
+    opts: &SynthOptions,
+) -> Result<Vec<(&'static str, Verdict)>, String> {
     let compiler = Compiler::parse(source).map_err(|e| e.to_string())?;
     let golden = compiler
         .interpret(entry, args)
         .map_err(|e| e.to_string())?;
-    let opts = SynthOptions::default();
+    let opts = opts.clone();
     let backends = crate::registry::backends();
     let n = backends.len();
     if jobs <= 1 || n <= 1 {

@@ -67,6 +67,10 @@ pub struct BackendQor {
     pub gates: Option<u64>,
     /// NAND2-equivalent area under the default cost model.
     pub area: Option<f64>,
+    /// NAND2-equivalent area with the width-narrowing transform enabled
+    /// (`--narrow`); equals `area` when the backend ignores narrowing or
+    /// when narrowing was already on for the main synthesis.
+    pub narrowed_area: Option<f64>,
     /// Total cycles the schedulers emitted while compiling this design
     /// (sum over scheduled blocks; `None` for rule-timed backends).
     pub sched_cycles: Option<u64>,
@@ -223,6 +227,7 @@ pub fn qor_report(
             memories: None,
             gates: None,
             area: None,
+            narrowed_area: None,
             sched_cycles: None,
             ii: None,
             cycles: None,
@@ -262,6 +267,20 @@ pub fn qor_report(
             .iter()
             .map(|s| (s.name.to_string(), s.seconds()))
             .collect();
+        // Width-narrowing area delta: re-synthesize with `narrow_widths`
+        // and cost the result. Done after the phase snapshot so the
+        // second run's spans don't double-count the pipeline timing.
+        if q.area.is_some() {
+            if synth_opts.narrow_widths {
+                q.narrowed_area = q.area;
+            } else {
+                let mut narrow_opts = synth_opts.clone();
+                narrow_opts.narrow_widths = true;
+                if let Ok(design) = compiler.synthesize(backend.as_ref(), entry, &narrow_opts) {
+                    q.narrowed_area = Some(design.area(&narrow_opts.model));
+                }
+            }
+        }
         rows.push(q);
     }
     chls_trace::set_enabled(was_enabled);
@@ -283,8 +302,8 @@ impl QorReport {
     /// wall-clock table.
     pub fn render(&self) -> String {
         let mut t = Table::new(vec![
-            "backend", "status", "style", "states", "regs", "mems", "gates", "area", "sched",
-            "II", "cycles", "time",
+            "backend", "status", "style", "states", "regs", "mems", "gates", "area", "narrow",
+            "sched", "II", "cycles", "time",
         ]);
         for q in &self.backends {
             t.row(vec![
@@ -296,6 +315,7 @@ impl QorReport {
                 opt_num(q.memories),
                 opt_num(q.gates),
                 q.area.map_or_else(|| "-".to_string(), fnum),
+                q.narrowed_area.map_or_else(|| "-".to_string(), fnum),
                 opt_num(q.sched_cycles),
                 opt_num(q.ii),
                 opt_num(q.cycles),

@@ -14,7 +14,7 @@
 //! pairs.
 
 use chls_frontend::hir::MemBank;
-use chls_frontend::IntType;
+use chls_frontend::{IntType, Span};
 use std::fmt;
 
 /// Index of an instruction; also the SSA value it defines.
@@ -349,6 +349,10 @@ pub struct Function {
     pub mems: Vec<MemInfo>,
     /// Entry block.
     pub entry: BlockId,
+    /// Source span of each instruction, parallel to `insts`. Passes that
+    /// push `InstData` directly may leave it short; missing entries read
+    /// as [`Span::dummy`] through [`Function::span_of`].
+    pub spans: Vec<Span>,
 }
 
 impl Function {
@@ -365,6 +369,7 @@ impl Function {
             }],
             mems: Vec::new(),
             entry: BlockId(0),
+            spans: Vec::new(),
         }
     }
 
@@ -407,6 +412,7 @@ impl Function {
     pub fn add_inst(&mut self, block: BlockId, kind: InstKind, ty: IntType) -> Value {
         let v = Value(self.insts.len() as u32);
         self.insts.push(InstData { kind, ty, block });
+        self.spans.push(Span::dummy());
         self.blocks[block.0 as usize].insts.push(v);
         v
     }
@@ -419,8 +425,24 @@ impl Function {
             ty,
             block,
         });
+        self.spans.push(Span::dummy());
         self.blocks[block.0 as usize].insts.insert(0, v);
         v
+    }
+
+    /// The source span of `v`, or [`Span::dummy`] when none was recorded
+    /// (synthesized instructions, passes that bypass [`Function::add_inst`]).
+    pub fn span_of(&self, v: Value) -> Span {
+        self.spans.get(v.0 as usize).copied().unwrap_or_else(Span::dummy)
+    }
+
+    /// Records the source span of `v`, growing the table as needed.
+    pub fn set_span(&mut self, v: Value, span: Span) {
+        let i = v.0 as usize;
+        if self.spans.len() <= i {
+            self.spans.resize(i + 1, Span::dummy());
+        }
+        self.spans[i] = span;
     }
 
     /// Adds a memory and returns its id.
@@ -475,6 +497,7 @@ impl Function {
     pub fn compact(&mut self) {
         let mut map: Vec<Option<Value>> = vec![None; self.insts.len()];
         let mut new_insts: Vec<InstData> = Vec::new();
+        let mut new_spans: Vec<Span> = Vec::new();
         for (bi, block) in self.blocks.iter().enumerate() {
             for &v in &block.insts {
                 let nv = Value(new_insts.len() as u32);
@@ -482,6 +505,7 @@ impl Function {
                 let mut data = self.insts[v.0 as usize].clone();
                 data.block = BlockId(bi as u32);
                 new_insts.push(data);
+                new_spans.push(self.span_of(v));
             }
         }
         let remap = |v: Value| -> Value {
@@ -501,6 +525,7 @@ impl Function {
             }
         }
         self.insts = new_insts;
+        self.spans = new_spans;
     }
 
     /// Number of instructions that are not phis or params (a rough size

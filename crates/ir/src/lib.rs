@@ -4,6 +4,8 @@
 //! synthesis backends (Cones, Transmogrifier C, C2Verilog, CASH), plus:
 //!
 //! * [`lower`] — typed HIR → SSA IR (Braun-style on-the-fly SSA);
+//! * [`dataflow`] — forward abstract-interpretation engine (interval and
+//!   known-bits domains, branch-guard refinement, may-written memory);
 //! * [`dom`] — dominator tree and dominance frontiers;
 //! * [`loops`] — natural-loop detection;
 //! * [`exec`] — a reference executor that also produces the dynamic
@@ -31,6 +33,7 @@
 //! # }
 //! ```
 
+pub mod dataflow;
 pub mod dom;
 pub mod exec;
 pub mod ir;

@@ -22,7 +22,7 @@
 use crate::ir::*;
 use chls_frontend::ast::{BinOp, UnOp};
 use chls_frontend::hir::*;
-use chls_frontend::{IntType, Type};
+use chls_frontend::{IntType, Span, Type};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -108,6 +108,9 @@ struct Lower<'a> {
     loop_stack: Vec<(BlockId, BlockId)>,
     /// Set when the current block already terminated (return/break).
     done: bool,
+    /// Span of the statement being lowered; stamped onto emitted
+    /// instructions ([`Span::dummy`] inside spanless statements).
+    cur_span: Span,
 }
 
 impl<'a> Lower<'a> {
@@ -131,6 +134,7 @@ impl<'a> Lower<'a> {
             global_mems: HashMap::new(),
             loop_stack: Vec::new(),
             done: false,
+            cur_span: Span::dummy(),
         };
 
         // Declare every local: scalars become SSA variables, arrays become
@@ -293,7 +297,22 @@ impl<'a> Lower<'a> {
         Ok(())
     }
 
+    /// Emits an instruction in the current block carrying the current
+    /// statement's source span.
+    fn emit(&mut self, kind: InstKind, ty: IntType) -> Value {
+        let v = self.f.add_inst(self.cur, kind, ty);
+        self.f.set_span(v, self.cur_span);
+        v
+    }
+
     fn lower_stmt(&mut self, stmt: &HirStmt) -> Result<(), LowerError> {
+        self.cur_span = match stmt {
+            HirStmt::Assign { span, .. }
+            | HirStmt::Call { span, .. }
+            | HirStmt::Recv { span, .. }
+            | HirStmt::Send { span, .. } => *span,
+            _ => Span::dummy(),
+        };
         match stmt {
             HirStmt::Assign { place, value, .. } => {
                 let v = self.lower_expr(value)?;
@@ -469,8 +488,7 @@ impl<'a> Lower<'a> {
                 let mem = self.place_mem(base)?;
                 let addr = self.lower_expr(index)?;
                 let elem = self.f.mem(mem).elem;
-                self.f.add_inst(
-                    self.cur,
+                self.emit(
                     InstKind::Store {
                         mem,
                         addr,
@@ -522,19 +540,17 @@ impl<'a> Lower<'a> {
     fn lower_expr(&mut self, e: &HirExpr) -> Result<Value, LowerError> {
         let ty = ir_ty(&e.ty)?;
         match &e.kind {
-            HirExprKind::Const(v) => Ok(self.f.add_inst(self.cur, InstKind::Const(*v), ty)),
+            HirExprKind::Const(v) => Ok(self.emit(InstKind::Const(*v), ty)),
             HirExprKind::Load(place) => self.load_place(place, ty),
             HirExprKind::Unary(op, a) => {
                 let av = self.lower_expr(a)?;
                 match op {
-                    UnOp::Neg => Ok(self.f.add_inst(self.cur, InstKind::Un(UnKind::Neg, av), ty)),
-                    UnOp::Not => Ok(self.f.add_inst(self.cur, InstKind::Un(UnKind::Not, av), ty)),
+                    UnOp::Neg => Ok(self.emit(InstKind::Un(UnKind::Neg, av), ty)),
+                    UnOp::Not => Ok(self.emit(InstKind::Un(UnKind::Not, av), ty)),
                     // !x on a bool is x == 0.
                     UnOp::LogNot => {
-                        let zero = self.f.add_inst(self.cur, InstKind::Const(0), ty);
-                        Ok(self
-                            .f
-                            .add_inst(self.cur, InstKind::Bin(BinKind::Eq, av, zero), ty))
+                        let zero = self.emit(InstKind::Const(0), ty);
+                        Ok(self.emit(InstKind::Bin(BinKind::Eq, av, zero), ty))
                     }
                 }
             }
@@ -545,14 +561,13 @@ impl<'a> Lower<'a> {
                 // Comparison results are u1; their operand type (needed for
                 // signedness and width) is recovered from the operand
                 // instructions by every consumer.
-                Ok(self.f.add_inst(self.cur, InstKind::Bin(kind, av, bv), ty))
+                Ok(self.emit(InstKind::Bin(kind, av, bv), ty))
             }
             HirExprKind::Select(c, t, f) => {
                 let cv = self.lower_expr(c)?;
                 let tv = self.lower_expr(t)?;
                 let fv = self.lower_expr(f)?;
-                Ok(self.f.add_inst(
-                    self.cur,
+                Ok(self.emit(
                     InstKind::Select {
                         cond: cv,
                         t: tv,
@@ -564,9 +579,7 @@ impl<'a> Lower<'a> {
             HirExprKind::Cast(inner) => {
                 let from = ir_ty(&inner.ty)?;
                 let v = self.lower_expr(inner)?;
-                Ok(self
-                    .f
-                    .add_inst(self.cur, InstKind::Cast { from, val: v }, ty))
+                Ok(self.emit(InstKind::Cast { from, val: v }, ty))
             }
             HirExprKind::AddrOf(_) => Err(LowerError::NeedsPointerLowering),
         }
@@ -581,9 +594,7 @@ impl<'a> Lower<'a> {
             HirPlace::Index { base, index } => {
                 let mem = self.place_mem(base)?;
                 let addr = self.lower_expr(index)?;
-                Ok(self
-                    .f
-                    .add_inst(self.cur, InstKind::Load { mem, addr }, ty))
+                Ok(self.emit(InstKind::Load { mem, addr }, ty))
             }
             HirPlace::Global(_) => Err(LowerError::BadType("ROM used as a value".to_string())),
             HirPlace::Deref(_) => Err(LowerError::NeedsPointerLowering),

@@ -19,6 +19,7 @@ pub mod ifconv;
 pub mod loadcse;
 pub mod inline;
 pub mod memory;
+pub mod narrow;
 
 
 pub mod ptr;

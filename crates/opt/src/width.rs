@@ -14,77 +14,8 @@
 use chls_ir::ir::*;
 use chls_rtl::cost::CostModel;
 use chls_rtl::netlist::bin_class;
-use std::collections::HashMap;
 
-/// An inclusive value interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Range {
-    /// Smallest possible value.
-    pub lo: i128,
-    /// Largest possible value.
-    pub hi: i128,
-}
-
-impl Range {
-    /// The exact range of one constant.
-    pub fn exact(v: i64) -> Self {
-        Range {
-            lo: v as i128,
-            hi: v as i128,
-        }
-    }
-
-    /// The full range of a declared type.
-    pub fn of_type(ty: chls_frontend::IntType) -> Self {
-        if ty.signed {
-            Range {
-                lo: -(1i128 << (ty.width - 1)),
-                hi: (1i128 << (ty.width - 1)) - 1,
-            }
-        } else {
-            Range {
-                lo: 0,
-                hi: (1i128 << ty.width) - 1,
-            }
-        }
-    }
-
-    fn union(self, other: Range) -> Range {
-        Range {
-            lo: self.lo.min(other.lo),
-            hi: self.hi.max(other.hi),
-        }
-    }
-
-    /// Minimal width (1..=64) needed to represent every value in the range
-    /// with the given signedness.
-    pub fn needed_width(self, signed: bool) -> u16 {
-        fn bits_unsigned(v: i128) -> u16 {
-            if v <= 0 {
-                1
-            } else {
-                (128 - v.leading_zeros()) as u16
-            }
-        }
-        let w = if signed || self.lo < 0 {
-            // Two's complement: enough bits for both ends.
-            let lo_bits = if self.lo < 0 {
-                (128 - (-(self.lo + 1)).leading_zeros() + 1) as u16
-            } else {
-                1
-            };
-            let hi_bits = if self.hi <= 0 {
-                1
-            } else {
-                bits_unsigned(self.hi) + 1
-            };
-            lo_bits.max(hi_bits)
-        } else {
-            bits_unsigned(self.hi)
-        };
-        w.clamp(1, 64)
-    }
-}
+pub use chls_ir::dataflow::Range;
 
 /// Result of the analysis.
 #[derive(Debug, Clone)]
@@ -93,220 +24,15 @@ pub struct WidthAnalysis {
     pub ranges: Vec<Range>,
 }
 
-/// Number of optimistic refinement passes before hard widening.
-const MAX_PASSES: usize = 3;
-
 /// Runs the analysis on `f`.
 ///
-/// Two phases: a few optimistic passes refine ranges from constants and
-/// masks; then a stabilization phase fully widens (to the declared type's
-/// range) any value that is still changing — loop-carried growth — and
-/// repeats until a complete pass makes no change. Widening is permanent,
-/// so stabilization terminates in at most one pass per value.
+/// A thin client of the shared dataflow engine: interval facts with
+/// branch-guard refinement, directional widening on loop-carried growth,
+/// and a bounded narrowing phase (see `chls_ir::dataflow`).
 pub fn analyze(f: &Function) -> WidthAnalysis {
-    // Optimistic lattice: None = not yet computed; ranges only grow.
-    let mut state: Vec<Option<Range>> = vec![None; f.insts.len()];
-    // Precise ROM ranges for loads from ROMs.
-    let rom_ranges: HashMap<u32, Range> = f
-        .mems
-        .iter()
-        .enumerate()
-        .filter_map(|(mi, m)| {
-            m.rom.as_ref().map(|data| {
-                let lo = data.iter().copied().min().unwrap_or(0) as i128;
-                let hi = data.iter().copied().max().unwrap_or(0) as i128;
-                (mi as u32, Range { lo, hi })
-            })
-        })
-        .collect();
-
-    let rpo = f.reverse_postorder();
-    let one_pass = |state: &mut Vec<Option<Range>>,
-                        widen_changed: bool|
-     -> bool {
-        let mut changed = false;
-        for &b in &rpo {
-            for &v in &f.block(b).insts {
-                let inst = f.inst(v);
-                let declared = Range::of_type(inst.ty);
-                let get = |x: &Value, state: &Vec<Option<Range>>| state[x.0 as usize];
-                let new: Option<Range> = match &inst.kind {
-                    InstKind::Const(c) => Some(Range::exact(*c)),
-                    InstKind::Param(_) => Some(declared),
-                    InstKind::Phi(args) => {
-                        let mut r: Option<Range> = None;
-                        for (_, a) in args {
-                            if let Some(ar) = get(a, state) {
-                                r = Some(match r {
-                                    None => ar,
-                                    Some(x) => x.union(ar),
-                                });
-                            }
-                        }
-                        r
-                    }
-                    InstKind::Bin(op, a, bb) => match (get(a, state), get(bb, state)) {
-                        (Some(ra), Some(rb)) => Some(transfer_bin(*op, inst.ty, ra, rb)),
-                        _ => None,
-                    },
-                    InstKind::Un(UnKind::Neg, a) => get(a, state).map(|r| {
-                        clamp(
-                            Range {
-                                lo: -r.hi,
-                                hi: -r.lo,
-                            },
-                            inst.ty,
-                        )
-                    }),
-                    InstKind::Un(UnKind::Not, _) => Some(declared),
-                    InstKind::Select { t, f: fv, .. } => match (get(t, state), get(fv, state)) {
-                        (Some(rt), Some(rf)) => Some(rt.union(rf)),
-                        (Some(rt), None) => Some(rt),
-                        (None, Some(rf)) => Some(rf),
-                        (None, None) => None,
-                    },
-                    InstKind::Cast { val, .. } => {
-                        get(val, state).map(|r| clamp(r, inst.ty))
-                    }
-                    InstKind::Load { mem, .. } => {
-                        Some(rom_ranges.get(&mem.0).copied().unwrap_or(declared))
-                    }
-                    InstKind::Store { .. } => Some(declared),
-                };
-                let Some(mut new) = new else { continue };
-                // Canonical form never leaves the declared range.
-                new.lo = new.lo.max(declared.lo);
-                new.hi = new.hi.min(declared.hi);
-                let merged = match state[v.0 as usize] {
-                    None => new,
-                    Some(old) => old.union(new),
-                };
-                if state[v.0 as usize] != Some(merged) {
-                    state[v.0 as usize] = if widen_changed {
-                        // Hard widening: still-growing (loop-carried)
-                        // values jump straight to the declared range.
-                        Some(declared)
-                    } else {
-                        Some(merged)
-                    };
-                    changed = true;
-                }
-            }
-        }
-        changed
-    };
-
-    for _ in 0..MAX_PASSES {
-        if !one_pass(&mut state, false) {
-            break;
-        }
+    WidthAnalysis {
+        ranges: chls_ir::dataflow::value_ranges(f),
     }
-    // Stabilize: widen anything still in motion until a quiet pass.
-    while one_pass(&mut state, true) {}
-
-    let ranges = state
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| Range::of_type(f.insts[i].ty)))
-        .collect();
-    WidthAnalysis { ranges }
-}
-
-fn clamp(r: Range, ty: chls_frontend::IntType) -> Range {
-    let t = Range::of_type(ty);
-    // If the true range fits the type, conversion preserves it; otherwise
-    // wrapping can produce anything representable.
-    if r.lo >= t.lo && r.hi <= t.hi {
-        r
-    } else {
-        t
-    }
-}
-
-fn transfer_bin(op: BinKind, ty: chls_frontend::IntType, a: Range, b: Range) -> Range {
-    let declared = Range::of_type(ty);
-    let r = match op {
-        BinKind::Add => Range {
-            lo: a.lo + b.lo,
-            hi: a.hi + b.hi,
-        },
-        BinKind::Sub => Range {
-            lo: a.lo - b.hi,
-            hi: a.hi - b.lo,
-        },
-        BinKind::Mul => {
-            let cands = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
-            Range {
-                lo: *cands.iter().min().expect("nonempty"),
-                hi: *cands.iter().max().expect("nonempty"),
-            }
-        }
-        BinKind::Div => {
-            // Division shrinks magnitude (and by-zero yields 0).
-            let m = a.lo.abs().max(a.hi.abs());
-            Range { lo: -m, hi: m }
-        }
-        BinKind::Rem => {
-            let m = b.lo.abs().max(b.hi.abs()).saturating_sub(1).max(0);
-            if a.lo >= 0 {
-                Range { lo: 0, hi: m }
-            } else {
-                Range { lo: -m, hi: m }
-            }
-        }
-        BinKind::Shl => {
-            if b.lo == b.hi && (0..63).contains(&b.lo) {
-                let s = b.lo as u32;
-                Range {
-                    lo: a.lo << s,
-                    hi: a.hi << s,
-                }
-            } else {
-                declared
-            }
-        }
-        BinKind::Shr => {
-            if a.lo >= 0 && b.lo >= 0 {
-                Range {
-                    lo: a.lo >> b.hi.min(63) as u32,
-                    hi: a.hi >> b.lo.min(63) as u32,
-                }
-            } else {
-                declared
-            }
-        }
-        BinKind::And => {
-            if a.lo >= 0 || b.lo >= 0 {
-                // Non-negative and: bounded by the smaller non-negative max.
-                let hi = match (a.lo >= 0, b.lo >= 0) {
-                    (true, true) => a.hi.min(b.hi),
-                    (true, false) => a.hi,
-                    (false, true) => b.hi,
-                    _ => unreachable!(),
-                };
-                Range { lo: 0, hi }
-            } else {
-                declared
-            }
-        }
-        BinKind::Or | BinKind::Xor => {
-            if a.lo >= 0 && b.lo >= 0 {
-                // Bounded by the next power of two above both maxima.
-                let m = (a.hi.max(b.hi)).max(1);
-                let bits = 128 - (m as u128).leading_zeros();
-                Range {
-                    lo: 0,
-                    hi: ((1u128 << bits) - 1) as i128,
-                }
-            } else {
-                declared
-            }
-        }
-        BinKind::Eq | BinKind::Ne | BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge => {
-            Range { lo: 0, hi: 1 }
-        }
-    };
-    clamp(r, ty)
 }
 
 impl WidthAnalysis {

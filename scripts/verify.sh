@@ -42,10 +42,11 @@ diff "$tmp/seq.txt" "$tmp/par.txt"
 echo "verdicts identical"
 
 echo "== chls report smoke (QoR JSON over the example corpus) =="
+: > "$tmp/narrowed.txt"
 for f in examples/chl/*.chl; do
     echo "-- report $f"
     ./target/release/chls report --all --json "$f" main > "$tmp/report.json"
-    python3 - "$tmp/report.json" <<'EOF'
+    python3 - "$tmp/report.json" "$tmp/narrowed.txt" "$f" <<'EOF'
 import json, sys
 env = json.load(open(sys.argv[1]))
 assert env["tool"] == "chls" and env["verb"] == "report", env
@@ -53,9 +54,25 @@ assert isinstance(env["ok"], bool) and "version" in env, env
 rows = env["data"]["backends"]
 assert rows, "report emitted no backends"
 assert any(r["status"] == "ok" for r in rows), rows
+# Width narrowing must never cost area, and its savings are recorded
+# so the sweep can assert the optimization actually fires.
+for r in rows:
+    a, n = r.get("area"), r.get("narrowed_area")
+    if a is not None:
+        assert n is not None, (sys.argv[3], r["backend"], "narrowed_area missing")
+        assert n <= a * 1.001, (sys.argv[3], r["backend"], a, n)
+        if n < a * 0.999:
+            with open(sys.argv[2], "a") as out:
+                out.write(f"{sys.argv[3]} {r['backend']} {n/a:.2f}\n")
 EOF
 done
 echo "report envelopes valid"
+reduced=$(cut -d' ' -f1 "$tmp/narrowed.txt" | sort -u | wc -l)
+echo "narrowing reduces area on $reduced example programs"
+if [ "$reduced" -lt 3 ]; then
+    echo "FAIL: width narrowing should shrink at least 3 example programs" >&2
+    exit 1
+fi
 
 echo "== simulator benchmarks (fail on >10% throughput regression) =="
 cargo run --release -p chls-bench --bin bench_sim -- --check 10

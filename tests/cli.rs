@@ -414,6 +414,41 @@ fn report_all_json_carries_qor_and_phases() {
 }
 
 #[test]
+fn report_carries_narrowed_area() {
+    // The table grows a `narrow` column...
+    let o = chls(&["report", "--backend", "c2v", FIR, "main"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("| narrow"), "{}", stdout(&o));
+
+    // ...and the JSON carries the what-if area, never above the baseline.
+    let o = chls(&["report", "--backend", "c2v", "--json", FIR, "main"]);
+    let (ok, data) = envelope(&o, "report");
+    assert!(ok);
+    let row = &data.get("backends").unwrap().as_arr()[0];
+    let area = match row.get("area") {
+        Some(Json::Num(n)) => *n,
+        other => panic!("area missing: {other:?}"),
+    };
+    let narrowed = match row.get("narrowed_area") {
+        Some(Json::Num(n)) => *n,
+        other => panic!("narrowed_area missing: {other:?}"),
+    };
+    assert!(narrowed > 0.0 && narrowed <= area, "{narrowed} vs {area}");
+
+    // With `--narrow` the main synthesis already narrows, so the what-if
+    // column equals the baseline.
+    let o = chls(&["report", "--backend", "c2v", "--narrow", "--json", FIR, "main"]);
+    let (ok, data) = envelope(&o, "report");
+    assert!(ok);
+    let row = &data.get("backends").unwrap().as_arr()[0];
+    let (Some(Json::Num(a)), Some(Json::Num(n))) = (row.get("area"), row.get("narrowed_area"))
+    else {
+        panic!("area/narrowed_area missing");
+    };
+    assert_eq!(a, n, "--narrow makes the baseline the narrowed design");
+}
+
+#[test]
 fn report_backend_filter_and_exclusivity() {
     let o = chls(&["report", "--backend", "c2v", FIR, "main"]);
     assert!(o.status.success(), "{}", stderr(&o));

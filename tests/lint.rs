@@ -402,3 +402,203 @@ fn lint_report_json_round_trips_key_fields() {
     // Notes carry byte spans for both access sites.
     assert_eq!(j.matches(r#"{"message":"#).count(), 2);
 }
+
+// -------------------------------------------------- dataflow lints
+
+/// Out-of-bounds corpus: every entry is a *definite* violation (the
+/// whole address interval misses the extent), plus the message fragment
+/// the lint must produce and the source fragment its span must cover.
+const OOB: &[(&str, &str, &str, &str)] = &[
+    (
+        "constant read past the end",
+        "int main() { int a[8]; a[0] = 1; int x = a[9]; return x; }",
+        "out-of-bounds read of `a`: index 9",
+        "a[9]",
+    ),
+    (
+        "constant write past the end",
+        "int main() { int a[4]; a[4] = 1; return a[0]; }",
+        "out-of-bounds write of `a`: index 4",
+        "a[4] = 1",
+    ),
+    (
+        "loop interval entirely outside",
+        "int main() { int a[8]; a[0] = 0;
+            for (int i = 8; i < 12; i++) { a[i] = i; }
+            return a[0]; }",
+        "out-of-bounds write of `a`",
+        "a[i] = i",
+    ),
+];
+
+/// Uninitialized-read corpus with the expected message fragment.
+const UNINIT: &[(&str, &str, &str)] = &[
+    (
+        "never-written local array",
+        "int main(int i) { int a[4]; int x = a[i & 3]; return x; }",
+        "uninitialized memory `a`",
+    ),
+    (
+        "read disjoint from all writes",
+        "int main() { int a[8];
+            for (int i = 0; i < 4; i++) { a[i] = i; }
+            int x = a[6]; return x; }",
+        "uninitialized memory `a`",
+    ),
+    (
+        "scalar read before assignment",
+        "int main() { int x; int y = x + 1; return y; }",
+        "`x` may be read before it is initialized",
+    ),
+    (
+        "one-armed if does not initialize",
+        "int main(int a) { int x; if (a > 0) { x = 1; } int y = x; return y; }",
+        "`x` may be read before it is initialized",
+    ),
+];
+
+#[test]
+fn oob_corpus_is_flagged_as_errors() {
+    for (name, src, needle, _) in OOB {
+        let r = lint(src, "main");
+        assert!(
+            r.memory.iter().any(|d| d.message.contains(needle)),
+            "{name}: expected `{needle}` in {:?}",
+            r.memory
+        );
+        assert!(r.has_errors(), "{name}: definite OOB must fail the lint");
+    }
+}
+
+#[test]
+fn uninit_corpus_is_flagged_as_warnings() {
+    for (name, src, needle) in UNINIT {
+        let r = lint(src, "main");
+        assert!(
+            r.memory.iter().any(|d| d.message.contains(needle)),
+            "{name}: expected `{needle}` in {:?}",
+            r.memory
+        );
+        assert!(
+            !r.has_errors(),
+            "{name}: uninitialized reads warn, they do not fail the lint"
+        );
+    }
+}
+
+#[test]
+fn memory_lint_spans_cover_the_offending_access() {
+    for (name, src, needle, at) in OOB {
+        let r = lint(src, "main");
+        let d = r
+            .memory
+            .iter()
+            .find(|d| d.message.contains(needle))
+            .unwrap_or_else(|| panic!("{name}: missing diagnostic"));
+        let covered = &src[d.span.start as usize..d.span.end as usize];
+        assert!(
+            covered.contains(at),
+            "{name}: span covers `{covered}`, expected it to include `{at}`"
+        );
+    }
+    // Scalar uninit anchors to the reading statement.
+    let src = "int main() { int x; int y = x + 1; return y; }";
+    let r = lint(src, "main");
+    let d = &r.memory[0];
+    assert!(
+        src[d.span.start as usize..d.span.end as usize].contains("x + 1"),
+        "span covers `{}`",
+        &src[d.span.start as usize..d.span.end as usize]
+    );
+}
+
+#[test]
+fn in_bounds_and_initialized_programs_are_clean() {
+    let clean = [
+        // Full in-bounds write then read.
+        "int main(int x) { int a[8];
+            for (int i = 0; i < 8; i++) { a[i] = x + i; }
+            int s = 0;
+            for (int j = 0; j < 8; j++) { s = s + a[j]; }
+            return s; }",
+        // Masked index can never escape the extent.
+        "int main(int i) { int a[8]; a[i & 7] = 1; int x = a[i & 7]; return x; }",
+        // ROM and parameter arrays arrive initialized.
+        "const int t[4] = {1, 2, 3, 4};
+         int main(int x[4], int i) { return t[i & 3] + x[i & 3]; }",
+    ];
+    for src in clean {
+        let r = lint(src, "main");
+        assert!(r.memory.is_empty(), "false positive: {:?}", r.memory);
+    }
+}
+
+#[test]
+fn provably_dead_branch_warns() {
+    let src = "int main(int x) { int m = x & 15; int r = 0;
+        if (m < 100) { r = m; } else { r = 7; }
+        return r; }";
+    let r = lint(src, "main");
+    assert_eq!(r.dead_branches.len(), 1, "got {:?}", r.dead_branches);
+    assert!(
+        r.dead_branches[0].message.contains("always true"),
+        "{}",
+        r.dead_branches[0].message
+    );
+    assert!(!r.has_errors(), "dead branches warn, they do not fail");
+    // And the finding rides the JSON surface.
+    let j = r.to_json();
+    assert!(
+        j.contains(r#""dead_branches":[{"severity":"warning""#),
+        "{j}"
+    );
+}
+
+#[test]
+fn memory_findings_ride_the_json_surface() {
+    let r = lint(OOB[0].1, "main");
+    let j = r.to_json();
+    assert!(j.contains(r#""memory":[{"severity":"error""#), "{j}");
+    // Stable order: memory and dead_branches trail the existing fields.
+    let cycles = j.find(r#""cycles":["#).unwrap();
+    let memory = j.find(r#""memory":["#).unwrap();
+    let dead = j.find(r#""dead_branches":["#).unwrap();
+    assert!(cycles < memory && memory < dead, "{j}");
+}
+
+#[test]
+fn concurrency_programs_skip_ir_lints_gracefully() {
+    // `par` has no sequential lowering, so the memory and dead-branch
+    // checks are vacuous — but the lint must still run end to end.
+    for (_, src) in RACY {
+        let r = lint(src, "main");
+        assert!(r.dead_branches.is_empty());
+    }
+}
+
+#[test]
+fn example_corpus_has_zero_memory_findings() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir("examples/chl").expect("examples present") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "chl") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let r = lint(&src, "main");
+        assert!(
+            r.memory.is_empty(),
+            "{}: false positives {:?}",
+            path.display(),
+            r.memory
+        );
+        assert!(
+            r.dead_branches.is_empty(),
+            "{}: false positives {:?}",
+            path.display(),
+            r.dead_branches
+        );
+        seen += 1;
+    }
+    assert!(seen >= 7, "expected the full example corpus, saw {seen}");
+}
