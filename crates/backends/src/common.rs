@@ -114,6 +114,11 @@ pub struct SynthOptions {
     /// from C types" escape hatch of E8). Sound: a register narrower than
     /// its value never occurs, by the analysis' soundness property.
     pub narrow_widths: bool,
+    /// Run the word-level logic optimizer (`chls-logic`) over the
+    /// synthesized design. Backends ignore this themselves — the driver
+    /// applies the pass after synthesis so every backend benefits
+    /// uniformly.
+    pub opt_netlist: bool,
 }
 
 impl Default for SynthOptions {
@@ -126,6 +131,7 @@ impl Default for SynthOptions {
             pipeline_loops: false,
             pipeline_if_convert: true,
             narrow_widths: false,
+            opt_netlist: false,
         }
     }
 }

@@ -15,6 +15,10 @@
 //!   `simulate_design`, exercising the many-output-ports driver path.
 //! * `conformance` — wall time of the full benchmark-suite conformance
 //!   sweep at `CHLS_JOBS=1` and at the host's parallelism.
+//! * `eqcheck` — wall time of one bounded sequential equivalence proof
+//!   (handelc vs transmogrifier on a looped MAC kernel) through the
+//!   `chls-logic` strash/BDD/SAT ladder. Not part of the `--check`
+//!   ratchet; tracked so equivalence-checking cost stays visible.
 //!
 //! All workloads use only stable public APIs, so the identical harness
 //! compiles against the seed simulators — the `baseline` block below
@@ -208,6 +212,40 @@ fn main() {
     });
     let wide_eps = WIDE_REPS as f64 / wide_s;
 
+    // eqcheck: one bounded sequential equivalence proof between two
+    // genuinely different schedules of the same program.
+    const EQ_SRC: &str = "
+        int mac4(int a, int b) {
+            int s = 0;
+            for (int i = 0; i < 4; i++) {
+                s = (s + a * a + b) & 4095;
+            }
+            return s;
+        }
+    ";
+    let eq_compiler = Compiler::parse(EQ_SRC).expect("parses");
+    let eq_fsmd = |backend: &str| match eq_compiler
+        .synthesize(
+            chls::backend_by_name(backend).expect("registered").as_ref(),
+            "mac4",
+            &SynthOptions::default(),
+        )
+        .expect("synthesizes")
+    {
+        Design::Fsmd(f) => f,
+        _ => unreachable!("sequential backends emit FSMDs"),
+    };
+    let (eq_a, eq_b) = (eq_fsmd("handelc"), eq_fsmd("transmogrifier"));
+    let (eq_s, eq_report) = best_of(3, || {
+        chls_logic::check_seq_equiv(&eq_a, &eq_b, 24, &chls_logic::EquivOptions::default())
+            .expect("check runs")
+    });
+    assert!(
+        matches!(eq_report.verdict, chls_logic::Verdict::Equivalent),
+        "bench kernel must be equivalent across backends: {:?}",
+        eq_report.verdict
+    );
+
     // Conformance sweep, sequential then parallel. CHLS_JOBS is read by
     // the (post-overhaul) parallel driver and ignored by the seed one.
     std::env::set_var("CHLS_JOBS", "1");
@@ -224,12 +262,14 @@ fn main() {
          \"fsmd_mac\": {{\"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}, \"baseline_cycles_per_sec\": {:.0}, \"speedup\": {:.2}}},\n  \
          \"fsmd_crc32\": {{\"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}, \"baseline_cycles_per_sec\": {:.0}, \"speedup\": {:.2}}},\n  \
          \"netlist_wide\": {{\"ports\": 65, \"evals\": {}, \"wall_s\": {:.4}, \"evals_per_sec\": {:.0}, \"baseline_evals_per_sec\": {:.0}, \"speedup\": {:.2}}},\n  \
-         \"conformance\": {{\"verdicts\": {}, \"wall_s_jobs1\": {:.4}, \"wall_s_jobsN\": {:.4}, \"host_jobs\": {}, \"baseline_wall_s\": {:.4}}}\n\
+         \"conformance\": {{\"verdicts\": {}, \"wall_s_jobs1\": {:.4}, \"wall_s_jobsN\": {:.4}, \"host_jobs\": {}, \"baseline_wall_s\": {:.4}}},\n  \
+         \"eqcheck\": {{\"bound\": 24, \"method\": \"{}\", \"aig_nodes\": {}, \"sat_conflicts\": {}, \"wall_s\": {:.4}}}\n\
          }}\n",
         mac_r.cycles, mac_s, mac_cps, baseline::FSMD_MAC_CPS, speedup(mac_cps, baseline::FSMD_MAC_CPS),
         crc_cycles, crc_s, crc_cps, baseline::FSMD_CRC32_CPS, speedup(crc_cps, baseline::FSMD_CRC32_CPS),
         WIDE_REPS, wide_s, wide_eps, baseline::NETLIST_WIDE_EPS, speedup(wide_eps, baseline::NETLIST_WIDE_EPS),
         verdicts, conf1_s, confn_s, jobs, baseline::CONFORMANCE_S,
+        eq_report.method.name(), eq_report.aig_nodes, eq_report.sat_conflicts, eq_s,
     );
     // Regression gate: with `--check <pct>`, compare against the numbers
     // already on disk before overwriting them.

@@ -7,8 +7,10 @@
 //! chls ir <file.chl> <entry>                   dump the prepared SSA IR
 //! chls synth <backend> <file.chl> <entry>      synthesize, print report
 //! chls verilog <backend> <file.chl> <entry>    synthesize and emit Verilog
-//! chls equiv <fileA.chl> <entryA> <fileB.chl> <entryB>
-//!                                              formally compare two functions
+//! chls equiv --backend A --backend B <file.chl> <entry> [entry_b]
+//!                                              prove or refute that two
+//!                                              backends implement the same
+//!                                              function (SAT/BDD)
 //! chls lint <file.chl> <entry>                 static analysis: races,
 //!                                              per-backend support, cycle bounds
 //! chls report <file.chl> <entry> [args...]     per-backend QoR metrics and
@@ -93,7 +95,7 @@ const VERBS: &[VerbSpec] = &[
     },
     VerbSpec {
         name: "synth",
-        usage: "chls synth [--pipeline] [--narrow] <backend> <file> <entry> [args...]",
+        usage: "chls synth [--pipeline] [--narrow] [--opt-netlist] <backend> <file> <entry> [args...]",
         min_pos: 3,
         max_pos: None,
         flags: &[
@@ -105,11 +107,15 @@ const VERBS: &[VerbSpec] = &[
                 name: "--narrow",
                 takes_value: false,
             },
+            FlagSpec {
+                name: "--opt-netlist",
+                takes_value: false,
+            },
         ],
     },
     VerbSpec {
         name: "verilog",
-        usage: "chls verilog [--pipeline] [--narrow] <backend> <file> <entry>",
+        usage: "chls verilog [--pipeline] [--narrow] [--opt-netlist] <backend> <file> <entry>",
         min_pos: 3,
         max_pos: Some(3),
         flags: &[
@@ -121,14 +127,28 @@ const VERBS: &[VerbSpec] = &[
                 name: "--narrow",
                 takes_value: false,
             },
+            FlagSpec {
+                name: "--opt-netlist",
+                takes_value: false,
+            },
         ],
     },
     VerbSpec {
         name: "equiv",
-        usage: "chls equiv <fileA> <entryA> <fileB> <entryB>",
-        min_pos: 4,
-        max_pos: Some(4),
-        flags: &[],
+        usage: "chls equiv --backend A --backend B [--bound K] [--json] <file> <entry> [entry_b]",
+        min_pos: 2,
+        max_pos: Some(3),
+        flags: &[
+            FlagSpec {
+                name: "--backend",
+                takes_value: true,
+            },
+            FlagSpec {
+                name: "--bound",
+                takes_value: true,
+            },
+            JSON,
+        ],
     },
     VerbSpec {
         name: "lint",
@@ -145,7 +165,7 @@ const VERBS: &[VerbSpec] = &[
     },
     VerbSpec {
         name: "report",
-        usage: "chls report [--backend B | --all] [--narrow] [--json] <file> <entry> [args...]",
+        usage: "chls report [--backend B | --all] [--narrow] [--opt-netlist] [--json] <file> <entry> [args...]",
         min_pos: 2,
         max_pos: None,
         flags: &[
@@ -159,6 +179,10 @@ const VERBS: &[VerbSpec] = &[
             },
             FlagSpec {
                 name: "--narrow",
+                takes_value: false,
+            },
+            FlagSpec {
+                name: "--opt-netlist",
                 takes_value: false,
             },
             JSON,
@@ -183,6 +207,15 @@ impl Parsed {
             .iter()
             .find(|(n, _)| *n == name)
             .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Every value a repeatable flag was given, in order.
+    fn values(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
     }
 }
 
@@ -383,7 +416,10 @@ fn cmd_report(p: &Parsed) -> Result<ExitCode, String> {
         entry,
         which,
         args.as_deref(),
-        &CompileOptions::new().trace(true).narrow(p.has("--narrow")),
+        &CompileOptions::new()
+            .trace(true)
+            .narrow(p.has("--narrow"))
+            .opt_netlist(p.has("--opt-netlist")),
     )
     .map_err(|e| e.to_string())?;
     let ok = !report
@@ -401,40 +437,167 @@ fn cmd_report(p: &Parsed) -> Result<ExitCode, String> {
     Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
+/// Serializes an equivalence report as the `data` of `equiv --json`.
+fn equiv_json(
+    backends: &[&str],
+    entries: (&str, &str),
+    bound: Option<usize>,
+    r: &chls_logic::EquivReport,
+) -> String {
+    use chls_analysis::json::escape;
+    let verdict = match &r.verdict {
+        chls_logic::Verdict::Equivalent => "equivalent".to_string(),
+        chls_logic::Verdict::Differ(_) => "differ".to_string(),
+        chls_logic::Verdict::Unknown(_) => "unknown".to_string(),
+    };
+    let detail = match &r.verdict {
+        chls_logic::Verdict::Unknown(why) => format!("\"{}\"", escape(why)),
+        chls_logic::Verdict::Differ(cex) => {
+            let inputs = cex
+                .inputs
+                .iter()
+                .map(|(n, v)| format!("\"{}\":{v}", escape(n)))
+                .collect::<Vec<_>>()
+                .join(",");
+            let rams = cex
+                .rams
+                .iter()
+                .map(|(n, vs)| {
+                    let vals = vs.iter().map(ToString::to_string).collect::<Vec<_>>();
+                    format!("\"{}\":[{}]", escape(n), vals.join(","))
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                r#"{{"inputs":{{{inputs}}},"rams":{{{rams}}},"output":"{}","a_value":{},"b_value":{}}}"#,
+                escape(&cex.output),
+                cex.a_value,
+                cex.b_value
+            )
+        }
+        chls_logic::Verdict::Equivalent => "null".to_string(),
+    };
+    format!(
+        r#"{{"backend_a":"{}","backend_b":"{}","entry_a":"{}","entry_b":"{}","bound":{},"verdict":"{verdict}","method":"{}","aig_nodes":{},"sat_conflicts":{},"detail":{detail}}}"#,
+        escape(backends[0]),
+        escape(backends[1]),
+        escape(entries.0),
+        escape(entries.1),
+        bound.map_or_else(|| "null".to_string(), |k| k.to_string()),
+        r.method.name(),
+        r.aig_nodes,
+        r.sat_conflicts,
+    )
+}
+
 fn cmd_equiv(p: &Parsed) -> Result<ExitCode, String> {
-    let netlist = |file: &str, entry: &str| -> Result<chls_rtl::Netlist, String> {
-        let compiler = load(file)?;
-        let backend = backend_by_name("cones").expect("cones registered");
-        match compiler.synthesize(backend.as_ref(), entry, &SynthOptions::default()) {
-            Ok(Design::Comb(nl)) => Ok(nl),
-            Ok(_) => Err("expected a combinational design".to_string()),
-            Err(e) => Err(format!(
-                "{file}:{entry}: not synthesizable combinationally: {e}"
-            )),
+    const USAGE: &str =
+        "chls equiv --backend A --backend B [--bound K] [--json] <file> <entry> [entry_b]";
+    let backends = p.values("--backend");
+    if backends.len() != 2 {
+        return Err(format!(
+            "`chls equiv` needs exactly two --backend flags, got {}\nusage: {USAGE}",
+            backends.len()
+        ));
+    }
+    let (file, entry) = (&p.pos[0], &p.pos[1]);
+    let entry_b = p.pos.get(2).map_or(entry.as_str(), String::as_str);
+    let bound: usize = match p.value("--bound") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&k| k > 0)
+            .ok_or_else(|| format!("--bound needs a positive integer\nusage: {USAGE}"))?,
+        None => 16,
+    };
+    let compiler = load(file)?;
+    let synth = |name: &str, entry: &str| -> Result<Design, String> {
+        let b = backend_by_name(name)
+            .ok_or_else(|| format!("unknown backend `{name}` (try `chls backends`)"))?;
+        compiler
+            .synthesize(b.as_ref(), entry, &SynthOptions::default())
+            .map_err(|e| format!("{name}:{entry}: synthesis failed: {e}"))
+    };
+    let da = synth(backends[0], entry)?;
+    let db = synth(backends[1], entry_b)?;
+    let style = |d: &Design| match d {
+        Design::Comb(_) => "combinational",
+        Design::Fsmd(_) => "fsmd",
+        Design::Dataflow(_) => "dataflow",
+    };
+    let opts = chls_logic::EquivOptions::default();
+    let (report, used_bound) = match (&da, &db) {
+        (Design::Comb(a), Design::Comb(b)) => {
+            (chls_logic::check_comb_equiv(a, b, &opts), None)
+        }
+        (Design::Fsmd(a), Design::Fsmd(b)) => {
+            (chls_logic::check_seq_equiv(a, b, bound, &opts), Some(bound))
+        }
+        _ => {
+            return Err(format!(
+                "cannot compare a {} design ({}) with a {} design ({}); \
+                 equivalence checking supports combinational-vs-combinational \
+                 and fsmd-vs-fsmd only",
+                style(&da),
+                backends[0],
+                style(&db),
+                backends[1]
+            ))
         }
     };
-    let (a, b) = (netlist(&p.pos[0], &p.pos[1])?, netlist(&p.pos[2], &p.pos[3])?);
-    match chls_rtl::check_equivalence(&a, &b, 1 << 22) {
-        Ok(chls_rtl::Equivalence::Equivalent) => {
+    let report = report.map_err(|e| e.to_string())?;
+    let ok = matches!(report.verdict, chls_logic::Verdict::Equivalent);
+    if p.has("--json") {
+        println!(
+            "{}",
+            jsonout::envelope(
+                "equiv",
+                ok,
+                &equiv_json(&backends, (entry, entry_b), used_bound, &report)
+            )
+        );
+        return Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE });
+    }
+    let scope = used_bound.map_or_else(
+        || "all inputs".to_string(),
+        |k| format!("all inputs that finish within {k} cycles"),
+    );
+    let stats = format!(
+        "[method {}, {} aig nodes, {} sat conflicts]",
+        report.method.name(),
+        report.aig_nodes,
+        report.sat_conflicts
+    );
+    match &report.verdict {
+        chls_logic::Verdict::Equivalent => {
             println!(
-                "EQUIVALENT: {} and {} compute the same function",
-                p.pos[1], p.pos[3]
+                "EQUIVALENT: {}:{entry} and {}:{entry_b} agree on {scope} {stats}",
+                backends[0], backends[1]
             );
             Ok(ExitCode::SUCCESS)
         }
-        Ok(chls_rtl::Equivalence::Differ {
-            output,
-            bit,
-            witness,
-        }) => {
-            println!("DIFFER at output `{output}` bit {bit}");
-            println!("counterexample:");
-            for (name, value) in witness {
+        chls_logic::Verdict::Differ(cex) => {
+            println!(
+                "DIFFER: {}:{entry} and {}:{entry_b} disagree at `{}` {stats}",
+                backends[0], backends[1], cex.output
+            );
+            println!("counterexample (replayed through the simulator):");
+            for (name, value) in &cex.inputs {
                 println!("  {name} = {value}");
             }
+            for (name, values) in &cex.rams {
+                println!("  {name} = {values:?}");
+            }
+            println!(
+                "  {} = {} on {}, {} on {}",
+                cex.output, cex.a_value, backends[0], cex.b_value, backends[1]
+            );
             Ok(ExitCode::FAILURE)
         }
-        Err(e) => Err(format!("cannot check: {e}")),
+        chls_logic::Verdict::Unknown(why) => {
+            println!("UNKNOWN: {why} {stats}");
+            Ok(ExitCode::FAILURE)
+        }
     }
 }
 
@@ -445,7 +608,8 @@ fn cmd_synth_verilog(verb: &str, p: &Parsed) -> Result<ExitCode, String> {
     let compiler = load(file)?;
     let opts = CompileOptions::new()
         .pipeline(p.has("--pipeline"))
-        .narrow(p.has("--narrow"));
+        .narrow(p.has("--narrow"))
+        .opt_netlist(p.has("--opt-netlist"));
     let design = compiler
         .synthesize(backend.as_ref(), entry, &opts.synth_options())
         .map_err(|e| format!("synthesis failed: {e}"))?;

@@ -88,8 +88,20 @@ impl Compiler {
         entry: &str,
         opts: &SynthOptions,
     ) -> Result<Design, SynthError> {
-        let _span = chls_trace::span("backend.synthesize");
-        backend.synthesize(&self.hir, entry, opts)
+        let design = {
+            let _span = chls_trace::span("backend.synthesize");
+            backend.synthesize(&self.hir, entry, opts)?
+        };
+        if !opts.opt_netlist {
+            return Ok(design);
+        }
+        // The logic optimizer runs here, not in the backends, so every
+        // backend gets it uniformly and none can forget to apply it.
+        Ok(match design {
+            Design::Comb(nl) => Design::Comb(chls_logic::optimize(&nl)),
+            Design::Fsmd(f) => Design::Fsmd(chls_logic::optimize_fsmd(&f)),
+            d @ Design::Dataflow(_) => d,
+        })
     }
 
     /// The SSA IR the sequential backends schedule: inlined, unrolled,

@@ -76,7 +76,7 @@ fn phase_json(phases: &[(String, f64)]) -> String {
 
 fn backend_qor_json(q: &BackendQor) -> String {
     format!(
-        r#"{{"backend":"{}","status":"{}","reason":{},"style":{},"fsm_states":{},"registers":{},"memories":{},"gates":{},"area":{},"narrowed_area":{},"sched_cycles":{},"ii":{},"cycles":{},"time_units":{},"sim_note":{},"phases":[{}]}}"#,
+        r#"{{"backend":"{}","status":"{}","reason":{},"style":{},"fsm_states":{},"registers":{},"memories":{},"gates":{},"area":{},"narrowed_area":{},"opt_area":{},"sched_cycles":{},"ii":{},"cycles":{},"time_units":{},"sim_note":{},"phases":[{}]}}"#,
         q.backend,
         q.status.tag(),
         opt_str(q.status.reason()),
@@ -88,6 +88,8 @@ fn backend_qor_json(q: &BackendQor) -> String {
         q.area
             .map_or_else(|| "null".to_string(), |a| format!("{a:.1}")),
         q.narrowed_area
+            .map_or_else(|| "null".to_string(), |a| format!("{a:.1}")),
+        q.opt_area
             .map_or_else(|| "null".to_string(), |a| format!("{a:.1}")),
         opt_u64(q.sched_cycles),
         opt_u64(q.ii),

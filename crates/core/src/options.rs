@@ -19,6 +19,7 @@ use chls_backends::SynthOptions;
 pub struct CompileOptions {
     pipeline: bool,
     narrow: bool,
+    opt_netlist: bool,
     jobs: Option<usize>,
     trace: bool,
 }
@@ -40,6 +41,13 @@ impl CompileOptions {
     /// Enables width-analysis-driven register/datapath narrowing.
     pub fn narrow(mut self, on: bool) -> Self {
         self.narrow = on;
+        self
+    }
+
+    /// Enables the word-level logic optimizer over synthesized designs
+    /// (`--opt-netlist`).
+    pub fn opt_netlist(mut self, on: bool) -> Self {
+        self.opt_netlist = on;
         self
     }
 
@@ -79,6 +87,7 @@ impl CompileOptions {
         SynthOptions {
             pipeline_loops: self.pipeline,
             narrow_widths: self.narrow,
+            opt_netlist: self.opt_netlist,
             ..SynthOptions::default()
         }
     }
@@ -90,9 +99,14 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let o = CompileOptions::new().pipeline(true).narrow(true).jobs(0).trace(true);
+        let o = CompileOptions::new()
+            .pipeline(true)
+            .narrow(true)
+            .opt_netlist(true)
+            .jobs(0)
+            .trace(true);
         let s = o.synth_options();
-        assert!(s.pipeline_loops && s.narrow_widths);
+        assert!(s.pipeline_loops && s.narrow_widths && s.opt_netlist);
         assert_eq!(o.jobs_requested(), Some(1), "jobs clamp to >= 1");
         assert!(o.trace_enabled());
     }
@@ -103,5 +117,6 @@ mod tests {
         let d = SynthOptions::default();
         assert_eq!(s.pipeline_loops, d.pipeline_loops);
         assert_eq!(s.narrow_widths, d.narrow_widths);
+        assert_eq!(s.opt_netlist, d.opt_netlist);
     }
 }

@@ -71,6 +71,11 @@ pub struct BackendQor {
     /// (`--narrow`); equals `area` when the backend ignores narrowing or
     /// when narrowing was already on for the main synthesis.
     pub narrowed_area: Option<f64>,
+    /// NAND2-equivalent area with the word-level logic optimizer
+    /// (`--opt-netlist`) applied; equals `area` when the optimizer finds
+    /// nothing or was already on for the main synthesis. Never exceeds
+    /// `area` — every rewrite is area-monotone.
+    pub opt_area: Option<f64>,
     /// Total cycles the schedulers emitted while compiling this design
     /// (sum over scheduled blocks; `None` for rule-timed backends).
     pub sched_cycles: Option<u64>,
@@ -228,6 +233,7 @@ pub fn qor_report(
             gates: None,
             area: None,
             narrowed_area: None,
+            opt_area: None,
             sched_cycles: None,
             ii: None,
             cycles: None,
@@ -281,6 +287,18 @@ pub fn qor_report(
                 }
             }
         }
+        // Logic-optimizer area delta, same what-if pattern.
+        if q.area.is_some() {
+            if synth_opts.opt_netlist {
+                q.opt_area = q.area;
+            } else {
+                let mut opt_opts = synth_opts.clone();
+                opt_opts.opt_netlist = true;
+                if let Ok(design) = compiler.synthesize(backend.as_ref(), entry, &opt_opts) {
+                    q.opt_area = Some(design.area(&opt_opts.model));
+                }
+            }
+        }
         rows.push(q);
     }
     chls_trace::set_enabled(was_enabled);
@@ -303,7 +321,7 @@ impl QorReport {
     pub fn render(&self) -> String {
         let mut t = Table::new(vec![
             "backend", "status", "style", "states", "regs", "mems", "gates", "area", "narrow",
-            "sched", "II", "cycles", "time",
+            "opt", "sched", "II", "cycles", "time",
         ]);
         for q in &self.backends {
             t.row(vec![
@@ -316,6 +334,7 @@ impl QorReport {
                 opt_num(q.gates),
                 q.area.map_or_else(|| "-".to_string(), fnum),
                 q.narrowed_area.map_or_else(|| "-".to_string(), fnum),
+                q.opt_area.map_or_else(|| "-".to_string(), fnum),
                 opt_num(q.sched_cycles),
                 opt_num(q.ii),
                 opt_num(q.cycles),
@@ -410,6 +429,31 @@ mod tests {
         let cash = r.backends.iter().find(|q| q.backend == "cash").unwrap();
         assert_eq!(cash.style, Some("dataflow"));
         assert!(cash.time_units.is_some());
+    }
+
+    #[test]
+    fn opt_area_never_exceeds_area_and_tracks_baseline() {
+        let _l = QOR_LOCK.lock().unwrap();
+        let compiler = Compiler::parse(GCD).unwrap();
+        let r = qor_report(&compiler, "gcd", None, None, &CompileOptions::new()).unwrap();
+        let mut some = 0;
+        for q in &r.backends {
+            if let (Some(a), Some(o)) = (q.area, q.opt_area) {
+                assert!(o <= a, "{}: opt_area {o} > area {a}", q.backend);
+                some += 1;
+            }
+        }
+        assert!(some > 0, "at least one backend reports opt_area");
+        // With the optimizer already on, the what-if equals the baseline.
+        let r = qor_report(
+            &compiler,
+            "gcd",
+            Some("c2v"),
+            None,
+            &CompileOptions::new().opt_netlist(true),
+        )
+        .unwrap();
+        assert_eq!(r.backends[0].opt_area, r.backends[0].area);
     }
 
     #[test]

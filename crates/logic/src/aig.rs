@@ -1,0 +1,434 @@
+//! And-Inverter Graphs with complemented edges, structural hashing, and
+//! constant folding.
+//!
+//! An AIG is a DAG of two-input AND nodes whose edges carry an optional
+//! inversion bit. Node 0 is the constant-FALSE node; every other node is
+//! either a primary input or an AND gate. The representation is the
+//! workhorse of the equivalence checker: both sides of a miter are
+//! bit-blasted into *one* shared [`Aig`], so structurally identical
+//! cones hash to the same node and the miter frequently collapses to
+//! constant FALSE before the SAT solver ever runs.
+//!
+//! Construction applies the standard one- and two-level simplification
+//! rules (constant absorption, idempotence, contradiction, substitution,
+//! and the four resolution shapes), which is enough to fold multiplexers
+//! with equal arms — the pattern that dominates unrolled FSMD state
+//! logic.
+
+use std::collections::HashMap;
+
+/// An AIG edge: a node index with a complement bit in the LSB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Constant false (the complement of node 0 is constant true).
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true.
+    pub const TRUE: Lit = Lit(1);
+
+    /// The node this edge points at.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the edge is complemented.
+    pub fn is_compl(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// The positive edge to a node.
+    pub fn from_var(v: u32) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// Whether this edge is one of the two constants.
+    pub fn is_const(self) -> bool {
+        self.var() == 0
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+const NO_FANIN: Lit = Lit(u32::MAX);
+
+/// An and-inverter graph. Node 0 is constant FALSE; inputs and AND
+/// gates share one index space.
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    /// Fanins per node; `NO_FANIN` marks inputs (and the constant).
+    fanins: Vec<[Lit; 2]>,
+    /// Structural hash: ordered fanin pair → existing AND node.
+    strash: HashMap<(u32, u32), u32>,
+    /// Primary input nodes, in creation order.
+    inputs: Vec<u32>,
+}
+
+impl Aig {
+    /// An empty graph holding only the constant node.
+    pub fn new() -> Aig {
+        Aig {
+            fanins: vec![[NO_FANIN, NO_FANIN]],
+            strash: HashMap::new(),
+            inputs: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh primary input and returns its positive edge.
+    pub fn input(&mut self) -> Lit {
+        let v = self.fanins.len() as u32;
+        self.fanins.push([NO_FANIN, NO_FANIN]);
+        self.inputs.push(v);
+        Lit::from_var(v)
+    }
+
+    /// Whether a node is a primary input.
+    pub fn is_input(&self, v: u32) -> bool {
+        v != 0 && self.fanins[v as usize][0] == NO_FANIN
+    }
+
+    /// Whether a node is an AND gate.
+    pub fn is_and(&self, v: u32) -> bool {
+        self.fanins[v as usize][0] != NO_FANIN
+    }
+
+    /// Fanins of an AND node.
+    pub fn node(&self, v: u32) -> [Lit; 2] {
+        self.fanins[v as usize]
+    }
+
+    /// Total number of nodes (constant + inputs + ANDs).
+    pub fn len(&self) -> usize {
+        self.fanins.len()
+    }
+
+    /// Whether the graph holds only the constant node.
+    pub fn is_empty(&self) -> bool {
+        self.fanins.len() == 1
+    }
+
+    /// The primary inputs, in creation order.
+    pub fn inputs(&self) -> &[u32] {
+        &self.inputs
+    }
+
+    /// AND with constant folding, one- and two-level rewriting, and
+    /// structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let (mut a, mut b) = (a, b);
+        loop {
+            // Level-zero rules.
+            if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+                return Lit::FALSE;
+            }
+            if a == Lit::TRUE || a == b {
+                return b;
+            }
+            if b == Lit::TRUE {
+                return a;
+            }
+            if a.0 > b.0 {
+                std::mem::swap(&mut a, &mut b);
+            }
+            let fa = self.is_and(a.var()).then(|| self.fanins[a.var() as usize]);
+            let fb = self.is_and(b.var()).then(|| self.fanins[b.var() as usize]);
+            // One-level rules against `a`'s fanins.
+            if let Some([a0, a1]) = fa {
+                if !a.is_compl() {
+                    // (a0 ∧ a1) ∧ b
+                    if a0 == !b || a1 == !b {
+                        return Lit::FALSE; // contradiction
+                    }
+                    if a0 == b || a1 == b {
+                        return a; // idempotence
+                    }
+                } else {
+                    // ¬(a0 ∧ a1) ∧ b
+                    if a0 == !b || a1 == !b {
+                        return b; // subsumption
+                    }
+                    if a0 == b {
+                        a = !a1; // substitution: b ∧ ¬a1
+                        continue;
+                    }
+                    if a1 == b {
+                        a = !a0;
+                        continue;
+                    }
+                }
+            }
+            // One-level rules against `b`'s fanins.
+            if let Some([b0, b1]) = fb {
+                if !b.is_compl() {
+                    if b0 == !a || b1 == !a {
+                        return Lit::FALSE;
+                    }
+                    if b0 == a || b1 == a {
+                        return b;
+                    }
+                } else {
+                    if b0 == !a || b1 == !a {
+                        return a;
+                    }
+                    if b0 == a {
+                        b = !b1;
+                        continue;
+                    }
+                    if b1 == a {
+                        b = !b0;
+                        continue;
+                    }
+                }
+            }
+            // Two-level rules.
+            if let (Some([a0, a1]), Some([b0, b1])) = (fa, fb) {
+                if !a.is_compl() && !b.is_compl() {
+                    // (a0∧a1) ∧ (b0∧b1): contradiction across cones.
+                    if a0 == !b0 || a0 == !b1 || a1 == !b0 || a1 == !b1 {
+                        return Lit::FALSE;
+                    }
+                } else if a.is_compl() && b.is_compl() {
+                    // ¬(a0∧a1) ∧ ¬(b0∧b1): the four resolution shapes.
+                    // E.g. with a0 = ¬b0, a1 = b1: (¬a0∨¬a1)(a0∨¬a1) = ¬a1.
+                    if (a0 == !b0 && a1 == b1) || (a0 == !b1 && a1 == b0) {
+                        return !a1;
+                    }
+                    if (a1 == !b0 && a0 == b1) || (a1 == !b1 && a0 == b0) {
+                        return !a0;
+                    }
+                }
+            }
+            // Structural hashing.
+            let key = (a.0, b.0);
+            if let Some(&v) = self.strash.get(&key) {
+                return Lit::from_var(v);
+            }
+            let v = self.fanins.len() as u32;
+            self.fanins.push([a, b]);
+            self.strash.insert(key, v);
+            return Lit::from_var(v);
+        }
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// XOR (two ANDs plus an OR; strash folds the degenerate cases).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let l = self.and(a, !b);
+        let r = self.and(!a, b);
+        self.or(l, r)
+    }
+
+    /// If-then-else. The equal-arm case (`t == e`) folds to `t` through
+    /// the resolution rules.
+    pub fn mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        let l = self.and(s, t);
+        let r = self.and(!s, e);
+        self.or(l, r)
+    }
+
+    /// Evaluates the whole graph under an input assignment (inputs
+    /// absent from `assign` default to false). Intended for tests and
+    /// counterexample decoding — one pass over every node.
+    pub fn eval(&self, assign: &HashMap<u32, bool>) -> Vec<bool> {
+        let mut vals = vec![false; self.fanins.len()];
+        for v in 1..self.fanins.len() {
+            let [f0, f1] = self.fanins[v];
+            vals[v] = if f0 == NO_FANIN {
+                assign.get(&(v as u32)).copied().unwrap_or(false)
+            } else {
+                (vals[f0.var() as usize] ^ f0.is_compl())
+                    && (vals[f1.var() as usize] ^ f1.is_compl())
+            };
+        }
+        vals
+    }
+
+    /// The value of one edge under a full evaluation from [`Aig::eval`].
+    pub fn lit_value(vals: &[bool], l: Lit) -> bool {
+        vals[l.var() as usize] ^ l.is_compl()
+    }
+
+    /// The transitive fanin cone of `roots`, in topological order
+    /// (fanins before fanouts). Includes input nodes and, if reachable,
+    /// the constant node.
+    pub fn cone(&self, roots: &[Lit]) -> Vec<u32> {
+        let mut seen = vec![false; self.fanins.len()];
+        let mut order = Vec::new();
+        let mut stack: Vec<(u32, bool)> = roots.iter().map(|l| (l.var(), false)).collect();
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                order.push(v);
+                continue;
+            }
+            if seen[v as usize] {
+                continue;
+            }
+            seen[v as usize] = true;
+            stack.push((v, true));
+            if self.is_and(v) {
+                let [f0, f1] = self.fanins[v as usize];
+                stack.push((f0.var(), false));
+                stack.push((f1.var(), false));
+            }
+        }
+        order
+    }
+
+    /// Exports the cones of `outputs` as a word-level netlist of 1-bit
+    /// cells (ANDs become `a & b`, complemented edges become `~x`). The
+    /// `input_names` map labels primary inputs; unnamed reachable inputs
+    /// get positional names. Used to hand small sequential miters to the
+    /// ROBDD checker, which only speaks netlists.
+    pub fn to_netlist(
+        &self,
+        name: &str,
+        outputs: &[(String, Lit)],
+        input_names: &HashMap<u32, String>,
+    ) -> chls_rtl::Netlist {
+        use chls_rtl::{CellId, CellKind, Netlist};
+        let u1 = chls_frontend::IntType::new(1, false);
+        let mut nl = Netlist::new(name.to_string());
+        let roots: Vec<Lit> = outputs.iter().map(|(_, l)| *l).collect();
+        let mut cell_of: HashMap<u32, CellId> = HashMap::new();
+        let mut not_of: HashMap<u32, CellId> = HashMap::new();
+        let konst = nl.add(CellKind::Const(0), u1);
+        cell_of.insert(0, konst);
+        for v in self.cone(&roots) {
+            if v == 0 {
+                continue;
+            }
+            let id = if self.is_input(v) {
+                let name = input_names
+                    .get(&v)
+                    .cloned()
+                    .unwrap_or_else(|| format!("n{v}"));
+                nl.add(CellKind::Input { name }, u1)
+            } else {
+                let [f0, f1] = self.fanins[v as usize];
+                let l = edge_cell(&mut nl, &cell_of, &mut not_of, f0);
+                let r = edge_cell(&mut nl, &cell_of, &mut not_of, f1);
+                nl.add(CellKind::Bin(chls_ir::BinKind::And, l, r), u1)
+            };
+            cell_of.insert(v, id);
+        }
+        for (name, l) in outputs {
+            let id = edge_cell(&mut nl, &cell_of, &mut not_of, *l);
+            nl.set_output(name.clone(), id);
+        }
+        nl
+    }
+}
+
+/// Cell for an edge, inserting (and caching) a NOT for complemented
+/// edges.
+fn edge_cell(
+    nl: &mut chls_rtl::Netlist,
+    cell_of: &HashMap<u32, chls_rtl::CellId>,
+    not_of: &mut HashMap<u32, chls_rtl::CellId>,
+    l: Lit,
+) -> chls_rtl::CellId {
+    use chls_rtl::CellKind;
+    let u1 = chls_frontend::IntType::new(1, false);
+    let base = cell_of[&l.var()];
+    if !l.is_compl() {
+        return base;
+    }
+    *not_of.entry(l.var()).or_insert_with(|| {
+        // `!x` at u1 is `x ^ 1`; use Not, whose u1 canonicalization
+        // flips the low bit.
+        nl.add(CellKind::Un(chls_ir::UnKind::Not, base), u1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_fold() {
+        let mut g = Aig::new();
+        let a = g.input();
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(Lit::TRUE, a), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), Lit::FALSE);
+    }
+
+    #[test]
+    fn strash_shares_structure() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y);
+        let n = g.len();
+        let _ = g.and(a, b);
+        assert_eq!(g.len(), n);
+    }
+
+    #[test]
+    fn mux_equal_arms_folds() {
+        let mut g = Aig::new();
+        let s = g.input();
+        let t = g.input();
+        assert_eq!(g.mux(s, t, t), t);
+        assert_eq!(g.mux(s, !t, !t), !t);
+    }
+
+    #[test]
+    fn xor_of_self_is_false() {
+        let mut g = Aig::new();
+        let a = g.input();
+        assert_eq!(g.xor(a, a), Lit::FALSE);
+        assert_eq!(g.xor(a, !a), Lit::TRUE);
+    }
+
+    #[test]
+    fn eval_matches_truth_table() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let x = g.xor(a, b);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut assign = HashMap::new();
+            assign.insert(a.var(), va);
+            assign.insert(b.var(), vb);
+            let vals = g.eval(&assign);
+            assert_eq!(Aig::lit_value(&vals, x), va ^ vb);
+        }
+    }
+
+    #[test]
+    fn exported_netlist_matches_aig() {
+        use chls_sim::netlist_sim::NetlistSim;
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let s = g.input();
+        let o = g.mux(s, a, !b);
+        let names: HashMap<u32, String> = [(a.var(), "a"), (b.var(), "b"), (s.var(), "s")]
+            .into_iter()
+            .map(|(v, n)| (v, n.to_string()))
+            .collect();
+        let nl = g.to_netlist("m", &[("o".to_string(), o)], &names);
+        for bits in 0..8u32 {
+            let (va, vb, vs) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            let mut sim = NetlistSim::new(&nl).unwrap();
+            sim.set_input("a", va as i64);
+            sim.set_input("b", vb as i64);
+            sim.set_input("s", vs as i64);
+            let want = if vs { va } else { !vb };
+            assert_eq!(sim.output("o").unwrap(), want as i64);
+        }
+    }
+}

@@ -2,8 +2,11 @@
 # Repo verification: tier-1 tests, the CLI integration suite, lint
 # hygiene (clippy + a `chls lint` sweep over the example corpus), a
 # conformance smoke run through the CLI (sequential and parallel must
-# agree), a `chls report` QoR smoke over the example corpus, and the
-# simulator benchmark harness (refreshes BENCH_sim.json at the repo
+# agree), a `chls report` QoR smoke over the example corpus (width
+# narrowing and the AIG logic optimizer must both pay for themselves),
+# a `chls equiv` smoke (two backends proven bounded-equivalent on real
+# examples, and a seeded miscompile refuted with a counterexample), and
+# the simulator benchmark harness (refreshes BENCH_sim.json at the repo
 # root, failing on a >10% throughput regression).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,10 +46,11 @@ echo "verdicts identical"
 
 echo "== chls report smoke (QoR JSON over the example corpus) =="
 : > "$tmp/narrowed.txt"
+: > "$tmp/optimized.txt"
 for f in examples/chl/*.chl; do
     echo "-- report $f"
     ./target/release/chls report --all --json "$f" main > "$tmp/report.json"
-    python3 - "$tmp/report.json" "$tmp/narrowed.txt" "$f" <<'EOF'
+    python3 - "$tmp/report.json" "$tmp/narrowed.txt" "$f" "$tmp/optimized.txt" <<'EOF'
 import json, sys
 env = json.load(open(sys.argv[1]))
 assert env["tool"] == "chls" and env["verb"] == "report", env
@@ -64,6 +68,17 @@ for r in rows:
         if n < a * 0.999:
             with open(sys.argv[2], "a") as out:
                 out.write(f"{sys.argv[3]} {r['backend']} {n/a:.2f}\n")
+# The AIG optimizer's rewrites are all area-monotone, so the what-if
+# column must never exceed the baseline; record strict reductions so
+# the sweep can assert the pass actually pays for itself.
+for r in rows:
+    a, o = r.get("area"), r.get("opt_area")
+    if a is not None:
+        assert o is not None, (sys.argv[3], r["backend"], "opt_area missing")
+        assert o <= a * 1.001, (sys.argv[3], r["backend"], a, o)
+        if o < a * 0.999:
+            with open(sys.argv[4], "a") as out:
+                out.write(f"{sys.argv[3]} {r['backend']} {o/a:.2f}\n")
 EOF
 done
 echo "report envelopes valid"
@@ -73,6 +88,49 @@ if [ "$reduced" -lt 3 ]; then
     echo "FAIL: width narrowing should shrink at least 3 example programs" >&2
     exit 1
 fi
+opt_reduced=$(cut -d' ' -f1 "$tmp/optimized.txt" | sort -u | wc -l)
+echo "logic optimizer reduces area on $opt_reduced example programs"
+if [ "$opt_reduced" -lt 3 ]; then
+    echo "FAIL: the logic optimizer should shrink at least 3 example programs" >&2
+    exit 1
+fi
+
+echo "== chls equiv smoke (backends proven equivalent; seeded bug refuted) =="
+for spec in "blend 70" "checksum 60" "fir 190"; do
+    set -- $spec
+    echo "-- equiv examples/chl/$1.chl (bound $2)"
+    ./target/release/chls equiv --backend handelc --backend transmogrifier \
+        --bound "$2" "examples/chl/$1.chl" main
+done
+cat > "$tmp/bug.chl" <<'EOF'
+int main(int a, int b) {
+    int s = 0;
+    for (int i = 0; i < 4; i++) {
+        s = (s + a * 3 + b) & 4095;
+    }
+    return s;
+}
+
+int main_bug(int a, int b) {
+    int s = 0;
+    for (int i = 0; i < 4; i++) {
+        s = (s + a * 3 + b) & 4095;
+    }
+    if (s == 2900) {
+        s = s ^ 1;
+    }
+    return s;
+}
+EOF
+if ./target/release/chls equiv --backend handelc --backend transmogrifier \
+    --bound 24 "$tmp/bug.chl" main main_bug > "$tmp/equiv.txt"; then
+    echo "FAIL: seeded miscompile was not refuted" >&2
+    cat "$tmp/equiv.txt" >&2
+    exit 1
+fi
+grep -q "DIFFER" "$tmp/equiv.txt"
+grep -q "arg0" "$tmp/equiv.txt"
+echo "seeded miscompile refuted with a counterexample"
 
 echo "== simulator benchmarks (fail on >10% throughput regression) =="
 cargo run --release -p chls-bench --bin bench_sim -- --check 10

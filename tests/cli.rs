@@ -495,3 +495,178 @@ fn synth_and_verilog_roundtrip() {
     assert!(o.status.success(), "{}", stderr(&o));
     assert!(stdout(&o).contains("module"), "{}", stdout(&o));
 }
+
+// ---------------------------------------------------------------------
+// chls equiv: backend agreement proofs, refutations, flag validation
+// ---------------------------------------------------------------------
+
+#[test]
+fn equiv_requires_exactly_two_backends() {
+    // No --backend at all.
+    let o = chls(&["equiv", FIR, "main"]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    assert!(err.contains("exactly two --backend flags"), "{err}");
+    assert!(err.contains("usage: chls equiv"), "{err}");
+
+    // Only one.
+    let o = chls(&["equiv", "--backend", "handelc", FIR, "main"]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    assert!(err.contains("exactly two --backend flags, got 1"), "{err}");
+    assert!(err.contains("usage: chls equiv"), "{err}");
+}
+
+#[test]
+fn equiv_rejects_undeclared_flags_via_verb_table() {
+    let o = chls(&["equiv", "--narrow", "--backend", "handelc", "--backend", "c2v", FIR, "main"]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    assert!(err.contains("unknown flag `--narrow` for `chls equiv`"), "{err}");
+    assert!(err.contains("usage: chls equiv"), "{err}");
+}
+
+#[test]
+fn opt_netlist_is_rejected_on_wrong_verbs() {
+    // Declared for synth/verilog/report, not check or run.
+    let o = chls(&["check", "--opt-netlist", GCD, "main", "48", "36"]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    assert!(
+        err.contains("unknown flag `--opt-netlist` for `chls check`"),
+        "{err}"
+    );
+    assert!(err.contains("usage: chls check"), "{err}");
+
+    let o = chls(&["run", "--opt-netlist", GCD, "main", "48", "36"]);
+    assert!(!o.status.success());
+    assert!(
+        stderr(&o).contains("unknown flag `--opt-netlist` for `chls run`"),
+        "{}",
+        stderr(&o)
+    );
+}
+
+#[test]
+fn equiv_proves_two_backends_agree_on_blend() {
+    let o = chls(&[
+        "equiv", "--backend", "handelc", "--backend", "transmogrifier", "--bound", "70",
+        "examples/chl/blend.chl", "main",
+    ]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    let out = stdout(&o);
+    assert!(out.contains("EQUIVALENT"), "{out}");
+    assert!(out.contains("method"), "{out}");
+}
+
+#[test]
+fn equiv_json_envelope_and_refutation_exit_code() {
+    let dir = std::env::temp_dir().join("chls_equiv_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("bug.chl");
+    std::fs::write(
+        &file,
+        "int main(int a, int b) {
+            int s = 0;
+            for (int i = 0; i < 4; i++) { s = (s + a * 3 + b) & 4095; }
+            return s;
+        }
+        int main_bug(int a, int b) {
+            int s = 0;
+            for (int i = 0; i < 4; i++) { s = (s + a * 3 + b) & 4095; }
+            if (s == 2900) { s = s ^ 1; }
+            return s;
+        }",
+    )
+    .unwrap();
+    let path = file.to_str().unwrap();
+
+    // Proof: same entry on both sides, JSON envelope, exit 0.
+    let o = chls(&[
+        "equiv", "--backend", "handelc", "--backend", "transmogrifier", "--bound", "24",
+        "--json", path, "main",
+    ]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    let (ok, data) = envelope(&o, "equiv");
+    assert!(ok);
+    assert_eq!(data.get("verdict").unwrap().as_str(), "equivalent");
+    assert!(
+        matches!(data.get("aig_nodes"), Some(Json::Num(n)) if *n > 0.0),
+        "aig_nodes present"
+    );
+
+    // Refutation: seeded miscompile, exit 1, counterexample in JSON.
+    let o = chls(&[
+        "equiv", "--backend", "handelc", "--backend", "transmogrifier", "--bound", "24",
+        "--json", path, "main", "main_bug",
+    ]);
+    assert!(!o.status.success());
+    let (ok, data) = envelope(&o, "equiv");
+    assert!(!ok);
+    assert_eq!(data.get("verdict").unwrap().as_str(), "differ");
+    let detail = data.get("detail").unwrap();
+    assert!(detail.get("inputs").is_some(), "counterexample inputs present");
+    assert!(
+        detail.get("a_value") != detail.get("b_value"),
+        "replayed values differ"
+    );
+}
+
+#[test]
+fn equiv_rejects_dataflow_and_bad_bound() {
+    // The cash backend emits dataflow circuits — not comparable.
+    let o = chls(&[
+        "equiv", "--backend", "cash", "--backend", "c2v", FIR, "main",
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("dataflow"), "{}", stderr(&o));
+
+    let o = chls(&[
+        "equiv", "--backend", "handelc", "--backend", "c2v", "--bound", "zero", FIR, "main",
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--bound needs a positive integer"), "{}", stderr(&o));
+}
+
+#[test]
+fn report_carries_opt_area() {
+    // The table grows an `opt` column...
+    let o = chls(&["report", "--backend", "c2v", FIR, "main"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("| opt"), "{}", stdout(&o));
+
+    // ...and the JSON carries the what-if area, never above the baseline.
+    let o = chls(&["report", "--backend", "c2v", "--json", FIR, "main"]);
+    let (ok, data) = envelope(&o, "report");
+    assert!(ok);
+    let row = &data.get("backends").unwrap().as_arr()[0];
+    let area = match row.get("area") {
+        Some(Json::Num(n)) => *n,
+        other => panic!("area missing: {other:?}"),
+    };
+    let opt = match row.get("opt_area") {
+        Some(Json::Num(n)) => *n,
+        other => panic!("opt_area missing: {other:?}"),
+    };
+    assert!(opt > 0.0 && opt <= area, "{opt} vs {area}");
+
+    // With --opt-netlist the main synthesis is already optimized, so the
+    // what-if column equals the baseline.
+    let o = chls(&["report", "--backend", "c2v", "--opt-netlist", "--json", FIR, "main"]);
+    let (ok, data) = envelope(&o, "report");
+    assert!(ok);
+    let row = &data.get("backends").unwrap().as_arr()[0];
+    let (Some(Json::Num(a)), Some(Json::Num(n))) = (row.get("area"), row.get("opt_area"))
+    else {
+        panic!("area/opt_area missing");
+    };
+    assert_eq!(a, n, "--opt-netlist makes the baseline the optimized design");
+}
+
+#[test]
+fn synth_accepts_opt_netlist_and_still_conforms() {
+    let o = chls(&["synth", "--opt-netlist", "c2v", GCD, "main", "48", "36"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("result:   Some(12)"), "{out}");
+}
