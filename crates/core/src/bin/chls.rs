@@ -3,7 +3,8 @@
 //! ```text
 //! chls backends                                list backends (Table 1)
 //! chls check <file.chl> <entry> [args...]      run all backends vs golden
-//! chls run <file.chl> <entry> [args...]        interpret only
+//! chls run <file.chl> <entry> [args...]        interpret only (or --jit:
+//!                                              synthesize c2v, run natively)
 //! chls ir <file.chl> <entry>                   dump the prepared SSA IR
 //! chls synth <backend> <file.chl> <entry>      synthesize, print report
 //! chls verilog <backend> <file.chl> <entry>    synthesize and emit Verilog
@@ -29,7 +30,7 @@
 
 use chls::interp::ArgValue;
 use chls::prelude::*;
-use chls::{check_conformance_with_jobs, jsonout};
+use chls::jsonout;
 use chls_rtl::CostModel;
 use std::process::ExitCode;
 
@@ -68,20 +69,27 @@ const VERBS: &[VerbSpec] = &[
     },
     VerbSpec {
         name: "run",
-        usage: "chls run <file> <entry> [args...]",
+        usage: "chls run [--jit] <file> <entry> [args...]",
         min_pos: 2,
         max_pos: None,
-        flags: &[],
+        flags: &[FlagSpec {
+            name: "--jit",
+            takes_value: false,
+        }],
     },
     VerbSpec {
         name: "check",
-        usage: "chls check [--jobs N] [--json] <file> <entry> [args...]",
+        usage: "chls check [--jobs N] [--jit] [--json] <file> <entry> [args...]",
         min_pos: 2,
         max_pos: None,
         flags: &[
             FlagSpec {
                 name: "--jobs",
                 takes_value: true,
+            },
+            FlagSpec {
+                name: "--jit",
+                takes_value: false,
             },
             JSON,
         ],
@@ -165,7 +173,7 @@ const VERBS: &[VerbSpec] = &[
     },
     VerbSpec {
         name: "report",
-        usage: "chls report [--backend B | --all] [--narrow] [--opt-netlist] [--json] <file> <entry> [args...]",
+        usage: "chls report [--backend B | --all] [--narrow] [--opt-netlist] [--jit] [--json] <file> <entry> [args...]",
         min_pos: 2,
         max_pos: None,
         flags: &[
@@ -183,6 +191,10 @@ const VERBS: &[VerbSpec] = &[
             },
             FlagSpec {
                 name: "--opt-netlist",
+                takes_value: false,
+            },
+            FlagSpec {
+                name: "--jit",
                 takes_value: false,
             },
             JSON,
@@ -317,6 +329,30 @@ fn cmd_run(p: &Parsed) -> Result<ExitCode, String> {
     for w in compiler.rendered_warnings() {
         eprintln!("{w}");
     }
+    let mut opts = CompileOptions::new();
+    if p.has("--jit") {
+        opts = opts.jit(true);
+    }
+    if opts.jit_requested() {
+        // Native path: synthesize the c2v FSMD and execute it through
+        // the JIT (falling back to the tape interpreter off-x86-64).
+        let backend = chls::backend_by_name("c2v").expect("c2v is registered");
+        let design = compiler
+            .synthesize(backend.as_ref(), entry, &opts.synth_options())
+            .map_err(|e| format!("synthesis error: {e}"))?;
+        let r = chls::simulate_design_with(&design, &args, true)
+            .map_err(|e| format!("simulation error: {e}"))?;
+        if let Some(v) = r.ret {
+            println!("ret = {v}");
+        }
+        for (i, a) in r.arrays {
+            println!("arg{i} = {a:?}");
+        }
+        if let Some(c) = r.cycles {
+            println!("cycles = {c}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
     let r = compiler
         .interpret(entry, &args)
         .map_err(|e| format!("interpreter error: {e}"))?;
@@ -339,7 +375,11 @@ fn cmd_check(p: &Parsed) -> Result<ExitCode, String> {
             .map_err(|_| "--jobs needs a positive integer".to_string())?;
         opts = opts.jobs(n);
     }
+    if p.has("--jit") {
+        opts = opts.jit(true);
+    }
     let jobs = opts.effective_jobs();
+    let jit = opts.jit_requested();
     let args = parse_args(&p.pos[2..])?;
     let src =
         std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
@@ -348,14 +388,18 @@ fn cmd_check(p: &Parsed) -> Result<ExitCode, String> {
             eprintln!("{w}");
         }
     }
-    let results = check_conformance_with_jobs(&src, entry, &args, jobs)?;
+    let results = chls::check_conformance_with_compile_options(&src, entry, &args, &opts)?;
     let bad = results.iter().any(|(_, v)| {
         matches!(v, Verdict::Mismatch { .. } | Verdict::Error(_))
     });
     if json {
         println!(
             "{}",
-            jsonout::envelope("check", !bad, &jsonout::check_json(entry, jobs, &results))
+            jsonout::envelope(
+                "check",
+                !bad,
+                &jsonout::check_json(entry, jobs, jit, &results)
+            )
         );
     } else {
         for (backend, verdict) in &results {
@@ -416,10 +460,16 @@ fn cmd_report(p: &Parsed) -> Result<ExitCode, String> {
         entry,
         which,
         args.as_deref(),
-        &CompileOptions::new()
-            .trace(true)
-            .narrow(p.has("--narrow"))
-            .opt_netlist(p.has("--opt-netlist")),
+        &{
+            let mut o = CompileOptions::new()
+                .trace(true)
+                .narrow(p.has("--narrow"))
+                .opt_netlist(p.has("--opt-netlist"));
+            if p.has("--jit") {
+                o = o.jit(true);
+            }
+            o
+        },
     )
     .map_err(|e| e.to_string())?;
     let ok = !report

@@ -147,10 +147,31 @@ pub const MAX_CYCLES: u64 = 5_000_000;
 
 /// Simulates a synthesized design on concrete arguments.
 ///
+/// FSMD designs honor the `CHLS_JIT=1` environment default (see
+/// [`crate::CompileOptions::jit_requested`]); use [`simulate_design_with`]
+/// to force the engine explicitly.
+///
 /// # Errors
 ///
 /// Returns a [`SimulateError`] wrapping the specific simulator's failure.
 pub fn simulate_design(design: &Design, args: &[ArgValue]) -> Result<SimOutcome, SimulateError> {
+    simulate_design_with(design, args, crate::CompileOptions::new().jit_requested())
+}
+
+/// [`simulate_design`] with an explicit engine choice for FSMD designs:
+/// `jit = true` requests native execution via `chls-jit` (silently
+/// degrading to the interpreter on unsupported hosts), `false` always
+/// interprets. Both engines are bit-exact against each other (the
+/// differential suite holds them to it).
+///
+/// # Errors
+///
+/// Returns a [`SimulateError`] wrapping the specific simulator's failure.
+pub fn simulate_design_with(
+    design: &Design,
+    args: &[ArgValue],
+    jit: bool,
+) -> Result<SimOutcome, SimulateError> {
     let _span = chls_trace::span("sim.design");
     match design {
         Design::Comb(nl) => {
@@ -201,8 +222,12 @@ pub fn simulate_design(design: &Design, args: &[ArgValue]) -> Result<SimOutcome,
             })
         }
         Design::Fsmd(f) => {
-            let r = chls_sim::fsmd_sim::simulate(f, args, MAX_CYCLES)
-                .map_err(|e| SimulateError(e.to_string()))?;
+            let r = if jit {
+                chls_jit::simulate(f, args, MAX_CYCLES)
+            } else {
+                chls_sim::fsmd_sim::simulate(f, args, MAX_CYCLES)
+            }
+            .map_err(|e| SimulateError(e.to_string()))?;
             let mut arrays = Vec::new();
             for (mi, m) in f.mems.iter().enumerate() {
                 if let Some(p) = m.param_index {
@@ -280,13 +305,14 @@ fn run_one(
     entry: &str,
     args: &[ArgValue],
     opts: &SynthOptions,
+    jit: bool,
 ) -> Verdict {
     match compiler.synthesize(backend, entry, opts) {
         Err(
             e @ (SynthError::Unsupported { .. } | SynthError::Loop(_) | SynthError::Transform(_)),
         ) => Verdict::Unsupported(e.to_string()),
         Err(e) => Verdict::Error(e.to_string()),
-        Ok(design) => match simulate_design(&design, args) {
+        Ok(design) => match simulate_design_with(&design, args, jit) {
             Err(e) => Verdict::Error(e.to_string()),
             Ok(outcome) => {
                 let ret_ok = outcome.ret == golden.ret;
@@ -355,6 +381,46 @@ pub fn check_conformance_with_options(
     jobs: usize,
     opts: &SynthOptions,
 ) -> Result<Vec<(&'static str, Verdict)>, String> {
+    check_conformance_inner(
+        source,
+        entry,
+        args,
+        jobs,
+        opts,
+        crate::CompileOptions::new().jit_requested(),
+    )
+}
+
+/// The full-option conformance entry point: job count, synthesis
+/// options, and simulation engine all come from one [`CompileOptions`].
+///
+/// # Errors
+///
+/// Fails only if the golden interpreter itself cannot run the program.
+pub fn check_conformance_with_compile_options(
+    source: &str,
+    entry: &str,
+    args: &[ArgValue],
+    opts: &crate::CompileOptions,
+) -> Result<Vec<(&'static str, Verdict)>, String> {
+    check_conformance_inner(
+        source,
+        entry,
+        args,
+        opts.effective_jobs(),
+        &opts.synth_options(),
+        opts.jit_requested(),
+    )
+}
+
+fn check_conformance_inner(
+    source: &str,
+    entry: &str,
+    args: &[ArgValue],
+    jobs: usize,
+    opts: &SynthOptions,
+    jit: bool,
+) -> Result<Vec<(&'static str, Verdict)>, String> {
     let compiler = Compiler::parse(source).map_err(|e| e.to_string())?;
     let golden = compiler
         .interpret(entry, args)
@@ -368,7 +434,7 @@ pub fn check_conformance_with_options(
             .map(|b| {
                 (
                     b.info().name,
-                    run_one(&compiler, &golden, b.as_ref(), entry, args, &opts),
+                    run_one(&compiler, &golden, b.as_ref(), entry, args, &opts, jit),
                 )
             })
             .collect();
@@ -401,7 +467,7 @@ pub fn check_conformance_with_options(
                         break;
                     }
                     let b = &my_backends[i];
-                    let v = run_one(compiler, golden, b.as_ref(), entry, args, opts);
+                    let v = run_one(compiler, golden, b.as_ref(), entry, args, opts, jit);
                     mine.push((i, b.info().name, v));
                 }
                 mine

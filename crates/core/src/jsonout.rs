@@ -36,7 +36,12 @@ fn opt_str(v: Option<&str>) -> String {
 
 /// Serializes conformance verdicts (the `data` of `check --json`): one
 /// object per backend with the verdict tag and per-design timing.
-pub fn check_json(entry: &str, jobs: usize, results: &[(&'static str, Verdict)]) -> String {
+pub fn check_json(
+    entry: &str,
+    jobs: usize,
+    jit: bool,
+    results: &[(&'static str, Verdict)],
+) -> String {
     let rows = results
         .iter()
         .map(|(backend, verdict)| {
@@ -61,7 +66,7 @@ pub fn check_json(entry: &str, jobs: usize, results: &[(&'static str, Verdict)])
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        r#"{{"entry":"{}","jobs":{jobs},"results":[{rows}]}}"#,
+        r#"{{"entry":"{}","jobs":{jobs},"jit":{jit},"results":[{rows}]}}"#,
         escape(entry)
     )
 }
@@ -76,7 +81,7 @@ fn phase_json(phases: &[(String, f64)]) -> String {
 
 fn backend_qor_json(q: &BackendQor) -> String {
     format!(
-        r#"{{"backend":"{}","status":"{}","reason":{},"style":{},"fsm_states":{},"registers":{},"memories":{},"gates":{},"area":{},"narrowed_area":{},"opt_area":{},"sched_cycles":{},"ii":{},"cycles":{},"time_units":{},"sim_note":{},"phases":[{}]}}"#,
+        r#"{{"backend":"{}","status":"{}","reason":{},"style":{},"fsm_states":{},"registers":{},"memories":{},"gates":{},"area":{},"narrowed_area":{},"opt_area":{},"sched_cycles":{},"ii":{},"cycles":{},"time_units":{},"sim_note":{},"jit_blocks":{},"jit_bytes":{},"jit_fallbacks":{},"phases":[{}]}}"#,
         q.backend,
         q.status.tag(),
         opt_str(q.status.reason()),
@@ -96,6 +101,9 @@ fn backend_qor_json(q: &BackendQor) -> String {
         opt_u64(q.cycles),
         opt_u64(q.time_units),
         opt_str(q.sim_note.as_deref()),
+        opt_u64(q.jit_blocks),
+        opt_u64(q.jit_bytes),
+        opt_u64(q.jit_fallbacks),
         phase_json(&q.phases),
     )
 }
@@ -146,10 +154,11 @@ mod tests {
                 },
             ),
         ];
-        let j = check_json("gcd", 2, &results);
+        let j = check_json("gcd", 2, false, &results);
         assert!(j.contains(r#""backend":"c2v","verdict":"pass","cycles":37"#), "{j}");
         assert!(j.contains(r#""verdict":"unsupported""#), "{j}");
         assert!(j.contains(r#""detail":"got 1, expected 2""#), "{j}");
         assert!(j.contains(r#""jobs":2"#), "{j}");
+        assert!(j.contains(r#""jit":false"#), "{j}");
     }
 }

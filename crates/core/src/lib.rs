@@ -44,8 +44,9 @@ pub use chls_analysis::{lint_program, LintError, LintReport};
 pub use chls_backends::{Backend, BackendInfo, Design, SynthError, SynthOptions};
 pub use chls_sim::interp;
 pub use driver::{
-    check_conformance, check_conformance_with_jobs, check_conformance_with_options,
-    conformance_jobs, simulate_design, Compiler, SimOutcome, SimulateError, Verdict,
+    check_conformance, check_conformance_with_compile_options, check_conformance_with_jobs,
+    check_conformance_with_options, conformance_jobs, simulate_design, simulate_design_with,
+    Compiler, SimOutcome, SimulateError, Verdict,
 };
 pub use error::Error;
 pub use options::CompileOptions;
@@ -62,8 +63,9 @@ pub use report::{fnum, Table};
 /// pass entry points, simulator internals) is deliberately excluded.
 pub mod prelude {
     pub use crate::driver::{
-        check_conformance, check_conformance_with_jobs, check_conformance_with_options,
-        conformance_jobs, simulate_design, Compiler, SimOutcome, Verdict,
+        check_conformance, check_conformance_with_compile_options, check_conformance_with_jobs,
+        check_conformance_with_options, conformance_jobs, simulate_design, simulate_design_with,
+        Compiler, SimOutcome, Verdict,
     };
     pub use crate::error::Error;
     pub use crate::interp::ArgValue;

@@ -22,6 +22,7 @@ pub struct CompileOptions {
     opt_netlist: bool,
     jobs: Option<usize>,
     trace: bool,
+    jit: Option<bool>,
 }
 
 impl CompileOptions {
@@ -63,6 +64,22 @@ impl CompileOptions {
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = on;
         self
+    }
+
+    /// Requests native JIT execution of FSMD simulations (`--jit`).
+    /// Unset falls back to the `CHLS_JIT=1` environment default; the
+    /// request silently degrades to the interpreter on hosts where
+    /// [`chls_jit::available`] is false.
+    pub fn jit(mut self, on: bool) -> Self {
+        self.jit = Some(on);
+        self
+    }
+
+    /// Is JIT execution requested, explicitly or via `CHLS_JIT=1`?
+    pub fn jit_requested(&self) -> bool {
+        self.jit.unwrap_or_else(|| {
+            std::env::var("CHLS_JIT").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        })
     }
 
     /// The requested job count, if fixed.

@@ -9,7 +9,7 @@
 //! pipeline records). `chls report` renders this as an aligned table or
 //! as JSON inside the unified envelope.
 
-use crate::driver::{simulate_design, Compiler};
+use crate::driver::{simulate_design_with, Compiler};
 use crate::error::Error;
 use crate::options::CompileOptions;
 use crate::report::{fnum, Table};
@@ -87,6 +87,12 @@ pub struct BackendQor {
     pub time_units: Option<u64>,
     /// Why simulation was skipped or failed, if it was.
     pub sim_note: Option<String>,
+    /// Native blocks the JIT compiled (JIT runs only).
+    pub jit_blocks: Option<u64>,
+    /// Machine-code bytes the JIT emitted (JIT runs only).
+    pub jit_bytes: Option<u64>,
+    /// States the JIT routed through the interpreter (JIT runs only).
+    pub jit_fallbacks: Option<u64>,
     /// Per-phase wall-clock seconds, in first-recorded order.
     pub phases: Vec<(String, f64)>,
 }
@@ -239,6 +245,9 @@ pub fn qor_report(
             cycles: None,
             time_units: None,
             sim_note: None,
+            jit_blocks: None,
+            jit_bytes: None,
+            jit_fallbacks: None,
             phases: Vec::new(),
         };
         match compiler.synthesize(backend.as_ref(), entry, &synth_opts) {
@@ -255,7 +264,7 @@ pub fn qor_report(
                         q.sim_note =
                             Some("no argument vector (pointer/channel parameter)".to_string());
                     }
-                    Some(a) => match simulate_design(&design, a) {
+                    Some(a) => match simulate_design_with(&design, a, opts.jit_requested()) {
                         Ok(out) => {
                             q.cycles = out.cycles;
                             q.time_units = out.time_units;
@@ -268,6 +277,9 @@ pub fn qor_report(
         let snap = chls_trace::snapshot();
         q.sched_cycles = snap.counter("sched.cycles").filter(|&c| c > 0);
         q.ii = snap.gauge("sched.ii");
+        q.jit_blocks = snap.counter("jit.blocks");
+        q.jit_bytes = snap.counter("jit.bytes");
+        q.jit_fallbacks = snap.counter("jit.fallbacks");
         q.phases = snap
             .spans
             .iter()
@@ -377,6 +389,14 @@ impl QorReport {
                 out.push_str(&format!("note: {}: {reason}\n", q.backend));
             } else if let Some(note) = &q.sim_note {
                 out.push_str(&format!("note: {}: simulation skipped: {note}\n", q.backend));
+            }
+            if let Some(blocks) = q.jit_blocks {
+                out.push_str(&format!(
+                    "note: {}: jit compiled {blocks} block(s), {} byte(s), {} fallback(s)\n",
+                    q.backend,
+                    q.jit_bytes.unwrap_or(0),
+                    q.jit_fallbacks.unwrap_or(0),
+                ));
             }
         }
         out

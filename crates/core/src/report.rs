@@ -96,7 +96,7 @@ mod tests {
 
     #[test]
     fn fnum_formats() {
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(4.66920), "4.67");
         assert_eq!(fnum(2.0), "2");
         assert_eq!(fnum(12345.6), "12346");
     }

@@ -147,6 +147,27 @@ impl Criterion {
         self
     }
 
+    /// Runs one named benchmark against a borrowed input (real
+    /// Criterion has this directly on `Criterion`, not only on groups).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: self.measurement_time,
+        };
+        f(&mut b, input);
+        b.report(&id.to_string());
+        self
+    }
+
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {

@@ -1,0 +1,164 @@
+//! Executable code buffer backed by anonymous `mmap`, with a strict
+//! RW→RX lifecycle (never writable and executable at the same time).
+//!
+//! The laboratory runs offline with no `libc` crate available, so the
+//! three syscalls we need (`mmap`, `mprotect`, `munmap`) are issued
+//! directly via inline assembly. Everything here is Linux/x86-64 only
+//! and is compiled solely under that cfg (see `lib.rs`).
+
+use std::ptr;
+
+const SYS_MMAP: i64 = 9;
+const SYS_MPROTECT: i64 = 10;
+const SYS_MUNMAP: i64 = 11;
+
+const PROT_READ: i64 = 1;
+const PROT_WRITE: i64 = 2;
+const PROT_EXEC: i64 = 4;
+const MAP_PRIVATE: i64 = 0x02;
+const MAP_ANONYMOUS: i64 = 0x20;
+
+/// Issues a raw 6-argument Linux syscall.
+///
+/// # Safety
+///
+/// The caller must uphold the kernel contract for syscall `n` with the
+/// given arguments.
+unsafe fn syscall6(n: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64, a6: i64) -> i64 {
+    let ret: i64;
+    // SAFETY: the `syscall` instruction clobbers rcx and r11 (declared),
+    // reads the argument registers per the Linux ABI, and returns in rax;
+    // no Rust memory is touched beyond what the specific syscall does,
+    // which the caller has vouched for.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// A page-aligned executable mapping. Created read-write, filled once,
+/// then sealed read-execute; unmapped on drop.
+pub struct ExecBuf {
+    base: *mut u8,
+    len: usize,
+}
+
+impl ExecBuf {
+    /// Maps `len` bytes (rounded up to pages) of anonymous RW memory.
+    /// Returns `None` when the kernel refuses (e.g. `W^X`-restricted
+    /// environments refuse the later `PROT_EXEC` flip instead; see
+    /// [`ExecBuf::seal`]).
+    pub fn new(len: usize) -> Option<ExecBuf> {
+        let len = len.max(1).div_ceil(4096) * 4096;
+        // SAFETY: anonymous private mapping with no fd; the kernel either
+        // returns a fresh mapping or an error code in -4095..0.
+        let r = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                len as i64,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if !(-4095..0).contains(&r) && r != 0 {
+            Some(ExecBuf {
+                base: r as *mut u8,
+                len,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Copies `code` into the buffer. Only valid before [`ExecBuf::seal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is larger than the mapping.
+    pub fn write(&mut self, code: &[u8]) {
+        assert!(code.len() <= self.len, "code exceeds ExecBuf capacity");
+        // SAFETY: `base..base+len` is a valid private RW mapping owned by
+        // `self`, and `code.len() <= self.len` was just asserted.
+        unsafe { ptr::copy_nonoverlapping(code.as_ptr(), self.base, code.len()) };
+    }
+
+    /// Flips the mapping from RW to RX. After this the buffer is
+    /// immutable and executable — there is never a moment where the
+    /// region is both writable and executable. Returns `false` when the
+    /// kernel rejects `PROT_EXEC` (e.g. a locked-down seccomp/PaX
+    /// environment); callers then fall back to the interpreter.
+    pub fn seal(&mut self) -> bool {
+        // SAFETY: `base` is a page-aligned mapping of `len` bytes owned
+        // by `self`; mprotect only changes page permissions.
+        let r = unsafe {
+            syscall6(
+                SYS_MPROTECT,
+                self.base as i64,
+                self.len as i64,
+                PROT_READ | PROT_EXEC,
+                0,
+                0,
+                0,
+            )
+        };
+        r == 0
+    }
+
+    /// The mapping's base address.
+    pub fn addr(&self) -> usize {
+        self.base as usize
+    }
+}
+
+impl Drop for ExecBuf {
+    fn drop(&mut self) {
+        // SAFETY: `base..base+len` is a mapping owned exclusively by
+        // `self`; after drop nothing dereferences it (JitProgram keeps
+        // the ExecBuf alive as long as any pointer into it can run).
+        unsafe {
+            syscall6(SYS_MUNMAP, self.base as i64, self.len as i64, 0, 0, 0, 0);
+        }
+    }
+}
+
+// SAFETY: after `seal` the mapping is immutable machine code; before
+// seal the buffer is only touched by its owning thread during
+// compilation. The raw pointer is just an address into a private
+// mapping with no thread affinity.
+unsafe impl Send for ExecBuf {}
+// SAFETY: sealed RX pages are never written again, so shared references
+// across threads only ever read/execute immutable memory.
+unsafe impl Sync for ExecBuf {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_write_seal_execute() {
+        // mov rax, 42; ret
+        let code = [0x48u8, 0xc7, 0xc0, 0x2a, 0x00, 0x00, 0x00, 0xc3];
+        let mut buf = ExecBuf::new(code.len()).expect("mmap");
+        buf.write(&code);
+        assert!(buf.seal(), "mprotect RX");
+        // SAFETY: the buffer holds exactly the instructions above — a
+        // leaf function with the C ABI returning a constant.
+        let f: extern "C" fn() -> u64 = unsafe { std::mem::transmute(buf.addr()) };
+        assert_eq!(f(), 42);
+    }
+}

@@ -1,0 +1,962 @@
+//! Tape → x86-64 translation.
+//!
+//! Each FSMD state's micro-op tape becomes one native block. The whole
+//! per-cycle loop — cycle counting, datapath evaluation, next-state
+//! choice, and the simultaneous commit — runs in native code; Rust is
+//! re-entered only to finish (`Done`), to report a cycle-limit stop, to
+//! reproduce a trap's exact error, or to interpret a fallback state.
+//!
+//! # Register convention
+//!
+//! | register | role |
+//! |---|---|
+//! | `r14` | [`JitEnv`](crate::JitEnv) pointer |
+//! | `r15` | slot-array base |
+//! | `rbx` | cycle counter |
+//! | `r13` | cycle limit |
+//! | `rsi rdi r8-r12` | slot cache pool ([`crate::regalloc`]) |
+//! | `rax rcx rdx` | fixed scratch (division helper, setcc, commits) |
+//!
+//! # Simultaneous commit
+//!
+//! `StageReg`/`StageMemWrite` write their (canonicalized) values into
+//! *shadow slots* past the tape's own slot space, plus a guard flag
+//! slot when the staging is inside a lazy skip region (the flags are
+//! zeroed at block entry). The next-state decision is made from
+//! pre-commit values, then a per-edge stub replays the staged updates
+//! in tape order and jumps to the next state's block — exactly the
+//! interpreter's ordering in `chls_sim::tape::exec_state`.
+
+use crate::regalloc::{slot_disp, RegCache, SLOTS};
+use crate::x86::{AluOp, Cc, Label, MInst, Reg, ShiftKind};
+use chls_frontend::IntType;
+use chls_ir::BinKind;
+use chls_rtl::fsmd::Fsmd;
+use chls_sim::tape::{CNext, TInst, Tape};
+use std::collections::HashMap;
+
+/// `JitEnv` field offsets — must match the `#[repr(C)]` struct in
+/// `lib.rs` (asserted there).
+pub const OFF_SLOTS: i32 = 0x00;
+/// Offset of the memory-descriptor array pointer.
+pub const OFF_MEMS: i32 = 0x08;
+/// Offset of the cycle counter.
+pub const OFF_CYCLES: i32 = 0x10;
+/// Offset of the cycle limit.
+pub const OFF_MAX: i32 = 0x18;
+/// Offset of the auxiliary word (trap/fallback state id).
+pub const OFF_AUX: i32 = 0x20;
+/// Offset of the sampled return value.
+pub const OFF_RET: i32 = 0x28;
+/// Offset of the return-value-present flag.
+pub const OFF_RETSET: i32 = 0x30;
+
+/// Native exit codes returned in `rax`.
+pub const EXIT_DONE: u64 = 0;
+/// The cycle limit was reached.
+pub const EXIT_LIMIT: u64 = 1;
+/// A memory access trapped; the state id is in the aux field.
+pub const EXIT_TRAP: u64 = 2;
+/// The state must be interpreted; the state id is in the aux field.
+pub const EXIT_FALLBACK: u64 = 3;
+
+const ENV: Reg = Reg::R14;
+const CYC: Reg = Reg::Rbx;
+const MAXC: Reg = Reg::R13;
+
+/// Result of translating a whole tape.
+pub struct Translated {
+    /// The optimized micro-instruction stream (prologue at entry 0).
+    pub insts: Vec<MInst>,
+    /// Number of labels allocated (for the assembler).
+    pub n_labels: u32,
+    /// Per-state entry labels.
+    pub state_labels: Vec<Label>,
+    /// Shadow/flag slots appended past `tape.n_slots`.
+    pub extra_slots: usize,
+    /// States compiled as interpreter-fallback stubs.
+    pub fallback_states: Vec<bool>,
+}
+
+/// What a staged update commits to.
+enum StKind {
+    Reg(u32),
+    Mem(u32),
+}
+
+/// One staged update's shadow layout.
+struct Staging {
+    kind: StKind,
+    val_sh: u32,
+    addr_sh: u32,
+    flag: Option<u32>,
+}
+
+/// Does `inst` read `s` as an operand?
+fn reads(inst: &TInst, s: u32) -> bool {
+    match *inst {
+        TInst::Un { a, .. } | TInst::Cast { a, .. } | TInst::Copy { a, .. } => a == s,
+        TInst::Bin { a, b, .. }
+        | TInst::Add { a, b, .. }
+        | TInst::Sub { a, b, .. }
+        | TInst::Mul { a, b, .. }
+        | TInst::And { a, b, .. }
+        | TInst::Or { a, b, .. }
+        | TInst::Xor { a, b, .. }
+        | TInst::CmpEq { a, b, .. }
+        | TInst::CmpNe { a, b, .. }
+        | TInst::CmpLtS { a, b, .. }
+        | TInst::CmpLtU { a, b, .. }
+        | TInst::CmpLeS { a, b, .. }
+        | TInst::CmpLeU { a, b, .. }
+        | TInst::CmpGtS { a, b, .. }
+        | TInst::CmpGtU { a, b, .. }
+        | TInst::CmpGeS { a, b, .. }
+        | TInst::CmpGeU { a, b, .. } => a == s || b == s,
+        TInst::Select { cond, t, f, .. } => cond == s || t == s || f == s,
+        TInst::MemRead { addr, .. } => addr == s,
+        TInst::SetImm { .. } | TInst::Skip { .. } => false,
+        TInst::SkipIfZero { cond, .. } => cond == s,
+        TInst::StageReg { val, .. } => val == s,
+        TInst::StageMemWrite { addr, val, .. } => addr == s || val == s,
+    }
+}
+
+/// The slot `inst` (re)defines, if any.
+fn writes(inst: &TInst) -> Option<u32> {
+    match *inst {
+        TInst::Un { dst, .. }
+        | TInst::Bin { dst, .. }
+        | TInst::Add { dst, .. }
+        | TInst::Sub { dst, .. }
+        | TInst::Mul { dst, .. }
+        | TInst::And { dst, .. }
+        | TInst::Or { dst, .. }
+        | TInst::Xor { dst, .. }
+        | TInst::CmpEq { dst, .. }
+        | TInst::CmpNe { dst, .. }
+        | TInst::CmpLtS { dst, .. }
+        | TInst::CmpLtU { dst, .. }
+        | TInst::CmpLeS { dst, .. }
+        | TInst::CmpLeU { dst, .. }
+        | TInst::CmpGtS { dst, .. }
+        | TInst::CmpGtU { dst, .. }
+        | TInst::CmpGeS { dst, .. }
+        | TInst::CmpGeU { dst, .. }
+        | TInst::Cast { dst, .. }
+        | TInst::Select { dst, .. }
+        | TInst::MemRead { dst, .. }
+        | TInst::Copy { dst, .. }
+        | TInst::SetImm { dst, .. } => Some(dst),
+        _ => None,
+    }
+}
+
+/// Distance (in tape instructions) to the next read of `s`, for the
+/// eviction heuristic. A redefinition before any read means the cached
+/// value is dead (`u32::MAX`); `tail` lists slots the epilogue reads.
+fn next_use_dist(code: &[TInst], from: usize, end: usize, tail: &[u32], s: u32) -> u32 {
+    for (d, inst) in code[from..end].iter().enumerate() {
+        if reads(inst, s) {
+            return d as u32;
+        }
+        if writes(inst) == Some(s) {
+            return u32::MAX;
+        }
+    }
+    if tail.contains(&s) {
+        (end - from) as u32
+    } else {
+        u32::MAX
+    }
+}
+
+/// Emits the canonicalization of `r` to `ty` (truncate + re-extend),
+/// mirroring `IntType::canonicalize`.
+fn emit_canon(out: &mut Vec<MInst>, r: Reg, ty: IntType) {
+    if ty.width == 64 {
+        return;
+    }
+    let n = (64 - ty.width) as u8;
+    if ty.signed {
+        out.push(MInst::ShiftI {
+            kind: ShiftKind::Shl,
+            reg: r,
+            amt: n,
+        });
+        out.push(MInst::ShiftI {
+            kind: ShiftKind::Sar,
+            reg: r,
+            amt: n,
+        });
+    } else if ty.width == 32 {
+        // 32-bit mov zero-extends the upper half.
+        out.push(MInst::MovR32 { dst: r, src: r });
+    } else {
+        out.push(MInst::ShiftI {
+            kind: ShiftKind::Shl,
+            reg: r,
+            amt: n,
+        });
+        out.push(MInst::ShiftI {
+            kind: ShiftKind::Shr,
+            reg: r,
+            amt: n,
+        });
+    }
+}
+
+/// Packs an `eval_bin` helper request: op in bits 0..8, width in 8..24,
+/// signedness in bit 24. Decoded by `jit_bin_helper` in `lib.rs`.
+pub fn pack_bin(op: BinKind, ty: IntType) -> i64 {
+    let opc: i64 = match op {
+        BinKind::Div => 0,
+        BinKind::Rem => 1,
+        BinKind::Shl => 2,
+        BinKind::Shr => 3,
+        _ => unreachable!("only cold ops reach the helper"),
+    };
+    opc | ((ty.width as i64) << 8) | ((ty.signed as i64) << 24)
+}
+
+struct Tr {
+    out: Vec<MInst>,
+    labels: u32,
+    helper_addr: i64,
+}
+
+impl Tr {
+    fn fresh(&mut self) -> Label {
+        let l = self.labels;
+        self.labels += 1;
+        l
+    }
+
+    fn store_slot(&mut self, slot: u32, src: Reg) {
+        self.out.push(MInst::Store {
+            base: SLOTS,
+            disp: slot_disp(slot),
+            src,
+        });
+    }
+
+    fn load_slot_into(&mut self, dst: Reg, slot: u32) {
+        self.out.push(MInst::Load {
+            dst,
+            base: SLOTS,
+            disp: slot_disp(slot),
+        });
+    }
+}
+
+/// Translates every state of `tape` (for `f`) into a micro-instruction
+/// stream, peephole-optimized and ready to assemble.
+pub fn translate(tape: &Tape, _f: &Fsmd, helper_addr: i64, force_fallback: bool) -> Translated {
+    let consts: HashMap<u32, i64> = tape.const_init.iter().map(|&(s, v)| (s, v)).collect();
+    let mut tr = Tr {
+        out: Vec::new(),
+        labels: 0,
+        helper_addr,
+    };
+    let n_states = tape.states.len();
+    let state_labels: Vec<Label> = (0..n_states).map(|_| tr.fresh()).collect();
+    let exit_done = tr.fresh();
+    let exit_limit = tr.fresh();
+    let out_lbl = tr.fresh();
+
+    // Prologue: save callee-saved registers (5 pushes also restore the
+    // 16-byte stack alignment helper calls need), bind the convention,
+    // and dispatch to the caller-chosen entry block (2nd argument).
+    tr.out.push(MInst::Push(Reg::Rbx));
+    tr.out.push(MInst::Push(Reg::R12));
+    tr.out.push(MInst::Push(Reg::R13));
+    tr.out.push(MInst::Push(Reg::R14));
+    tr.out.push(MInst::Push(Reg::R15));
+    tr.out.push(MInst::MovRR {
+        dst: ENV,
+        src: Reg::Rdi,
+    });
+    tr.out.push(MInst::Load {
+        dst: SLOTS,
+        base: ENV,
+        disp: OFF_SLOTS,
+    });
+    tr.out.push(MInst::Load {
+        dst: CYC,
+        base: ENV,
+        disp: OFF_CYCLES,
+    });
+    tr.out.push(MInst::Load {
+        dst: MAXC,
+        base: ENV,
+        disp: OFF_MAX,
+    });
+    tr.out.push(MInst::JmpReg(Reg::Rsi));
+
+    let mut next_shadow = tape.n_slots as u32;
+    let mut fallback_states = vec![false; n_states];
+
+    for si in 0..n_states {
+        let st = &tape.states[si];
+        let (s0, s1) = (st.tape.0 as usize, st.tape.1 as usize);
+        let block = &tape.code[s0..s1];
+
+        // Block header: count the cycle, check the limit.
+        tr.out.push(MInst::Bind(state_labels[si]));
+        tr.out.push(MInst::AddRI { reg: CYC, imm: 1 });
+        tr.out.push(MInst::Alu {
+            op: AluOp::Cmp,
+            dst: CYC,
+            src: MAXC,
+        });
+        tr.out.push(MInst::Jcc {
+            cc: Cc::A,
+            label: exit_limit,
+        });
+
+        if force_fallback {
+            fallback_states[si] = true;
+            tr.out.push(MInst::MovRI {
+                dst: Reg::Rcx,
+                imm: si as i64,
+            });
+            tr.out.push(MInst::Store {
+                base: ENV,
+                disp: OFF_AUX,
+                src: Reg::Rcx,
+            });
+            tr.out.push(MInst::MovRI {
+                dst: Reg::Rax,
+                imm: EXIT_FALLBACK as i64,
+            });
+            tr.out.push(MInst::Jmp { label: out_lbl });
+            continue;
+        }
+
+        // Which tape positions sit inside a forward-skip region — their
+        // stagings are conditional and need guard flags.
+        let mut guarded = vec![false; block.len()];
+        for (i, inst) in block.iter().enumerate() {
+            if let TInst::SkipIfZero { target, .. } | TInst::Skip { target } = inst {
+                for g in guarded
+                    .iter_mut()
+                    .take((*target as usize).saturating_sub(s0))
+                    .skip(i + 1)
+                {
+                    *g = true;
+                }
+            }
+        }
+
+        // Shadow-slot layout for this state's staged updates.
+        let mut stagings: Vec<Staging> = Vec::new();
+        for (i, inst) in block.iter().enumerate() {
+            let mut alloc = || {
+                let s = next_shadow;
+                next_shadow += 1;
+                s
+            };
+            match inst {
+                TInst::StageReg { reg, .. } => {
+                    let val_sh = alloc();
+                    let flag = guarded[i].then(&mut alloc);
+                    stagings.push(Staging {
+                        kind: StKind::Reg(*reg),
+                        val_sh,
+                        addr_sh: 0,
+                        flag,
+                    });
+                }
+                TInst::StageMemWrite { mem, .. } => {
+                    let val_sh = alloc();
+                    let addr_sh = alloc();
+                    let flag = guarded[i].then(&mut alloc);
+                    stagings.push(Staging {
+                        kind: StKind::Mem(*mem),
+                        val_sh,
+                        addr_sh,
+                        flag,
+                    });
+                }
+                _ => {}
+            }
+        }
+
+        // Zero the guard flags for this cycle.
+        for st in stagings.iter().filter(|s| s.flag.is_some()) {
+            tr.out.push(MInst::StoreImm {
+                base: SLOTS,
+                disp: slot_disp(st.flag.unwrap()),
+                imm: 0,
+            });
+        }
+
+        // Intra-block labels for forward skips.
+        let mut skip_labels: HashMap<usize, Label> = HashMap::new();
+        for inst in block {
+            if let TInst::SkipIfZero { target, .. } | TInst::Skip { target } = inst {
+                let t = *target as usize;
+                skip_labels.entry(t).or_insert_with(|| tr.fresh());
+            }
+        }
+
+        // Epilogue-read slots, so the evictor knows they stay live.
+        let mut tail: Vec<u32> = Vec::new();
+        match &st.next {
+            CNext::Branch { cond, .. } => tail.push(*cond),
+            CNext::Cases { conds, .. } => tail.extend(conds.iter().map(|&(c, _)| c)),
+            CNext::CasesLazy { sel, .. } => tail.push(*sel),
+            CNext::Goto(_) | CNext::Done => {}
+        }
+        if let Some(r) = st.ret {
+            tail.push(r);
+        }
+
+        // Lazily-created trap stub for this state's bounds checks.
+        let mut trap_lbl: Option<Label> = None;
+
+        let mut cache = RegCache::new();
+        let mut staging_idx = 0usize;
+        for (i, inst) in block.iter().enumerate() {
+            let abs = s0 + i;
+            if let Some(&l) = skip_labels.get(&abs) {
+                tr.out.push(MInst::Bind(l));
+                cache.clear();
+            }
+            translate_inst(
+                &mut tr,
+                &mut cache,
+                &consts,
+                block,
+                i,
+                &tail,
+                inst,
+                &skip_labels,
+                &stagings,
+                &mut staging_idx,
+                &mut trap_lbl,
+            );
+            cache.unpin_all();
+        }
+        // A skip may target the tape end.
+        if let Some(&l) = skip_labels.get(&s1) {
+            tr.out.push(MInst::Bind(l));
+            cache.clear();
+        }
+
+        // Decision: pick the edge from pre-commit values, then each edge
+        // stub commits and jumps.
+        let mut stubs: Vec<(Label, Option<u32>)> = Vec::new(); // (label, Some(state) | None=done)
+        let stub_for = |target: Option<u32>, tr: &mut Tr, stubs: &mut Vec<(Label, Option<u32>)>| {
+            if let Some((l, _)) = stubs.iter().find(|(_, t)| *t == target) {
+                return *l;
+            }
+            let l = tr.fresh();
+            stubs.push((l, target));
+            l
+        };
+        let nu_end = |_s: u32| 0u32; // decision loads: any victim is fine
+        match st.next.clone() {
+            CNext::Done => {
+                let l = stub_for(None, &mut tr, &mut stubs);
+                tr.out.push(MInst::Jmp { label: l });
+            }
+            CNext::Goto(t) => {
+                let l = stub_for(Some(t), &mut tr, &mut stubs);
+                tr.out.push(MInst::Jmp { label: l });
+            }
+            CNext::Branch { cond, then, els } => {
+                let rc = cache.get(cond, &mut tr.out, &mut { nu_end });
+                cache.unpin_all();
+                tr.out.push(MInst::Alu {
+                    op: AluOp::Test,
+                    dst: rc,
+                    src: rc,
+                });
+                let lt = stub_for(Some(then), &mut tr, &mut stubs);
+                tr.out.push(MInst::Jcc {
+                    cc: Cc::Ne,
+                    label: lt,
+                });
+                let le = stub_for(Some(els), &mut tr, &mut stubs);
+                tr.out.push(MInst::Jmp { label: le });
+            }
+            CNext::Cases { conds, default } => {
+                for &(c, t) in conds.iter() {
+                    let rc = cache.get(c, &mut tr.out, &mut { nu_end });
+                    cache.unpin_all();
+                    tr.out.push(MInst::Alu {
+                        op: AluOp::Test,
+                        dst: rc,
+                        src: rc,
+                    });
+                    let l = stub_for(Some(t), &mut tr, &mut stubs);
+                    tr.out.push(MInst::Jcc { cc: Cc::Ne, label: l });
+                }
+                let l = stub_for(Some(default), &mut tr, &mut stubs);
+                tr.out.push(MInst::Jmp { label: l });
+            }
+            CNext::CasesLazy {
+                sel,
+                targets,
+                default,
+            } => {
+                let rs = cache.get(sel, &mut tr.out, &mut { nu_end });
+                for (k, &t) in targets.iter().enumerate() {
+                    tr.out.push(MInst::CmpRI {
+                        reg: rs,
+                        imm: k as i32,
+                    });
+                    let l = stub_for(Some(t), &mut tr, &mut stubs);
+                    tr.out.push(MInst::Jcc { cc: Cc::E, label: l });
+                }
+                cache.unpin_all();
+                let l = stub_for(Some(default), &mut tr, &mut stubs);
+                tr.out.push(MInst::Jmp { label: l });
+            }
+        }
+
+        // Edge stubs: (pre-commit ret sample for Done), commits in tape
+        // order, then transfer.
+        for (lbl, target) in stubs {
+            tr.out.push(MInst::Bind(lbl));
+            if target.is_none() {
+                if let Some(rs) = st.ret {
+                    tr.load_slot_into(Reg::Rcx, rs);
+                    tr.out.push(MInst::Store {
+                        base: ENV,
+                        disp: OFF_RET,
+                        src: Reg::Rcx,
+                    });
+                    tr.out.push(MInst::StoreImm {
+                        base: ENV,
+                        disp: OFF_RETSET,
+                        imm: 1,
+                    });
+                }
+            }
+            for stg in &stagings {
+                let skip = stg.flag.map(|fl| {
+                    let l = tr.fresh();
+                    tr.load_slot_into(Reg::Rcx, fl);
+                    tr.out.push(MInst::Alu {
+                        op: AluOp::Test,
+                        dst: Reg::Rcx,
+                        src: Reg::Rcx,
+                    });
+                    tr.out.push(MInst::Jcc { cc: Cc::E, label: l });
+                    l
+                });
+                match stg.kind {
+                    StKind::Reg(r) => {
+                        tr.load_slot_into(Reg::Rcx, stg.val_sh);
+                        tr.store_slot(r, Reg::Rcx);
+                    }
+                    StKind::Mem(m) => {
+                        tr.load_slot_into(Reg::Rcx, stg.addr_sh);
+                        tr.load_slot_into(Reg::Rdx, stg.val_sh);
+                        tr.out.push(MInst::Load {
+                            dst: Reg::Rax,
+                            base: ENV,
+                            disp: OFF_MEMS,
+                        });
+                        tr.out.push(MInst::Load {
+                            dst: Reg::Rax,
+                            base: Reg::Rax,
+                            disp: (m as i32) * 16,
+                        });
+                        tr.out.push(MInst::StoreIdx {
+                            base: Reg::Rax,
+                            idx: Reg::Rcx,
+                            src: Reg::Rdx,
+                        });
+                    }
+                }
+                if let Some(l) = skip {
+                    tr.out.push(MInst::Bind(l));
+                }
+            }
+            match target {
+                Some(t) => tr.out.push(MInst::Jmp {
+                    label: state_labels[t as usize],
+                }),
+                None => tr.out.push(MInst::Jmp { label: exit_done }),
+            }
+        }
+
+        // Trap stub: record the state id, exit with the trap code.
+        if let Some(l) = trap_lbl {
+            tr.out.push(MInst::Bind(l));
+            tr.out.push(MInst::MovRI {
+                dst: Reg::Rcx,
+                imm: si as i64,
+            });
+            tr.out.push(MInst::Store {
+                base: ENV,
+                disp: OFF_AUX,
+                src: Reg::Rcx,
+            });
+            tr.out.push(MInst::MovRI {
+                dst: Reg::Rax,
+                imm: EXIT_TRAP as i64,
+            });
+            tr.out.push(MInst::Jmp { label: out_lbl });
+        }
+    }
+
+    // Shared exits.
+    tr.out.push(MInst::Bind(exit_done));
+    tr.out.push(MInst::MovRI {
+        dst: Reg::Rax,
+        imm: EXIT_DONE as i64,
+    });
+    tr.out.push(MInst::Jmp { label: out_lbl });
+    tr.out.push(MInst::Bind(exit_limit));
+    tr.out.push(MInst::MovRI {
+        dst: Reg::Rax,
+        imm: EXIT_LIMIT as i64,
+    });
+    tr.out.push(MInst::Bind(out_lbl));
+    tr.out.push(MInst::Store {
+        base: ENV,
+        disp: OFF_CYCLES,
+        src: CYC,
+    });
+    tr.out.push(MInst::Pop(Reg::R15));
+    tr.out.push(MInst::Pop(Reg::R14));
+    tr.out.push(MInst::Pop(Reg::R13));
+    tr.out.push(MInst::Pop(Reg::R12));
+    tr.out.push(MInst::Pop(Reg::Rbx));
+    tr.out.push(MInst::Ret);
+
+    let insts = crate::peephole::optimize(tr.out);
+    Translated {
+        insts,
+        n_labels: tr.labels,
+        state_labels,
+        extra_slots: (next_shadow as usize) - tape.n_slots,
+        fallback_states,
+    }
+}
+
+/// Emits the bounds check `addr < len(mem)` (unsigned compare also
+/// catches negative addresses), trapping on failure. Leaves the memory
+/// base pointer in `rcx`.
+fn emit_bounds_check(
+    tr: &mut Tr,
+    ra: Reg,
+    mem: u32,
+    trap_lbl: &mut Option<Label>,
+) {
+    tr.out.push(MInst::Load {
+        dst: Reg::Rcx,
+        base: ENV,
+        disp: OFF_MEMS,
+    });
+    tr.out.push(MInst::Load {
+        dst: Reg::Rdx,
+        base: Reg::Rcx,
+        disp: (mem as i32) * 16 + 8,
+    });
+    tr.out.push(MInst::Alu {
+        op: AluOp::Cmp,
+        dst: ra,
+        src: Reg::Rdx,
+    });
+    let l = *trap_lbl.get_or_insert_with(|| {
+        let l = tr.labels;
+        tr.labels += 1;
+        l
+    });
+    tr.out.push(MInst::Jcc { cc: Cc::Ae, label: l });
+    tr.out.push(MInst::Load {
+        dst: Reg::Rcx,
+        base: Reg::Rcx,
+        disp: (mem as i32) * 16,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn translate_inst(
+    tr: &mut Tr,
+    cache: &mut RegCache,
+    consts: &HashMap<u32, i64>,
+    block: &[TInst],
+    i: usize,
+    tail: &[u32],
+    inst: &TInst,
+    skip_labels: &HashMap<usize, Label>,
+    stagings: &[Staging],
+    staging_idx: &mut usize,
+    trap_lbl: &mut Option<Label>,
+) {
+    // Shorthand: furthest-next-use lookahead from the next instruction.
+    macro_rules! nu {
+        () => {
+            &mut |s: u32| next_use_dist(block, i + 1, block.len(), tail, s)
+        };
+    }
+    match *inst {
+        TInst::Add { ty, dst, a, b } => bin_rr(tr, cache, block, i, tail, AluOp::Add, Some(ty), dst, a, b),
+        TInst::Sub { ty, dst, a, b } => bin_rr(tr, cache, block, i, tail, AluOp::Sub, Some(ty), dst, a, b),
+        TInst::Mul { ty, dst, a, b } => bin_rr(tr, cache, block, i, tail, AluOp::Imul, Some(ty), dst, a, b),
+        TInst::And { dst, a, b } => bin_rr(tr, cache, block, i, tail, AluOp::And, None, dst, a, b),
+        TInst::Or { dst, a, b } => bin_rr(tr, cache, block, i, tail, AluOp::Or, None, dst, a, b),
+        TInst::Xor { dst, a, b } => bin_rr(tr, cache, block, i, tail, AluOp::Xor, None, dst, a, b),
+        TInst::CmpEq { dst, a, b } => cmp_rr(tr, cache, block, i, tail, Cc::E, dst, a, b),
+        TInst::CmpNe { dst, a, b } => cmp_rr(tr, cache, block, i, tail, Cc::Ne, dst, a, b),
+        TInst::CmpLtS { dst, a, b } => cmp_rr(tr, cache, block, i, tail, Cc::L, dst, a, b),
+        TInst::CmpLtU { dst, a, b } => cmp_rr(tr, cache, block, i, tail, Cc::B, dst, a, b),
+        TInst::CmpLeS { dst, a, b } => cmp_rr(tr, cache, block, i, tail, Cc::Le, dst, a, b),
+        TInst::CmpLeU { dst, a, b } => cmp_rr(tr, cache, block, i, tail, Cc::Be, dst, a, b),
+        TInst::CmpGtS { dst, a, b } => cmp_rr(tr, cache, block, i, tail, Cc::G, dst, a, b),
+        TInst::CmpGtU { dst, a, b } => cmp_rr(tr, cache, block, i, tail, Cc::A, dst, a, b),
+        TInst::CmpGeS { dst, a, b } => cmp_rr(tr, cache, block, i, tail, Cc::Ge, dst, a, b),
+        TInst::CmpGeU { dst, a, b } => cmp_rr(tr, cache, block, i, tail, Cc::Ae, dst, a, b),
+        TInst::Un { op, ty, dst, a } => {
+            let ra = cache.get(a, &mut tr.out, nu!());
+            let rd = cache.def(dst, nu!());
+            tr.out.push(MInst::MovRR { dst: rd, src: ra });
+            match op {
+                chls_ir::UnKind::Neg => tr.out.push(MInst::Neg(rd)),
+                chls_ir::UnKind::Not => tr.out.push(MInst::Not(rd)),
+            }
+            emit_canon(&mut tr.out, rd, ty);
+            tr.store_slot(dst, rd);
+        }
+        TInst::Cast { ty, dst, a } => {
+            let ra = cache.get(a, &mut tr.out, nu!());
+            let rd = cache.def(dst, nu!());
+            tr.out.push(MInst::MovRR { dst: rd, src: ra });
+            emit_canon(&mut tr.out, rd, ty);
+            tr.store_slot(dst, rd);
+        }
+        TInst::Copy { dst, a } => {
+            let ra = cache.get(a, &mut tr.out, nu!());
+            let rd = cache.def(dst, nu!());
+            tr.out.push(MInst::MovRR { dst: rd, src: ra });
+            tr.store_slot(dst, rd);
+        }
+        TInst::SetImm { dst, val } => {
+            let rd = cache.def(dst, nu!());
+            tr.out.push(MInst::MovRI { dst: rd, imm: val });
+            tr.store_slot(dst, rd);
+        }
+        TInst::Select { dst, cond, t, f } => {
+            let rc = cache.get(cond, &mut tr.out, nu!());
+            let rt = cache.get(t, &mut tr.out, nu!());
+            let rf = cache.get(f, &mut tr.out, nu!());
+            let rd = cache.def(dst, nu!());
+            tr.out.push(MInst::MovRR { dst: rd, src: rf });
+            tr.out.push(MInst::Alu {
+                op: AluOp::Test,
+                dst: rc,
+                src: rc,
+            });
+            tr.out.push(MInst::Cmov {
+                cc: Cc::Ne,
+                dst: rd,
+                src: rt,
+            });
+            tr.store_slot(dst, rd);
+        }
+        TInst::Bin { op, ty, dst, a, b } => {
+            // Constant shift amounts specialize to native shifts with
+            // eval_bin's exact clamp semantics.
+            let const_sh = matches!(op, BinKind::Shl | BinKind::Shr)
+                .then(|| consts.get(&b).copied())
+                .flatten();
+            if let Some(cv) = const_sh {
+                let ub = (cv as u64) & ty.mask();
+                let sh = ub.min(63) as u8;
+                if u16::from(sh) >= ty.width {
+                    if op == BinKind::Shr && ty.signed {
+                        // Sign fill: -1 when negative, else 0.
+                        let ra = cache.get(a, &mut tr.out, nu!());
+                        let rd = cache.def(dst, nu!());
+                        tr.out.push(MInst::MovRR { dst: rd, src: ra });
+                        tr.out.push(MInst::ShiftI {
+                            kind: ShiftKind::Sar,
+                            reg: rd,
+                            amt: 63,
+                        });
+                        tr.store_slot(dst, rd);
+                    } else {
+                        let rd = cache.def(dst, nu!());
+                        tr.out.push(MInst::MovRI { dst: rd, imm: 0 });
+                        tr.store_slot(dst, rd);
+                    }
+                } else {
+                    let ra = cache.get(a, &mut tr.out, nu!());
+                    let rd = cache.def(dst, nu!());
+                    tr.out.push(MInst::MovRR { dst: rd, src: ra });
+                    match (op, ty.signed) {
+                        (BinKind::Shl, _) => {
+                            tr.out.push(MInst::ShiftI {
+                                kind: ShiftKind::Shl,
+                                reg: rd,
+                                amt: sh,
+                            });
+                            emit_canon(&mut tr.out, rd, ty);
+                        }
+                        (BinKind::Shr, true) => tr.out.push(MInst::ShiftI {
+                            kind: ShiftKind::Sar,
+                            reg: rd,
+                            amt: sh,
+                        }),
+                        (BinKind::Shr, false) => tr.out.push(MInst::ShiftI {
+                            kind: ShiftKind::Shr,
+                            reg: rd,
+                            amt: sh,
+                        }),
+                        _ => unreachable!(),
+                    }
+                    tr.store_slot(dst, rd);
+                }
+            } else {
+                // Division, remainder, dynamic shifts: call straight
+                // into `chls_ir::eval_bin` — bit-exact by construction.
+                cache.clear();
+                tr.out.push(MInst::MovRI {
+                    dst: Reg::Rdi,
+                    imm: pack_bin(op, ty),
+                });
+                tr.load_slot_into(Reg::Rsi, a);
+                tr.load_slot_into(Reg::Rdx, b);
+                tr.out.push(MInst::MovRI {
+                    dst: Reg::Rax,
+                    imm: tr.helper_addr,
+                });
+                tr.out.push(MInst::CallReg(Reg::Rax));
+                tr.store_slot(dst, Reg::Rax);
+            }
+        }
+        TInst::MemRead { mem, dst, addr } => {
+            let ra = cache.get(addr, &mut tr.out, nu!());
+            emit_bounds_check(tr, ra, mem, trap_lbl);
+            let rd = cache.def(dst, nu!());
+            tr.out.push(MInst::LoadIdx {
+                dst: rd,
+                base: Reg::Rcx,
+                idx: ra,
+            });
+            tr.store_slot(dst, rd);
+        }
+        TInst::SkipIfZero { cond, target } => {
+            let rc = cache.get(cond, &mut tr.out, nu!());
+            tr.out.push(MInst::Alu {
+                op: AluOp::Test,
+                dst: rc,
+                src: rc,
+            });
+            cache.clear();
+            tr.out.push(MInst::Jcc {
+                cc: Cc::E,
+                label: skip_labels[&(target as usize)],
+            });
+        }
+        TInst::Skip { target } => {
+            cache.clear();
+            tr.out.push(MInst::Jmp {
+                label: skip_labels[&(target as usize)],
+            });
+        }
+        TInst::StageReg { ty, val, .. } => {
+            let stg = &stagings[*staging_idx];
+            *staging_idx += 1;
+            let rv = cache.get(val, &mut tr.out, nu!());
+            tr.out.push(MInst::MovRR {
+                dst: Reg::Rdx,
+                src: rv,
+            });
+            emit_canon(&mut tr.out, Reg::Rdx, ty);
+            tr.store_slot(stg.val_sh, Reg::Rdx);
+            if let Some(fl) = stg.flag {
+                tr.out.push(MInst::StoreImm {
+                    base: SLOTS,
+                    disp: slot_disp(fl),
+                    imm: 1,
+                });
+            }
+        }
+        TInst::StageMemWrite {
+            mem,
+            elem,
+            addr,
+            val,
+        } => {
+            let stg = &stagings[*staging_idx];
+            *staging_idx += 1;
+            let ra = cache.get(addr, &mut tr.out, nu!());
+            emit_bounds_check(tr, ra, mem, trap_lbl);
+            tr.store_slot(stg.addr_sh, ra);
+            let rv = cache.get(val, &mut tr.out, nu!());
+            tr.out.push(MInst::MovRR {
+                dst: Reg::Rdx,
+                src: rv,
+            });
+            emit_canon(&mut tr.out, Reg::Rdx, elem);
+            tr.store_slot(stg.val_sh, Reg::Rdx);
+            if let Some(fl) = stg.flag {
+                tr.out.push(MInst::StoreImm {
+                    base: SLOTS,
+                    disp: slot_disp(fl),
+                    imm: 1,
+                });
+            }
+        }
+    }
+}
+
+/// Shared emission for the hot two-operand ALU forms: `dst = a op b`,
+/// canonicalized when `ty` is given.
+#[allow(clippy::too_many_arguments)]
+fn bin_rr(
+    tr: &mut Tr,
+    cache: &mut RegCache,
+    block: &[TInst],
+    i: usize,
+    tail: &[u32],
+    op: AluOp,
+    ty: Option<IntType>,
+    dst: u32,
+    a: u32,
+    b: u32,
+) {
+    let nu = &mut |s: u32| next_use_dist(block, i + 1, block.len(), tail, s);
+    let ra = cache.get(a, &mut tr.out, nu);
+    let rb = cache.get(b, &mut tr.out, nu);
+    let rd = cache.def(dst, nu);
+    tr.out.push(MInst::MovRR { dst: rd, src: ra });
+    tr.out.push(MInst::Alu { op, dst: rd, src: rb });
+    if let Some(ty) = ty {
+        emit_canon(&mut tr.out, rd, ty);
+    }
+    tr.store_slot(dst, rd);
+}
+
+/// Shared emission for comparisons: `dst = (a cc b) ? 1 : 0`.
+#[allow(clippy::too_many_arguments)]
+fn cmp_rr(
+    tr: &mut Tr,
+    cache: &mut RegCache,
+    block: &[TInst],
+    i: usize,
+    tail: &[u32],
+    cc: Cc,
+    dst: u32,
+    a: u32,
+    b: u32,
+) {
+    let nu = &mut |s: u32| next_use_dist(block, i + 1, block.len(), tail, s);
+    let ra = cache.get(a, &mut tr.out, nu);
+    let rb = cache.get(b, &mut tr.out, nu);
+    tr.out.push(MInst::Alu {
+        op: AluOp::Cmp,
+        dst: ra,
+        src: rb,
+    });
+    let rd = cache.def(dst, nu);
+    tr.out.push(MInst::Setcc { cc, dst: rd });
+    tr.store_slot(dst, rd);
+}

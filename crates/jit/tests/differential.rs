@@ -1,0 +1,206 @@
+//! Differential tests: the JIT and the tape interpreter must agree bit
+//! for bit — return value, cycle count, final registers, and final
+//! memory contents — on real synthesized designs.
+//!
+//! These tests compile CHL sources with the `c2v` backend (the FSMD
+//! reference path) and run each design through both engines. On hosts
+//! where JIT execution is unavailable the tests pass trivially.
+
+use chls_backends::{Backend, C2Verilog, SynthOptions};
+use chls_jit::JitProgram;
+use chls_rtl::fsmd::Fsmd;
+use chls_sim::fsmd_sim;
+use chls_sim::interp::ArgValue;
+
+const MAX_CYCLES: u64 = 5_000_000;
+
+fn synth(src: &str, entry: &str) -> Fsmd {
+    let hir = chls_frontend::compile_to_hir(src).expect("frontend");
+    let design = C2Verilog
+        .synthesize(&hir, entry, &SynthOptions::default())
+        .expect("synthesizes");
+    design.as_fsmd().expect("c2v produces an FSMD").clone()
+}
+
+/// Runs both engines and asserts bit-exact agreement; returns the JIT
+/// fallback count for callers that gate on it.
+fn differential(f: &Fsmd, args: &[ArgValue], force_fallback: bool) -> Option<u64> {
+    let Some(prog) = JitProgram::compile_with(f, force_fallback) else {
+        assert!(
+            !chls_jit::available(),
+            "compile_with returned None on a JIT-capable host"
+        );
+        return None;
+    };
+    let jit = prog.run_counted(args, MAX_CYCLES);
+    let interp = fsmd_sim::simulate(f, args, MAX_CYCLES);
+    match (jit, interp) {
+        (Ok((j, fallbacks)), Ok(i)) => {
+            assert_eq!(j.ret, i.ret, "return value diverged");
+            assert_eq!(j.cycles, i.cycles, "cycle count diverged");
+            assert_eq!(j.regs, i.regs, "final registers diverged");
+            assert_eq!(j.mems, i.mems, "final memories diverged");
+            Some(fallbacks)
+        }
+        (Err(je), Err(ie)) => {
+            assert_eq!(je, ie, "errors diverged");
+            Some(0)
+        }
+        (j, i) => panic!("one engine failed, the other did not: jit={j:?} interp={i:?}"),
+    }
+}
+
+#[test]
+fn gcd_agrees_and_never_falls_back() {
+    let f = synth(
+        "int gcd(int a, int b) { while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } } return a; }",
+        "gcd",
+    );
+    for (a, b) in [(1071, 462), (17, 5), (1, 1), (1000000, 1), (13, 13)] {
+        let args = [ArgValue::Scalar(a), ArgValue::Scalar(b)];
+        if let Some(fb) = differential(&f, &args, false) {
+            assert_eq!(fb, 0, "straight-line design must not fall back");
+        }
+    }
+}
+
+#[test]
+fn crc_shift_xor_agrees() {
+    let f = synth(
+        "int crc8(int data[8], int n) {
+            int crc = 255;
+            for (int i = 0; i < n; i = i + 1) {
+                crc = crc ^ data[i];
+                for (int k = 0; k < 8; k = k + 1) {
+                    if ((crc & 1) != 0) { crc = (crc >> 1) ^ 140; }
+                    else { crc = crc >> 1; }
+                }
+            }
+            return crc & 255;
+        }",
+        "crc8",
+    );
+    let args = [
+        ArgValue::Array(vec![0x31, 0x32, 0x33, 0x34, 0x35, 0x36, 0x37, 0x38]),
+        ArgValue::Scalar(8),
+    ];
+    if let Some(fb) = differential(&f, &args, false) {
+        assert_eq!(fb, 0, "straight-line design must not fall back");
+    }
+}
+
+#[test]
+fn memory_writes_agree() {
+    let f = synth(
+        "void rev(int a[8], int out[8]) {
+            for (int i = 0; i < 8; i = i + 1) { out[7 - i] = a[i] * 3 - 1; }
+        }",
+        "rev",
+    );
+    let args = [
+        ArgValue::Array(vec![42, -7, 99, 0, 15, -63, 20, 1]),
+        ArgValue::Array(vec![0; 8]),
+    ];
+    differential(&f, &args, false);
+}
+
+#[test]
+fn division_and_dynamic_shifts_agree() {
+    let f = synth(
+        "int mix(int a, int b) {
+            int q = a / (b | 1);
+            int r = a % (b | 1);
+            int s = a >> (b & 31);
+            int t = a << (b & 31);
+            return q ^ r ^ s ^ t;
+        }",
+        "mix",
+    );
+    for (a, b) in [(100, 7), (-100, 7), (100, -7), (i64::from(i32::MIN), -1), (0, 0), (7, 64)] {
+        differential(&f, &[ArgValue::Scalar(a), ArgValue::Scalar(b)], false);
+    }
+}
+
+#[test]
+fn forced_fallback_matches_native() {
+    // The same design through the all-native path and the all-fallback
+    // path: the native↔interpreter handoff must be invisible.
+    let f = synth(
+        "int sum(int a[8]) {
+            int s = 0;
+            for (int i = 0; i < 8; i = i + 1) { s = s + a[i]; }
+            return s;
+        }",
+        "sum",
+    );
+    let args = [ArgValue::Array(vec![1, -2, 3, -4, 5, -6, 7, -8])];
+    differential(&f, &args, false);
+    if let Some(fb) = differential(&f, &args, true) {
+        assert!(fb > 0, "forced fallback must route through the interpreter");
+    }
+    // And the two JIT configurations agree with each other.
+    if let (Some(native), Some(forced)) = (
+        JitProgram::compile(&f),
+        JitProgram::compile_with(&f, true),
+    ) {
+        let a = native.run(&args, MAX_CYCLES).expect("native runs");
+        let b = forced.run(&args, MAX_CYCLES).expect("fallback runs");
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn out_of_bounds_traps_identically() {
+    let f = synth(
+        "int peek(int a[8], int i) { return a[i]; }",
+        "peek",
+    );
+    for idx in [8, 100, -1, -100] {
+        let args = [ArgValue::Array(vec![5; 8]), ArgValue::Scalar(idx)];
+        differential(&f, &args, false);
+    }
+}
+
+#[test]
+fn cycle_limit_reported_identically() {
+    let f = synth(
+        "int spin(int n) { int i = 0; while (n != 0) { i = i + 1; } return i; }",
+        "spin",
+    );
+    let args = [ArgValue::Scalar(1)];
+    let Some(prog) = JitProgram::compile(&f) else {
+        return;
+    };
+    let jit = prog.run(&args, 10_000);
+    let interp = fsmd_sim::simulate(&f, &args, 10_000);
+    assert!(jit.is_err() && interp.is_err());
+    assert_eq!(jit.unwrap_err(), interp.unwrap_err());
+}
+
+#[test]
+fn concurrent_runs_share_one_program() {
+    let f = synth(
+        "int gcd(int a, int b) { while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } } return a; }",
+        "gcd",
+    );
+    let Some(prog) = JitProgram::compile(&f) else {
+        return;
+    };
+    let prog = std::sync::Arc::new(prog);
+    let golden = fsmd_sim::simulate(&f, &[ArgValue::Scalar(1071), ArgValue::Scalar(462)], MAX_CYCLES)
+        .expect("interp");
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let prog = std::sync::Arc::clone(&prog);
+            let golden = golden.clone();
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let r = prog
+                        .run(&[ArgValue::Scalar(1071), ArgValue::Scalar(462)], MAX_CYCLES)
+                        .unwrap_or_else(|e| panic!("thread {t}: {e}"));
+                    assert_eq!(r, golden);
+                }
+            });
+        }
+    });
+}

@@ -9,28 +9,21 @@
 //!
 //! # Hot path
 //!
-//! [`simulate`] does not tree-walk the [`Rv`] expression trees. At entry
-//! it compiles every state once into a flat register-machine *tape*
-//! ([`TInst`] sequences over a dense `i64` slot array): registers,
-//! inputs, and constants live in fixed slots, and every hash-consed
-//! subexpression computes into its own temp slot at most once per cycle.
+//! [`simulate`] does not tree-walk the `Rv` expression trees. At entry it
+//! compiles every state once into a flat register-machine *tape* (see
+//! [`crate::tape`]) over a dense `i64` slot array: registers, inputs, and
+//! constants live in fixed slots, and every hash-consed subexpression
+//! computes into its own temp slot at most once per cycle. The per-cycle
+//! loop touches only dense arrays: no allocation, no hashing, no pointer
+//! chasing.
 //!
-//! Side-effect-free subexpressions are evaluated *eagerly* in a per-state
-//! preamble — sound because every datapath operation is total
-//! ([`eval_bin`] defines division by zero, clamps shifts, etc.), so
-//! evaluating an untaken mux arm or a false-guarded value is
-//! unobservable. Only *effectful* nodes — those containing a bounds-
-//! checked [`RvKind::MemRead`] — keep the source's lazy structure, via
-//! forward skips: the untaken branch of a mux and the body of a
-//! false-guarded action are never evaluated, so an out-of-bounds read on
-//! a dead path never fires. The per-cycle loop touches only dense
-//! arrays: no allocation, no hashing, no pointer chasing.
+//! The tape representation is shared with the native x86-64 JIT
+//! (`chls-jit`), which compiles the same tapes to machine code; this
+//! module remains the reference executor.
 
 use crate::interp::ArgValue;
-use chls_frontend::IntType;
-use chls_ir::{eval_bin, eval_un, BinKind, UnKind};
-use chls_rtl::fsmd::{ActionKind, Fsmd, NextState, Rv, RvKind};
-use std::collections::HashMap;
+use crate::tape::{self, Step};
+use chls_rtl::fsmd::Fsmd;
 use std::fmt;
 
 /// Simulation errors.
@@ -74,813 +67,8 @@ pub struct FsmdSimResult {
     pub cycles: u64,
     /// Final contents of every memory.
     pub mems: Vec<Vec<i64>>,
-}
-
-/// Index into the dense slot array: `[regs | inputs | consts | temps]`.
-type Slot = u32;
-
-/// One instruction of a compiled state tape. Operands and destinations
-/// are [`Slot`]s; there is no operand stack.
-#[derive(Debug, Clone, Copy)]
-enum TInst {
-    /// `slots[dst] = eval_un(op, ty, slots[a])`.
-    Un {
-        op: UnKind,
-        ty: IntType,
-        dst: Slot,
-        a: Slot,
-    },
-    /// `slots[dst] = eval_bin(op, ty, slots[a], slots[b])` — `ty` is the
-    /// evaluation type (the operand type for comparisons). Only the cold
-    /// ops (div/rem/shifts) go through this generic form; the hot ones
-    /// get the dedicated variants below.
-    Bin {
-        op: BinKind,
-        ty: IntType,
-        dst: Slot,
-        a: Slot,
-        b: Slot,
-    },
-    /// Wrapping add, canonicalized to `ty`.
-    Add { ty: IntType, dst: Slot, a: Slot, b: Slot },
-    /// Wrapping subtract, canonicalized to `ty`.
-    Sub { ty: IntType, dst: Slot, a: Slot, b: Slot },
-    /// Wrapping multiply, canonicalized to `ty`.
-    Mul { ty: IntType, dst: Slot, a: Slot, b: Slot },
-    /// Bitwise and (canonical operands stay canonical — no re-canon).
-    And { dst: Slot, a: Slot, b: Slot },
-    /// Bitwise or.
-    Or { dst: Slot, a: Slot, b: Slot },
-    /// Bitwise xor.
-    Xor { dst: Slot, a: Slot, b: Slot },
-    /// Comparisons on canonical operands (`S`/`U` per operand
-    /// signedness); result is 0 or 1.
-    CmpEq { dst: Slot, a: Slot, b: Slot },
-    CmpNe { dst: Slot, a: Slot, b: Slot },
-    CmpLtS { dst: Slot, a: Slot, b: Slot },
-    CmpLtU { dst: Slot, a: Slot, b: Slot },
-    CmpLeS { dst: Slot, a: Slot, b: Slot },
-    CmpLeU { dst: Slot, a: Slot, b: Slot },
-    CmpGtS { dst: Slot, a: Slot, b: Slot },
-    CmpGtU { dst: Slot, a: Slot, b: Slot },
-    CmpGeS { dst: Slot, a: Slot, b: Slot },
-    CmpGeU { dst: Slot, a: Slot, b: Slot },
-    /// `slots[dst] = ty.canonicalize(slots[a])`.
-    Cast { ty: IntType, dst: Slot, a: Slot },
-    /// Eager mux over pure, already-computed arms.
-    Select {
-        dst: Slot,
-        cond: Slot,
-        t: Slot,
-        f: Slot,
-    },
-    /// Bounds-checked memory read.
-    MemRead { mem: u32, dst: Slot, addr: Slot },
-    /// `slots[dst] = slots[a]` (joins lazy mux arms on a common slot).
-    Copy { dst: Slot, a: Slot },
-    /// `slots[dst] = val` (lazy case-chain selection).
-    SetImm { dst: Slot, val: i64 },
-    /// Skip forward to `target` when `slots[cond] == 0`.
-    SkipIfZero { cond: Slot, target: u32 },
-    /// Unconditional forward skip.
-    Skip { target: u32 },
-    /// Stage a register update, canonicalized to the register's type.
-    StageReg { reg: u32, ty: IntType, val: Slot },
-    /// Bounds-check and stage a memory write, canonicalized to the
-    /// element type.
-    StageMemWrite {
-        mem: u32,
-        elem: IntType,
-        addr: Slot,
-        val: Slot,
-    },
-}
-
-/// Lowers a binary op at evaluation type `ety` to its most specialized
-/// tape instruction (matching [`eval_bin`]'s semantics on canonical
-/// operands).
-fn bin_inst(op: BinKind, ety: IntType, dst: Slot, a: Slot, b: Slot) -> TInst {
-    match op {
-        BinKind::Add => TInst::Add { ty: ety, dst, a, b },
-        BinKind::Sub => TInst::Sub { ty: ety, dst, a, b },
-        BinKind::Mul => TInst::Mul { ty: ety, dst, a, b },
-        BinKind::And => TInst::And { dst, a, b },
-        BinKind::Or => TInst::Or { dst, a, b },
-        BinKind::Xor => TInst::Xor { dst, a, b },
-        BinKind::Eq => TInst::CmpEq { dst, a, b },
-        BinKind::Ne => TInst::CmpNe { dst, a, b },
-        BinKind::Lt if ety.signed => TInst::CmpLtS { dst, a, b },
-        BinKind::Lt => TInst::CmpLtU { dst, a, b },
-        BinKind::Le if ety.signed => TInst::CmpLeS { dst, a, b },
-        BinKind::Le => TInst::CmpLeU { dst, a, b },
-        BinKind::Gt if ety.signed => TInst::CmpGtS { dst, a, b },
-        BinKind::Gt => TInst::CmpGtU { dst, a, b },
-        BinKind::Ge if ety.signed => TInst::CmpGeS { dst, a, b },
-        BinKind::Ge => TInst::CmpGeU { dst, a, b },
-        BinKind::Div | BinKind::Rem | BinKind::Shl | BinKind::Shr => TInst::Bin {
-            op,
-            ty: ety,
-            dst,
-            a,
-            b,
-        },
-    }
-}
-
-/// Interned expression node: [`RvKind`] with children by id. Structural
-/// identity (including the result type) ⇒ same id.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum NodeKind {
-    Const(i64),
-    Reg(u32),
-    Input(u32),
-    Un(UnKind, u32),
-    Bin(BinKind, u32, u32),
-    Mux(u32, u32, u32),
-    Cast(u32),
-    MemRead(u32, u32),
-}
-
-/// Compiled control transfer. Condition slots are filled by the state's
-/// tape before the transfer is read.
-#[derive(Debug, Clone)]
-enum CNext {
-    Goto(u32),
-    Branch { cond: Slot, then: u32, els: u32 },
-    /// All conditions pure: read the (eagerly computed) slots in order.
-    Cases {
-        conds: Box<[(Slot, u32)]>,
-        default: u32,
-    },
-    /// Some condition is effectful: the tape's lazy skip-chain wrote the
-    /// matching case index (or -1) into `sel`.
-    CasesLazy { sel: Slot, targets: Box<[u32]>, default: u32 },
-    Done,
-}
-
-/// One compiled state: a tape range plus the control transfer.
-#[derive(Debug, Clone)]
-struct CState {
-    tape: (u32, u32),
-    next: CNext,
-    /// Slot holding the (pre-commit) return value, for `Done` states.
-    ret: Option<Slot>,
-}
-
-/// The whole FSMD, compiled.
-struct Compiled {
-    code: Vec<TInst>,
-    states: Vec<CState>,
-    n_slots: usize,
-    /// Constant slots and their (pre-canonicalized) values.
-    const_init: Vec<(Slot, i64)>,
-}
-
-/// The expression compiler: interns `Rv` trees into a DAG, then emits
-/// one tape per state.
-struct Compiler<'f> {
-    f: &'f Fsmd,
-    nodes: Vec<(NodeKind, IntType)>,
-    effectful: Vec<bool>,
-    interned: HashMap<(NodeKind, IntType), u32>,
-    consts: HashMap<i64, Slot>,
-    code: Vec<TInst>,
-    n_regs: u32,
-    n_inputs: u32,
-    temp_base: u32,
-    next_temp: u32,
-    max_slots: u32,
-    /// Per-state: pure node → preamble slot.
-    pure_slots: HashMap<u32, Slot>,
-    /// Per-state: effectful node → emissions as (context, slot) pairs.
-    eff_slots: HashMap<u32, Vec<(u32, Slot)>>,
-    /// Per-state preamble visit marks (epoch = state index + 1).
-    visited: Vec<u32>,
-    epoch: u32,
-    /// Per-state conditional-context tree; context 0 is the root and a
-    /// slot computed in context `c` is reusable wherever `c` is an
-    /// ancestor (i.e. guaranteed already executed).
-    ctx_parent: Vec<u32>,
-    cur_ctx: u32,
-}
-
-impl<'f> Compiler<'f> {
-    fn new(f: &'f Fsmd) -> Self {
-        Compiler {
-            f,
-            nodes: Vec::new(),
-            effectful: Vec::new(),
-            interned: HashMap::new(),
-            consts: HashMap::new(),
-            code: Vec::new(),
-            n_regs: f.regs.len() as u32,
-            n_inputs: f.inputs.len() as u32,
-            temp_base: 0,
-            next_temp: 0,
-            max_slots: 0,
-            pure_slots: HashMap::new(),
-            eff_slots: HashMap::new(),
-            visited: Vec::new(),
-            epoch: 0,
-            ctx_parent: vec![u32::MAX],
-            cur_ctx: 0,
-        }
-    }
-
-    /// Interns a tree, returning its DAG id.
-    fn intern(&mut self, rv: &Rv) -> u32 {
-        let kind = match &rv.kind {
-            // Constants are canonicalized once, here.
-            RvKind::Const(v) => NodeKind::Const(rv.ty.canonicalize(*v)),
-            RvKind::Reg(r) => NodeKind::Reg(r.0),
-            RvKind::Input(i) => NodeKind::Input(*i as u32),
-            RvKind::Un(op, a) => NodeKind::Un(*op, self.intern(a)),
-            RvKind::Bin(op, a, b) => {
-                let (a, b) = (self.intern(a), self.intern(b));
-                NodeKind::Bin(*op, a, b)
-            }
-            RvKind::Mux(s, a, b) => {
-                let s = self.intern(s);
-                let (a, b) = (self.intern(a), self.intern(b));
-                NodeKind::Mux(s, a, b)
-            }
-            RvKind::Cast(a) => NodeKind::Cast(self.intern(a)),
-            RvKind::MemRead { mem, addr } => NodeKind::MemRead(mem.0, self.intern(addr)),
-        };
-        let key = (kind, rv.ty);
-        if let Some(&id) = self.interned.get(&key) {
-            return id;
-        }
-        let eff = match &key.0 {
-            NodeKind::MemRead(..) => true,
-            NodeKind::Const(v) => {
-                if !self.consts.contains_key(v) {
-                    let slot = self.n_regs + self.n_inputs + self.consts.len() as u32;
-                    self.consts.insert(*v, slot);
-                }
-                false
-            }
-            NodeKind::Reg(_) | NodeKind::Input(_) => false,
-            NodeKind::Un(_, a) | NodeKind::Cast(a) => self.effectful[*a as usize],
-            NodeKind::Bin(_, a, b) => {
-                self.effectful[*a as usize] || self.effectful[*b as usize]
-            }
-            NodeKind::Mux(s, a, b) => {
-                self.effectful[*s as usize]
-                    || self.effectful[*a as usize]
-                    || self.effectful[*b as usize]
-            }
-        };
-        let id = self.nodes.len() as u32;
-        self.nodes.push(key.clone());
-        self.effectful.push(eff);
-        self.interned.insert(key, id);
-        id
-    }
-
-    fn children(&self, id: u32) -> [Option<u32>; 3] {
-        match self.nodes[id as usize].0 {
-            NodeKind::Const(_) | NodeKind::Reg(_) | NodeKind::Input(_) => [None, None, None],
-            NodeKind::Un(_, a) | NodeKind::Cast(a) | NodeKind::MemRead(_, a) => {
-                [Some(a), None, None]
-            }
-            NodeKind::Bin(_, a, b) => [Some(a), Some(b), None],
-            NodeKind::Mux(s, a, b) => [Some(s), Some(a), Some(b)],
-        }
-    }
-
-    fn alloc_temp(&mut self) -> Slot {
-        let s = self.next_temp;
-        self.next_temp += 1;
-        self.max_slots = self.max_slots.max(self.next_temp);
-        s
-    }
-
-    /// The slot of a pure node: a fixed leaf slot or its preamble temp.
-    fn slot_of(&self, id: u32) -> Slot {
-        match self.nodes[id as usize].0 {
-            NodeKind::Const(v) => self.consts[&v],
-            NodeKind::Reg(r) => r,
-            NodeKind::Input(i) => self.n_regs + i,
-            _ => self.pure_slots[&id],
-        }
-    }
-
-    fn is_leaf(&self, id: u32) -> bool {
-        matches!(
-            self.nodes[id as usize].0,
-            NodeKind::Const(_) | NodeKind::Reg(_) | NodeKind::Input(_)
-        )
-    }
-
-    /// Emits every pure non-leaf node under `id` (including those inside
-    /// mux arms and guarded values — they are total, so eager evaluation
-    /// is unobservable), each exactly once, in dependency order.
-    fn preamble(&mut self, id: u32) {
-        if self.is_leaf(id) || self.visited[id as usize] == self.epoch {
-            return;
-        }
-        self.visited[id as usize] = self.epoch;
-        for c in self.children(id).into_iter().flatten() {
-            self.preamble(c);
-        }
-        if self.effectful[id as usize] {
-            return;
-        }
-        let (kind, ty) = self.nodes[id as usize].clone();
-        let dst = self.alloc_temp();
-        let inst = match kind {
-            NodeKind::Un(op, a) => TInst::Un {
-                op,
-                ty,
-                dst,
-                a: self.slot_of(a),
-            },
-            NodeKind::Bin(op, a, b) => {
-                // Comparisons evaluate at the operand type, not u1.
-                let ety = if op.is_comparison() {
-                    self.nodes[a as usize].1
-                } else {
-                    ty
-                };
-                bin_inst(op, ety, dst, self.slot_of(a), self.slot_of(b))
-            }
-            NodeKind::Cast(a) => TInst::Cast {
-                ty,
-                dst,
-                a: self.slot_of(a),
-            },
-            NodeKind::Mux(s, a, b) => TInst::Select {
-                dst,
-                cond: self.slot_of(s),
-                t: self.slot_of(a),
-                f: self.slot_of(b),
-            },
-            NodeKind::Const(_) | NodeKind::Reg(_) | NodeKind::Input(_) | NodeKind::MemRead(..) => {
-                unreachable!("leaves and effectful nodes are not preamble ops")
-            }
-        };
-        self.code.push(inst);
-        self.pure_slots.insert(id, dst);
-    }
-
-    fn new_ctx(&mut self, parent: u32) -> u32 {
-        self.ctx_parent.push(parent);
-        (self.ctx_parent.len() - 1) as u32
-    }
-
-    fn is_ancestor(&self, a: u32, mut b: u32) -> bool {
-        loop {
-            if a == b {
-                return true;
-            }
-            b = self.ctx_parent[b as usize];
-            if b == u32::MAX {
-                return false;
-            }
-        }
-    }
-
-    /// Emits `id` lazily (pure nodes resolve to their preamble slots)
-    /// and returns the slot holding its value at this program point.
-    fn emit(&mut self, id: u32) -> Slot {
-        if !self.effectful[id as usize] {
-            return self.slot_of(id);
-        }
-        if let Some(entries) = self.eff_slots.get(&id) {
-            // Reusable only where the defining emission is guaranteed to
-            // have already executed.
-            for &(ctx, slot) in entries {
-                if self.is_ancestor(ctx, self.cur_ctx) {
-                    return slot;
-                }
-            }
-        }
-        let def_ctx = self.cur_ctx;
-        let (kind, ty) = self.nodes[id as usize].clone();
-        let dst = match kind {
-            NodeKind::MemRead(mem, addr) => {
-                let a = self.emit(addr);
-                let dst = self.alloc_temp();
-                self.code.push(TInst::MemRead { mem, dst, addr: a });
-                dst
-            }
-            NodeKind::Un(op, a) => {
-                let a = self.emit(a);
-                let dst = self.alloc_temp();
-                self.code.push(TInst::Un { op, ty, dst, a });
-                dst
-            }
-            NodeKind::Bin(op, a, b) => {
-                let ety = if op.is_comparison() {
-                    self.nodes[a as usize].1
-                } else {
-                    ty
-                };
-                let (sa, sb) = (self.emit(a), self.emit(b));
-                let dst = self.alloc_temp();
-                self.code.push(bin_inst(op, ety, dst, sa, sb));
-                dst
-            }
-            NodeKind::Cast(a) => {
-                let a = self.emit(a);
-                let dst = self.alloc_temp();
-                self.code.push(TInst::Cast { ty, dst, a });
-                dst
-            }
-            NodeKind::Mux(s, a, b) => {
-                let sc = self.emit(s);
-                let dst = self.alloc_temp();
-                let skip_at = self.code.len();
-                self.code.push(TInst::SkipIfZero { cond: sc, target: 0 });
-                self.cur_ctx = self.new_ctx(def_ctx);
-                let sa = self.emit(a);
-                self.code.push(TInst::Copy { dst, a: sa });
-                let jmp_at = self.code.len();
-                self.code.push(TInst::Skip { target: 0 });
-                let els = self.code.len() as u32;
-                if let TInst::SkipIfZero { target, .. } = &mut self.code[skip_at] {
-                    *target = els;
-                }
-                self.cur_ctx = self.new_ctx(def_ctx);
-                let sb = self.emit(b);
-                self.code.push(TInst::Copy { dst, a: sb });
-                let end = self.code.len() as u32;
-                if let TInst::Skip { target } = &mut self.code[jmp_at] {
-                    *target = end;
-                }
-                self.cur_ctx = def_ctx;
-                dst
-            }
-            NodeKind::Const(_) | NodeKind::Reg(_) | NodeKind::Input(_) => {
-                unreachable!("leaves are pure")
-            }
-        };
-        self.eff_slots.entry(id).or_default().push((def_ctx, dst));
-        dst
-    }
-
-    /// Compiles one state's actions, control transfer, and return value
-    /// into a tape.
-    fn compile_state(&mut self, si: usize) -> CState {
-        // Per-state reset: temps, slot maps, visit marks, contexts.
-        self.next_temp = self.temp_base;
-        self.pure_slots.clear();
-        self.eff_slots.clear();
-        self.ctx_parent.truncate(1);
-        self.cur_ctx = 0;
-        self.epoch = si as u32 + 1;
-        let start = self.code.len() as u32;
-
-        let st = &self.f.states[si];
-        let is_done = matches!(st.next, NextState::Done);
-
-        // Intern this state's roots in evaluation order.
-        let mut action_roots: Vec<(Option<u32>, ActionRoots)> = Vec::new();
-        for a in &st.actions {
-            let guard = a.guard.as_ref().map(|g| self.intern(g));
-            let roots = match &a.kind {
-                ActionKind::SetReg(r, rv) => ActionRoots::SetReg(r.0, self.intern(rv)),
-                ActionKind::MemWrite { mem, addr, value } => {
-                    let a = self.intern(addr);
-                    let v = self.intern(value);
-                    ActionRoots::MemWrite(mem.0, a, v)
-                }
-            };
-            action_roots.push((guard, roots));
-        }
-        let next_roots: Vec<u32> = match &st.next {
-            NextState::Branch { cond, .. } => vec![self.intern(cond)],
-            NextState::Cases { cases, .. } => {
-                cases.iter().map(|(c, _)| self.intern(c)).collect()
-            }
-            NextState::Goto(_) | NextState::Done => Vec::new(),
-        };
-        let ret_root = if is_done {
-            self.f.ret.clone().map(|rv| self.intern(&rv))
-        } else {
-            None
-        };
-        self.visited.resize(self.nodes.len(), 0);
-
-        // Eager preamble over every root's pure subgraph.
-        for (g, roots) in &action_roots {
-            if let Some(g) = g {
-                self.preamble(*g);
-            }
-            match roots {
-                ActionRoots::SetReg(_, v) => self.preamble(*v),
-                ActionRoots::MemWrite(_, a, v) => {
-                    self.preamble(*a);
-                    self.preamble(*v);
-                }
-            }
-        }
-        for &c in &next_roots {
-            self.preamble(c);
-        }
-        if let Some(r) = ret_root {
-            self.preamble(r);
-        }
-
-        // Effectful evaluation and staging, in action order.
-        for (g, roots) in &action_roots {
-            let skip_at = g.map(|g| {
-                let gs = self.emit(g);
-                let at = self.code.len();
-                self.code.push(TInst::SkipIfZero { cond: gs, target: 0 });
-                at
-            });
-            let saved = self.cur_ctx;
-            if skip_at.is_some() {
-                self.cur_ctx = self.new_ctx(saved);
-            }
-            match *roots {
-                ActionRoots::SetReg(reg, v) => {
-                    let val = self.emit(v);
-                    let ty = self.f.regs[reg as usize].ty;
-                    self.code.push(TInst::StageReg { reg, ty, val });
-                }
-                ActionRoots::MemWrite(mem, a, v) => {
-                    let addr = self.emit(a);
-                    let val = self.emit(v);
-                    let elem = self.f.mems[mem as usize].elem;
-                    self.code.push(TInst::StageMemWrite {
-                        mem,
-                        elem,
-                        addr,
-                        val,
-                    });
-                }
-            }
-            if let Some(at) = skip_at {
-                let end = self.code.len() as u32;
-                if let TInst::SkipIfZero { target, .. } = &mut self.code[at] {
-                    *target = end;
-                }
-                self.cur_ctx = saved;
-            }
-        }
-
-        // Control transfer.
-        let next = match &st.next {
-            NextState::Goto(t) => CNext::Goto(t.0),
-            NextState::Done => CNext::Done,
-            NextState::Branch { then, els, .. } => CNext::Branch {
-                cond: self.emit(next_roots[0]),
-                then: then.0,
-                els: els.0,
-            },
-            NextState::Cases { cases, default } => {
-                if next_roots.iter().all(|&c| !self.effectful[c as usize]) {
-                    CNext::Cases {
-                        conds: next_roots
-                            .iter()
-                            .zip(cases.iter())
-                            .map(|(&c, (_, t))| (self.slot_of(c), t.0))
-                            .collect(),
-                        default: default.0,
-                    }
-                } else {
-                    // Lazy chain preserving short-circuit: condition k is
-                    // only evaluated when conditions 0..k were all zero.
-                    let sel = self.alloc_temp();
-                    self.code.push(TInst::SetImm { dst: sel, val: -1 });
-                    let mut end_patches = Vec::new();
-                    let root_ctx = self.cur_ctx;
-                    for (k, &c) in next_roots.iter().enumerate() {
-                        let cs = self.emit(c);
-                        let skip_at = self.code.len();
-                        self.code.push(TInst::SkipIfZero { cond: cs, target: 0 });
-                        self.code.push(TInst::SetImm {
-                            dst: sel,
-                            val: k as i64,
-                        });
-                        end_patches.push(self.code.len());
-                        self.code.push(TInst::Skip { target: 0 });
-                        let here = self.code.len() as u32;
-                        if let TInst::SkipIfZero { target, .. } = &mut self.code[skip_at] {
-                            *target = here;
-                        }
-                        // Everything after this point runs only when the
-                        // condition above was zero.
-                        let prev = self.cur_ctx;
-                        self.cur_ctx = self.new_ctx(prev);
-                    }
-                    let end = self.code.len() as u32;
-                    for at in end_patches {
-                        if let TInst::Skip { target } = &mut self.code[at] {
-                            *target = end;
-                        }
-                    }
-                    self.cur_ctx = root_ctx;
-                    CNext::CasesLazy {
-                        sel,
-                        targets: cases.iter().map(|(_, t)| t.0).collect(),
-                        default: default.0,
-                    }
-                }
-            }
-        };
-
-        let ret = ret_root.map(|r| self.emit(r));
-        CState {
-            tape: (start, self.code.len() as u32),
-            next,
-            ret,
-        }
-    }
-}
-
-/// Per-action interned roots (register index or memory index plus
-/// expression node ids).
-enum ActionRoots {
-    SetReg(u32, u32),
-    MemWrite(u32, u32, u32),
-}
-
-/// Compiles every state of `f`.
-fn compile(f: &Fsmd) -> Compiled {
-    let mut c = Compiler::new(f);
-    // First intern the whole design so the constant pool (and with it
-    // the temp-slot base) is final before any tape is emitted.
-    for st in &f.states {
-        for a in &st.actions {
-            if let Some(g) = &a.guard {
-                c.intern(g);
-            }
-            match &a.kind {
-                ActionKind::SetReg(_, rv) => {
-                    c.intern(rv);
-                }
-                ActionKind::MemWrite { addr, value, .. } => {
-                    c.intern(addr);
-                    c.intern(value);
-                }
-            }
-        }
-        match &st.next {
-            NextState::Branch { cond, .. } => {
-                c.intern(cond);
-            }
-            NextState::Cases { cases, .. } => {
-                for (cond, _) in cases {
-                    c.intern(cond);
-                }
-            }
-            NextState::Goto(_) | NextState::Done => {}
-        }
-    }
-    if let Some(rv) = f.ret.clone() {
-        c.intern(&rv);
-    }
-    c.temp_base = c.n_regs + c.n_inputs + c.consts.len() as u32;
-    c.max_slots = c.temp_base;
-
-    let states: Vec<CState> = (0..f.states.len()).map(|si| c.compile_state(si)).collect();
-    let const_init = c.consts.iter().map(|(&v, &s)| (s, v)).collect();
-    Compiled {
-        code: c.code,
-        states,
-        n_slots: c.max_slots as usize,
-        const_init,
-    }
-}
-
-/// Runs one state's tape against the slot array, staging updates.
-#[inline]
-fn run_tape(
-    code: &[TInst],
-    tape: (u32, u32),
-    f: &Fsmd,
-    slots: &mut [i64],
-    mems: &[Vec<i64>],
-    reg_updates: &mut Vec<(u32, i64)>,
-    mem_updates: &mut Vec<(u32, i64, i64)>,
-) -> Result<(), FsmdSimError> {
-    let mut pc = tape.0 as usize;
-    let end = tape.1 as usize;
-    while pc < end {
-        match code[pc] {
-            TInst::Un { op, ty, dst, a } => {
-                slots[dst as usize] = eval_un(op, ty, slots[a as usize]);
-            }
-            TInst::Bin { op, ty, dst, a, b } => {
-                slots[dst as usize] = eval_bin(op, ty, slots[a as usize], slots[b as usize]);
-            }
-            TInst::Add { ty, dst, a, b } => {
-                slots[dst as usize] =
-                    ty.canonicalize(slots[a as usize].wrapping_add(slots[b as usize]));
-            }
-            TInst::Sub { ty, dst, a, b } => {
-                slots[dst as usize] =
-                    ty.canonicalize(slots[a as usize].wrapping_sub(slots[b as usize]));
-            }
-            TInst::Mul { ty, dst, a, b } => {
-                slots[dst as usize] =
-                    ty.canonicalize(slots[a as usize].wrapping_mul(slots[b as usize]));
-            }
-            TInst::And { dst, a, b } => {
-                slots[dst as usize] = slots[a as usize] & slots[b as usize];
-            }
-            TInst::Or { dst, a, b } => {
-                slots[dst as usize] = slots[a as usize] | slots[b as usize];
-            }
-            TInst::Xor { dst, a, b } => {
-                slots[dst as usize] = slots[a as usize] ^ slots[b as usize];
-            }
-            TInst::CmpEq { dst, a, b } => {
-                slots[dst as usize] = (slots[a as usize] == slots[b as usize]) as i64;
-            }
-            TInst::CmpNe { dst, a, b } => {
-                slots[dst as usize] = (slots[a as usize] != slots[b as usize]) as i64;
-            }
-            TInst::CmpLtS { dst, a, b } => {
-                slots[dst as usize] = (slots[a as usize] < slots[b as usize]) as i64;
-            }
-            TInst::CmpLtU { dst, a, b } => {
-                slots[dst as usize] =
-                    ((slots[a as usize] as u64) < (slots[b as usize] as u64)) as i64;
-            }
-            TInst::CmpLeS { dst, a, b } => {
-                slots[dst as usize] = (slots[a as usize] <= slots[b as usize]) as i64;
-            }
-            TInst::CmpLeU { dst, a, b } => {
-                slots[dst as usize] =
-                    ((slots[a as usize] as u64) <= (slots[b as usize] as u64)) as i64;
-            }
-            TInst::CmpGtS { dst, a, b } => {
-                slots[dst as usize] = (slots[a as usize] > slots[b as usize]) as i64;
-            }
-            TInst::CmpGtU { dst, a, b } => {
-                slots[dst as usize] =
-                    ((slots[a as usize] as u64) > (slots[b as usize] as u64)) as i64;
-            }
-            TInst::CmpGeS { dst, a, b } => {
-                slots[dst as usize] = (slots[a as usize] >= slots[b as usize]) as i64;
-            }
-            TInst::CmpGeU { dst, a, b } => {
-                slots[dst as usize] =
-                    ((slots[a as usize] as u64) >= (slots[b as usize] as u64)) as i64;
-            }
-            TInst::Cast { ty, dst, a } => {
-                slots[dst as usize] = ty.canonicalize(slots[a as usize]);
-            }
-            TInst::Select { dst, cond, t, f } => {
-                slots[dst as usize] = if slots[cond as usize] != 0 {
-                    slots[t as usize]
-                } else {
-                    slots[f as usize]
-                };
-            }
-            TInst::MemRead { mem, dst, addr } => {
-                let a = slots[addr as usize];
-                let storage = &mems[mem as usize];
-                if a < 0 || a as usize >= storage.len() {
-                    return Err(FsmdSimError::OutOfBounds {
-                        mem: f.mems[mem as usize].name.clone(),
-                        addr: a,
-                        len: storage.len(),
-                    });
-                }
-                slots[dst as usize] = storage[a as usize];
-            }
-            TInst::Copy { dst, a } => slots[dst as usize] = slots[a as usize],
-            TInst::SetImm { dst, val } => slots[dst as usize] = val,
-            TInst::SkipIfZero { cond, target } => {
-                if slots[cond as usize] == 0 {
-                    pc = target as usize;
-                    continue;
-                }
-            }
-            TInst::Skip { target } => {
-                pc = target as usize;
-                continue;
-            }
-            TInst::StageReg { reg, ty, val } => {
-                reg_updates.push((reg, ty.canonicalize(slots[val as usize])));
-            }
-            TInst::StageMemWrite {
-                mem,
-                elem,
-                addr,
-                val,
-            } => {
-                let a = slots[addr as usize];
-                let mi = mem as usize;
-                if a < 0 || a as usize >= mems[mi].len() {
-                    return Err(FsmdSimError::OutOfBounds {
-                        mem: f.mems[mi].name.clone(),
-                        addr: a,
-                        len: mems[mi].len(),
-                    });
-                }
-                mem_updates.push((mem, a, elem.canonicalize(slots[val as usize])));
-            }
-        }
-        pc += 1;
-    }
-    Ok(())
+    /// Final (post-commit) register values, in register order.
+    pub regs: Vec<i64>,
 }
 
 /// Simulates `f` with arguments bound by parameter index.
@@ -908,51 +96,12 @@ fn simulate_inner(
     args: &[ArgValue],
     max_cycles: u64,
 ) -> Result<FsmdSimResult, FsmdSimError> {
-    // Bind inputs.
-    let mut inputs = vec![0i64; f.inputs.len()];
-    for (i, (_, ty)) in f.inputs.iter().enumerate() {
-        let p = f.input_params[i];
-        match args.get(p) {
-            Some(ArgValue::Scalar(v)) => inputs[i] = ty.canonicalize(*v),
-            _ => return Err(FsmdSimError::BadArgument(p)),
-        }
-    }
-    // Bind memories.
-    let mut mems: Vec<Vec<i64>> = Vec::with_capacity(f.mems.len());
-    for m in &f.mems {
-        let contents = if let Some(rom) = &m.rom {
-            let mut v = rom.clone();
-            v.resize(m.len, 0);
-            v
-        } else if let Some(p) = m.param_index {
-            match args.get(p) {
-                Some(ArgValue::Array(a)) => {
-                    let mut v = a.clone();
-                    v.resize(m.len, 0);
-                    v.iter_mut().for_each(|x| *x = m.elem.canonicalize(*x));
-                    v
-                }
-                _ => return Err(FsmdSimError::BadArgument(p)),
-            }
-        } else {
-            vec![0; m.len]
-        };
-        mems.push(contents);
-    }
+    let inputs = tape::bind_inputs(f, args)?;
+    let mut mems = tape::bind_mems(f, args)?;
 
     // Compile once; the per-cycle loop is allocation-free.
-    let comp = compile(f);
-    let code = &comp.code[..];
-    let mut slots = vec![0i64; comp.n_slots];
-    for (i, r) in f.regs.iter().enumerate() {
-        slots[i] = r.init;
-    }
-    for (i, v) in inputs.iter().enumerate() {
-        slots[f.regs.len() + i] = *v;
-    }
-    for &(s, v) in &comp.const_init {
-        slots[s as usize] = v;
-    }
+    let comp = tape::compile(f);
+    let mut slots = tape::init_slots(&comp, f, &inputs, 0);
     let mut reg_updates: Vec<(u32, i64)> = Vec::new();
     let mut mem_updates: Vec<(u32, i64, i64)> = Vec::new();
 
@@ -963,78 +112,25 @@ fn simulate_inner(
         if cycles > max_cycles {
             return Err(FsmdSimError::CycleLimit(max_cycles));
         }
-        let st = &comp.states[state as usize];
-
-        // Fast path: a pure control state evaluates no datapath at all.
-        if st.tape.0 == st.tape.1 {
-            if let CNext::Goto(t) = st.next {
-                state = t;
-                continue;
-            }
-        }
-
-        // Evaluate everything against the current state.
-        reg_updates.clear();
-        mem_updates.clear();
-        run_tape(
-            code,
-            st.tape,
+        match tape::exec_state(
+            &comp,
             f,
+            state,
             &mut slots,
-            &mems,
+            &mut mems,
             &mut reg_updates,
             &mut mem_updates,
-        )?;
-        let next = match &st.next {
-            CNext::Goto(t) => Some(*t),
-            CNext::Branch { cond, then, els } => Some(if slots[*cond as usize] != 0 {
-                *then
-            } else {
-                *els
-            }),
-            CNext::Cases { conds, default } => {
-                let mut target = *default;
-                for &(c, t) in conds.iter() {
-                    if slots[c as usize] != 0 {
-                        target = t;
-                        break;
-                    }
-                }
-                Some(target)
+        )? {
+            Step::Next(t) => state = t,
+            Step::Done(ret) => {
+                let regs = slots[..comp.n_regs].to_vec();
+                return Ok(FsmdSimResult {
+                    ret,
+                    cycles,
+                    mems,
+                    regs,
+                });
             }
-            CNext::CasesLazy {
-                sel,
-                targets,
-                default,
-            } => {
-                let k = slots[*sel as usize];
-                Some(if k >= 0 {
-                    targets[k as usize]
-                } else {
-                    *default
-                })
-            }
-            CNext::Done => None,
-        };
-        // The return value samples pre-commit state (its slot was filled
-        // by this cycle's tape).
-        let ret = if next.is_none() {
-            st.ret.map(|s| slots[s as usize])
-        } else {
-            None
-        };
-
-        // Commit simultaneously (registers live at the base of `slots`).
-        for &(r, v) in &reg_updates {
-            slots[r as usize] = v;
-        }
-        for &(m, a, v) in &mem_updates {
-            mems[m as usize][a as usize] = v;
-        }
-
-        match next {
-            Some(t) => state = t,
-            None => return Ok(FsmdSimResult { ret, cycles, mems }),
         }
     }
 }
@@ -1113,6 +209,8 @@ mod tests {
         // ret samples r pre-commit in s1, so it still reads 0.
         assert_eq!(out.ret, Some(0));
         assert_eq!(out.cycles, 2);
+        // Post-commit register state is exposed for differential testing.
+        assert_eq!(out.regs, vec![99]);
     }
 
     #[test]

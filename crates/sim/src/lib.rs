@@ -29,6 +29,7 @@
 pub mod fsmd_sim;
 pub mod interp;
 pub mod netlist_sim;
+pub mod tape;
 pub mod token_sim;
 
 pub use interp::{run, ArgValue, InterpError, InterpOptions, InterpResult, ParOrder};

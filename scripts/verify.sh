@@ -95,6 +95,32 @@ if [ "$opt_reduced" -lt 3 ]; then
     exit 1
 fi
 
+echo "== chls jit smoke (native execution must match the interpreter) =="
+# `run --jit` and a plain `run` must print identical results on every
+# scalar-only example, and `check --jit` must reproduce the interpreter
+# sweep's verdicts verbatim. On hosts without x86-64 JIT support the
+# flag silently degrades to the interpreter, so the diffs still hold.
+./target/release/chls run examples/chl/gcd.chl main 1071 462 > "$tmp/run_interp.txt"
+./target/release/chls run --jit examples/chl/gcd.chl main 1071 462 > "$tmp/run_jit.txt"
+diff <(grep -v '^cycles' "$tmp/run_jit.txt") "$tmp/run_interp.txt"
+row16="9,1,8,2,7,3,6,4,5,0,15,11,14,12,13,10"
+while read -r name args; do
+    f="examples/chl/$name.chl"
+    echo "-- check --jit $f"
+    # shellcheck disable=SC2086
+    ./target/release/chls check "$f" main $args > "$tmp/check_interp.txt"
+    # shellcheck disable=SC2086
+    ./target/release/chls check --jit "$f" main $args > "$tmp/check_jit.txt"
+    diff "$tmp/check_interp.txt" "$tmp/check_jit.txt"
+done <<EOF
+gcd 1071 462
+checksum $row16
+crc8 $row16
+blend $row16 $row16 0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0
+fir $row16 0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0
+EOF
+echo "jit verdicts identical to interpreter"
+
 echo "== chls equiv smoke (backends proven equivalent; seeded bug refuted) =="
 for spec in "blend 70" "checksum 60" "fir 190"; do
     set -- $spec

@@ -36,6 +36,35 @@ fn verdicts_identical_across_job_counts() {
     }
 }
 
+/// With `--jit` the conformance driver compiles each FSMD once and runs
+/// the native code from worker threads. Verdicts must stay byte-identical
+/// to the interpreter sweep at every job count.
+#[test]
+fn jit_verdicts_identical_across_job_counts() {
+    use chls::{check_conformance_with_compile_options, CompileOptions};
+    for name in ["gcd", "bubble8", "matmul4"] {
+        let bench = chls::benchmark(name).expect("benchmark exists");
+        let jit_sweep = |jobs: usize| {
+            let opts = CompileOptions::new().jobs(jobs).jit(true);
+            let results =
+                check_conformance_with_compile_options(bench.source, bench.entry, &bench.args, &opts)
+                    .expect("conformance runs");
+            format!("{results:?}")
+        };
+        let sequential = jit_sweep(1);
+        let threaded = jit_sweep(8);
+        assert_eq!(
+            sequential, threaded,
+            "{name}: jit verdicts differ between jobs=1 and jobs=8"
+        );
+        assert_eq!(
+            sequential,
+            sweep(name, 1),
+            "{name}: jit verdicts differ from the interpreter sweep"
+        );
+    }
+}
+
 /// `eval_outputs` evaluates the netlist once and serves every port from
 /// that snapshot; `output` re-evaluates per port. Both views of the same
 /// pre-clock-edge state must agree on every declared output.
