@@ -201,6 +201,15 @@ pub fn transmogrifier_interval(func: &HirFunc) -> Interval {
     function_interval(func, Rule::Transmogrifier)
 }
 
+/// Cycle interval of one block under the Handel-C rule, with no
+/// entry/done overhead: the per-iteration *service cost* `chls flow`
+/// charges when checking a declared `@ii(n)` contract against the rate a
+/// sender's loop can actually sustain.
+pub fn handelc_block_interval(block: &HirBlock) -> Interval {
+    let p = block_paths(block, Rule::HandelC);
+    hull_opt(p.fall, p.ret).unwrap_or(Interval::ZERO)
+}
+
 fn function_interval(func: &HirFunc, rule: Rule) -> Interval {
     let body = block_paths(&func.body, rule);
     // Every terminating run either returns or falls off the end.

@@ -26,7 +26,7 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-fn diag_json(d: &Diagnostic) -> String {
+pub(crate) fn diag_json(d: &Diagnostic) -> String {
     let sev = match d.severity {
         Severity::Error => "error",
         Severity::Warning => "warning",

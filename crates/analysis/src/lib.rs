@@ -18,6 +18,10 @@
 //! * **Static cycle bounds** ([`cycles`]) — for the two backends whose
 //!   timing rule is a sentence (Handel-C, Transmogrifier C), evaluate
 //!   the rule statically to a `[min, max]` latency interval.
+//! * **Process-network analysis** ([`flow`]) — the `chls flow` verb:
+//!   SDF balance equations, structural deadlock detection via an
+//!   abstract token game, minimal bounded-FIFO sizing, and `@ii(n)`
+//!   timed-interface contract checking.
 //! * **Dataflow lint clients** ([`memlint`]) — the abstract-interpretation
 //!   engine in [`chls_ir::dataflow`] drives three definite-only checks
 //!   over the prepared sequential IR: out-of-bounds accesses,
@@ -30,13 +34,15 @@
 pub mod backend_lint;
 pub mod cycles;
 pub mod effects;
+pub mod flow;
 pub mod json;
 pub mod memlint;
 pub mod race;
 
 pub use backend_lint::{check_backends, detect_features, BackendFinding, Features};
-pub use cycles::{handelc_interval, transmogrifier_interval, Interval};
+pub use cycles::{handelc_block_interval, handelc_interval, transmogrifier_interval, Interval};
 pub use effects::{block_effects, Access, AccessKind, Loc};
+pub use flow::{flow_program, Balance, FlowReport};
 pub use memlint::{check_dead_branches, check_memory, check_uninit_scalars};
 pub use race::find_races;
 
@@ -83,11 +89,14 @@ pub struct LintReport {
 
 impl LintReport {
     /// Whether the program has findings that make synthesis fail or
-    /// behave nondeterministically: any race, any definite memory error
-    /// (out of bounds), or (when a backend filter was given) any
-    /// outright rejection by that backend.
+    /// behave nondeterministically: any error-severity race (memory
+    /// conflicts; channel-endpoint merges are warnings), any definite
+    /// memory error (out of bounds), or (when a backend filter was
+    /// given) any outright rejection by that backend.
     pub fn has_errors(&self) -> bool {
-        !self.races.is_empty()
+        self.races
+            .iter()
+            .any(|d| d.severity == chls_frontend::diag::Severity::Error)
             || self
                 .memory
                 .iter()
@@ -360,16 +369,39 @@ mod tests {
     }
 
     #[test]
-    fn competing_senders_race() {
+    fn competing_senders_are_a_nondeterministic_merge_warning() {
         let prog = hir(
             "int main(int a) { chan<int> c; int got = 0; par { { send(c, a); } { send(c, a + 1); } { got = recv(c); got = got + recv(c); } } return got; }",
         );
         let r = lint_program(&prog, "main", None).unwrap();
+        let d = r
+            .races
+            .iter()
+            .find(|d| d.message.contains("send/send"))
+            .expect("merge reported");
         assert!(
-            r.races.iter().any(|d| d.message.contains("send/send")),
+            d.message.contains("nondeterministic merge"),
+            "message: {}",
+            d.message
+        );
+        assert_eq!(d.severity, chls_frontend::diag::Severity::Warning);
+        // A merge alone is not an error — the program still completes.
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn competing_receivers_are_warned_too() {
+        let prog = hir(
+            "int main(int a) { chan<int> c; int x = 0; int y = 0; par { { send(c, a); send(c, a + 1); } { x = recv(c); } { y = recv(c); } } return x + y; }",
+        );
+        let r = lint_program(&prog, "main", None).unwrap();
+        assert!(
+            r.races.iter().any(|d| d.message.contains("recv/recv")
+                && d.message.contains("nondeterministic merge")),
             "races: {:?}",
             r.races
         );
+        assert!(!r.has_errors());
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! on that is exactly the nondeterminism the paper warns about.
 //!
 //! Conflicts:
-//! * memory (locals): write/write and read/write between sibling arms;
-//! * channels: send/send and recv/recv between sibling arms (two
-//!   rendezvous partners racing for one endpoint pair nondeterministically;
-//!   a matched send/recv pair is the *intended* use and does not conflict).
+//! * memory (locals): write/write and read/write between sibling arms —
+//!   *errors*, since the result depends on scheduling;
+//! * channels: N>1 senders (or receivers) on one channel across sibling
+//!   arms — a *nondeterministic merge*, reported as a warning: the
+//!   rendezvous pairing is still well-defined per exchange, but which
+//!   sender wins each exchange is a hardware artifact. A matched
+//!   send/recv pair is the *intended* use and does not conflict.
 
 use crate::effects::{block_effects, Access, AccessKind, Loc};
 use chls_frontend::diag::Diagnostic;
@@ -126,14 +129,28 @@ fn diagnose(
         _ => String::new(),
     };
     let primary = a.span.or(b.span).unwrap_or_else(Span::dummy);
-    let mut d = Diagnostic::error(
-        format!(
-            "{flavor} race on `{what}`{via} between `par` arms {} and {}",
-            arm_a + 1,
-            arm_b + 1
-        ),
-        primary,
-    );
+    // Competing endpoints on one channel merge nondeterministically but
+    // each exchange is still a well-formed rendezvous: warning. Memory
+    // conflicts make the result schedule-dependent: error.
+    let mut d = if matches!(a.loc, Loc::Chan(_)) {
+        Diagnostic::warning(
+            format!(
+                "{flavor} nondeterministic merge on channel `{what}`: `par` arms {} and {} compete for the same endpoint",
+                arm_a + 1,
+                arm_b + 1
+            ),
+            primary,
+        )
+    } else {
+        Diagnostic::error(
+            format!(
+                "{flavor} race on `{what}`{via} between `par` arms {} and {}",
+                arm_a + 1,
+                arm_b + 1
+            ),
+            primary,
+        )
+    };
     let describe = |acc: &Access| match acc.kind {
         AccessKind::Write if matches!(acc.loc, Loc::Chan(_)) => "send",
         AccessKind::Read if matches!(acc.loc, Loc::Chan(_)) => "recv",

@@ -28,7 +28,8 @@ use chls_frontend::hir::*;
 use chls_frontend::{IntType, Type};
 use chls_ir::{BinKind, UnKind};
 use chls_rtl::fsmd::{
-    Action, Fsmd, FsmdMem, MemId, NextState, RegId, Rv, RvKind, StateId,
+    Action, BlockedOp, ChanDir, Fsmd, FsmdMem, MemId, NextState, RegId, Rv, RvKind, StateId,
+    StuckState,
 };
 use std::collections::HashMap;
 
@@ -576,6 +577,20 @@ impl<'p> Compile<'p> {
             }
             self.fsmd.state_mut(state).actions = actions;
 
+            // 2b. A configuration in which every live process sits on an
+            // unmatched rendezvous can never advance — no assignment or
+            // delay will ever fire again. Record it so the simulators
+            // report a first-class deadlock instead of spinning here
+            // until the cycle limit.
+            let live: Vec<usize> = leaves.iter().copied().filter(|&l| l != END).collect();
+            if !live.is_empty()
+                && live.iter().all(|l| !leaf_active.get(l).copied().unwrap_or(false))
+            {
+                let mut blocked = Vec::new();
+                self.collect_blocked(&cfg, &mut Vec::new(), &mut blocked);
+                self.fsmd.stuck.push(StuckState { state, blocked });
+            }
+
             // 3. Successor configurations.
             let options = self.cfg_step(&cfg, &subst, &leaf_active)?;
             let cases: Vec<(Rv, StateId)> = options
@@ -592,6 +607,51 @@ impl<'p> Compile<'p> {
             .ret_reg
             .map(|rr| Rv::reg(rr, scalar_ty(&self.func.ret_ty)));
         Ok(self.fsmd)
+    }
+
+    /// Names every blocked channel endpoint in a stuck configuration,
+    /// labelling each process by its position in the `par` nest
+    /// (`arm 0`, `arm 1.2`, or `main` outside any `par`).
+    fn collect_blocked(&self, cfg: &Cfg, path: &mut Vec<usize>, out: &mut Vec<BlockedOp>) {
+        match cfg {
+            Cfg::Leaf(END) => {}
+            Cfg::Leaf(n) => {
+                let (chan, dir) = match &self.nodes[*n] {
+                    HcNode::Send { chan, .. } => (*chan, ChanDir::Send),
+                    HcNode::Recv { chan, .. } => (*chan, ChanDir::Recv),
+                    _ => return,
+                };
+                let process = if path.is_empty() {
+                    "main".to_string()
+                } else {
+                    let ix: Vec<String> = path.iter().map(ToString::to_string).collect();
+                    format!("arm {}", ix.join("."))
+                };
+                out.push(BlockedOp {
+                    process,
+                    channel: self.chan_name(chan),
+                    dir,
+                });
+            }
+            Cfg::Par { branches, .. } => {
+                for (i, b) in branches.iter().enumerate() {
+                    path.push(i);
+                    self.collect_blocked(b, path, out);
+                    path.pop();
+                }
+            }
+        }
+    }
+
+    /// The source name of channel `chan` (reverse of `chan_of`).
+    fn chan_name(&self, chan: u32) -> String {
+        self.chan_of
+            .iter()
+            .find(|(_, c)| **c == chan)
+            .map_or_else(
+                || format!("chan{chan}"),
+                |(l, _)| self.func.local(*l).name.clone(),
+            )
     }
 
     /// Successor options of one configuration: stalled leaves stay, active

@@ -11,6 +11,11 @@
 //!   every cycle). This is the headline cycles/sec number.
 //! * `fsmd_crc32` — the synthesized (c2v) crc32 benchmark kernel,
 //!   simulated repeatedly: the realistic backend-emitted FSMD shape.
+//! * `fsmd_stream_crc` — a three-process streaming pipelined-CRC
+//!   network (producer → CRC stage → accumulator over rendezvous
+//!   channels), synthesized by handelc into one product FSMD: the
+//!   channel-handshake hot path. Tracked, not part of the `--check`
+//!   ratchet.
 //! * `fsmd_mac_jit` / `fsmd_crc32_jit` — the same two FSMD workloads
 //!   through the native x86-64 JIT (`chls-jit`). On hosts where the JIT
 //!   is unavailable the report carries `"jit": "skipped"` instead.
@@ -211,6 +216,69 @@ fn main() {
     };
     let (mut crc_s, crc_cycles) = measure_crc();
     let mut crc_cps = crc_cycles as f64 / crc_s;
+
+    // fsmd_stream_crc: a streaming pipelined-CRC process network —
+    // producer / CRC stage / accumulator over rendezvous channels —
+    // synthesized by the Handel-C backend into one product FSMD. This
+    // exercises the channel fabric (a handshake every few cycles),
+    // which the single-process fsmd_mac/fsmd_crc32 workloads never
+    // touch. `chls flow` proves the network balanced and deadlock-free.
+    const STREAM_SRC: &str = "
+        int stream_crc(int seed) {
+            chan<int> raw;
+            chan<int> crc;
+            int acc = 0;
+            par {
+                {
+                    int x = seed & 255;
+                    for (int i = 0; i < 4096; i++) {
+                        x = (x * 37 + 11) & 255;
+                        send(raw, x);
+                    }
+                }
+                {
+                    for (int j = 0; j < 4096; j++) {
+                        int w = recv(raw);
+                        int c = w;
+                        for (int k = 0; k < 8; k++) {
+                            c = ((c >> 1) ^ (40961 * (c & 1))) & 65535;
+                        }
+                        send(crc, c);
+                    }
+                }
+                {
+                    for (int m = 0; m < 4096; m++) {
+                        acc = (acc + recv(crc)) & 65535;
+                    }
+                }
+            }
+            return acc;
+        }
+    ";
+    let stream_compiler = Compiler::parse(STREAM_SRC).expect("parses");
+    let stream_fsmd = match stream_compiler
+        .synthesize(
+            chls::backend_by_name("handelc").expect("registered").as_ref(),
+            "stream_crc",
+            &SynthOptions::default(),
+        )
+        .expect("synthesizes")
+    {
+        Design::Fsmd(f) => f,
+        _ => unreachable!("handelc emits FSMDs"),
+    };
+    let stream_args = [ArgValue::Scalar(7)];
+    const STREAM_REPS: u64 = 12;
+    let (stream_s, stream_cycles) = best_of(3, || {
+        let mut cycles = 0;
+        for _ in 0..STREAM_REPS {
+            cycles += chls_sim::fsmd_sim::simulate(&stream_fsmd, &stream_args, 5_000_000)
+                .expect("simulates")
+                .cycles;
+        }
+        cycles
+    });
+    let stream_cps = stream_cycles as f64 / stream_s;
 
     // The same two FSMD workloads through the native JIT. Compile once,
     // run hot — the interpreter numbers above are the denominators.
@@ -424,6 +492,7 @@ fn main() {
          \"arch\": \"{}\",\n  \
          \"fsmd_mac\": {{\"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}, \"baseline_cycles_per_sec\": {:.0}, \"speedup\": {:.2}}},\n  \
          \"fsmd_crc32\": {{\"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}, \"baseline_cycles_per_sec\": {:.0}, \"speedup\": {:.2}}},\n  \
+         \"fsmd_stream_crc\": {{\"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}}},\n  \
          {jit_json},\n  \
          \"netlist_wide\": {{\"ports\": 65, \"evals\": {}, \"wall_s\": {:.4}, \"evals_per_sec\": {:.0}, \"baseline_evals_per_sec\": {:.0}, \"speedup\": {:.2}}},\n  \
          \"conformance\": {{\"verdicts\": {}, \"wall_s_jobs1\": {:.4}, \"wall_s_jobsN\": {:.4}, \"host_jobs\": {}, \"baseline_wall_s\": {:.4}}},\n  \
@@ -432,6 +501,7 @@ fn main() {
         std::env::consts::ARCH,
         mac_r.cycles, mac_s, mac_cps, baseline::FSMD_MAC_CPS, speedup(mac_cps, baseline::FSMD_MAC_CPS),
         crc_cycles, crc_s, crc_cps, baseline::FSMD_CRC32_CPS, speedup(crc_cps, baseline::FSMD_CRC32_CPS),
+        stream_cycles, stream_s, stream_cps,
         WIDE_REPS, wide_s, wide_eps, baseline::NETLIST_WIDE_EPS, speedup(wide_eps, baseline::NETLIST_WIDE_EPS),
         verdicts, conf1_s, confn_s, jobs, baseline::CONFORMANCE_S,
         eq_report.method.name(), eq_report.aig_nodes, eq_report.sat_conflicts, eq_s,

@@ -172,6 +172,13 @@ const VERBS: &[VerbSpec] = &[
         ],
     },
     VerbSpec {
+        name: "flow",
+        usage: "chls flow [--json] <file> <entry>",
+        min_pos: 2,
+        max_pos: Some(2),
+        flags: &[JSON],
+    },
+    VerbSpec {
         name: "report",
         usage: "chls report [--backend B | --all] [--narrow] [--opt-netlist] [--jit] [--json] <file> <entry> [args...]",
         min_pos: 2,
@@ -437,6 +444,18 @@ fn cmd_lint(p: &Parsed) -> Result<ExitCode, String> {
     let ok = !report.has_errors();
     if p.has("--json") {
         println!("{}", jsonout::envelope("lint", ok, &report.to_json()));
+    } else {
+        print!("{}", report.render(compiler.source()));
+    }
+    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn cmd_flow(p: &Parsed) -> Result<ExitCode, String> {
+    let compiler = load(&p.pos[0])?;
+    let report = compiler.flow(&p.pos[1]).map_err(|e| e.to_string())?;
+    let ok = !report.has_errors();
+    if p.has("--json") {
+        println!("{}", jsonout::envelope("flow", ok, &report.to_json()));
     } else {
         print!("{}", report.render(compiler.source()));
     }
@@ -740,6 +759,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&parsed),
         "ir" => cmd_ir(&parsed),
         "lint" => cmd_lint(&parsed),
+        "flow" => cmd_flow(&parsed),
         "report" => cmd_report(&parsed),
         "equiv" => cmd_equiv(&parsed),
         "synth" | "verilog" => cmd_synth_verilog(spec.name, &parsed),

@@ -64,6 +64,17 @@ impl Compiler {
         chls_analysis::lint_program(&self.hir, entry, backend)
     }
 
+    /// Runs the static process-network analysis: SDF balance equations,
+    /// structural deadlock detection, bounded-FIFO sizing, and `@ii(n)`
+    /// timed-interface contract checking.
+    ///
+    /// # Errors
+    ///
+    /// See [`chls_analysis::LintError`].
+    pub fn flow(&self, entry: &str) -> Result<chls_analysis::FlowReport, chls_analysis::LintError> {
+        chls_analysis::flow_program(&self.hir, entry)
+    }
+
     /// Runs the golden-model interpreter.
     ///
     /// # Errors

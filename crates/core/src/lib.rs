@@ -40,7 +40,7 @@ pub mod qor;
 pub mod registry;
 pub mod report;
 
-pub use chls_analysis::{lint_program, LintError, LintReport};
+pub use chls_analysis::{flow_program, lint_program, FlowReport, LintError, LintReport};
 pub use chls_backends::{Backend, BackendInfo, Design, SynthError, SynthOptions};
 pub use chls_sim::interp;
 pub use driver::{

@@ -360,6 +360,10 @@ pub enum Pragma {
     /// `#pragma clock_period PS` — target clock period in picoseconds
     /// (C2Verilog-style constraint living *outside* the language).
     ClockPeriod(u64),
+    /// `@ii(N)` declaration suffix — a timed-interface contract promising
+    /// the declared channel is serviced at least once every N cycles
+    /// (Dahlia-style initiation-interval annotation). Checked by `chls flow`.
+    Ii(u32),
     /// An unrecognized pragma, preserved verbatim for diagnostics.
     Unknown(String),
 }

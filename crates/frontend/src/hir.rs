@@ -164,6 +164,8 @@ pub struct HirLocal {
     pub bank: MemBank,
     /// Constant initializer (flattened), for `const` array locals (ROMs).
     pub rom: Option<Vec<i64>>,
+    /// Declared `@ii(n)` initiation-interval contract, for channel locals.
+    pub ii: Option<u32>,
 }
 
 /// A sequence of statements.

@@ -253,6 +253,7 @@ impl<'a> Lexer<'a> {
             b':' => Colon,
             b'?' => Question,
             b'~' => Tilde,
+            b'@' => At,
             b'+' => match self.peek() {
                 Some(b'+') => {
                     self.pos += 1;

@@ -239,7 +239,7 @@ impl Parser {
         mut ty: Type,
         name: String,
         is_const: bool,
-        pragmas: Vec<Pragma>,
+        mut pragmas: Vec<Pragma>,
         start: Span,
     ) -> PResult<VarDecl> {
         let mut dims = Vec::new();
@@ -278,6 +278,28 @@ impl Parser {
         } else {
             None
         };
+        // Optional `@ii(N)` suffix: a timed-interface contract on the decl
+        // (meaningful only for channels; sema rejects other uses).
+        while self.eat(&TokenKind::At) {
+            let attr_span = self.prev_span();
+            let (attr, _) = self.expect_ident()?;
+            if attr != "ii" {
+                return Err(Diagnostic::error(
+                    format!("unknown declaration attribute `@{attr}` (expected `@ii(N)`)"),
+                    attr_span,
+                ));
+            }
+            self.expect(TokenKind::LParen)?;
+            let n = self.const_expr()?;
+            self.expect(TokenKind::RParen)?;
+            if n <= 0 {
+                return Err(Diagnostic::error(
+                    "`@ii(N)` requires a positive interval",
+                    attr_span,
+                ));
+            }
+            pragmas.push(Pragma::Ii(n as u32));
+        }
         self.expect(TokenKind::Semi)?;
         // Record scalar consts for later array-size references.
         if is_const && ty.is_scalar() {

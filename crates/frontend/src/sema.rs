@@ -484,6 +484,7 @@ impl<'a> FnLower<'a> {
             is_param,
             bank,
             rom,
+            ii: None,
         });
         id
     }
@@ -702,10 +703,21 @@ impl<'a> FnLower<'a> {
 
     fn lower_decl(&mut self, decl: &ast::VarDecl, out: &mut Vec<HirStmt>) -> Result<(), FrontendError> {
         let bank = bank_from_pragmas(&decl.pragmas);
+        let ii = decl.pragmas.iter().find_map(|p| match p {
+            Pragma::Ii(n) => Some(*n),
+            _ => None,
+        });
+        if ii.is_some() && !matches!(decl.ty, Type::Chan(_)) {
+            return Err(err(
+                "`@ii(N)` applies only to channel declarations",
+                decl.span,
+            ));
+        }
         match (&decl.ty, &decl.init) {
             (Type::Chan(_), None) => {
                 self.uses_channels = true;
                 let id = self.add_local(&decl.name, decl.ty.clone(), false, MemBank::Auto, None);
+                self.locals[id.0 as usize].ii = ii;
                 self.bind(&decl.name, Binding::Local(id), decl.span)
             }
             (Type::Chan(_), Some(_)) => Err(err("channels cannot be initialized", decl.span)),

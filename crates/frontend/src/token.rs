@@ -108,6 +108,8 @@ pub enum TokenKind {
     ShrAssign,
     PlusPlus,
     MinusMinus,
+    /// `@` — introduces a declaration-suffix attribute such as `@ii(n)`.
+    At,
 
     /// A `#pragma` line, captured verbatim (without the `#pragma` prefix).
     Pragma(String),
@@ -234,6 +236,7 @@ impl TokenKind {
             TokenKind::ShrAssign => ">>=",
             TokenKind::PlusPlus => "++",
             TokenKind::MinusMinus => "--",
+            TokenKind::At => "@",
             _ => "",
         }
     }

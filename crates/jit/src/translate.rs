@@ -314,7 +314,10 @@ pub fn translate(tape: &Tape, _f: &Fsmd, helper_addr: i64, force_fallback: bool)
             label: exit_limit,
         });
 
-        if force_fallback {
+        // Stuck (statically deadlocked) states carry an error payload
+        // native code cannot produce — replay them through the tape
+        // interpreter so the JIT reports the identical Deadlock error.
+        if force_fallback || matches!(st.next, CNext::Stuck(_)) {
             fallback_states[si] = true;
             tr.out.push(MInst::MovRI {
                 dst: Reg::Rcx,
@@ -406,7 +409,7 @@ pub fn translate(tape: &Tape, _f: &Fsmd, helper_addr: i64, force_fallback: bool)
             CNext::Branch { cond, .. } => tail.push(*cond),
             CNext::Cases { conds, .. } => tail.extend(conds.iter().map(|&(c, _)| c)),
             CNext::CasesLazy { sel, .. } => tail.push(*sel),
-            CNext::Goto(_) | CNext::Done => {}
+            CNext::Goto(_) | CNext::Done | CNext::Stuck(_) => {}
         }
         if let Some(r) = st.ret {
             tail.push(r);
@@ -514,6 +517,7 @@ pub fn translate(tape: &Tape, _f: &Fsmd, helper_addr: i64, force_fallback: bool)
                 let l = stub_for(Some(default), &mut tr, &mut stubs);
                 tr.out.push(MInst::Jmp { label: l });
             }
+            CNext::Stuck(_) => unreachable!("stuck states are fallback states"),
         }
 
         // Edge stubs: (pre-commit ret sample for Done), commits in tape

@@ -95,6 +95,17 @@ struct Inliner<'p> {
 
 impl Inliner<'_> {
     fn fresh_local(&mut self, name: String, ty: Type, rom: Option<Vec<i64>>, bank: MemBank) -> LocalId {
+        self.fresh_local_ii(name, ty, rom, bank, None)
+    }
+
+    fn fresh_local_ii(
+        &mut self,
+        name: String,
+        ty: Type,
+        rom: Option<Vec<i64>>,
+        bank: MemBank,
+        ii: Option<u32>,
+    ) -> LocalId {
         let id = LocalId(self.locals.len() as u32);
         self.locals.push(HirLocal {
             name,
@@ -102,6 +113,7 @@ impl Inliner<'_> {
             is_param: false,
             bank,
             rom,
+            ii,
         });
         id
     }
@@ -210,11 +222,12 @@ impl Inliner<'_> {
                     HirArg::Value(_) => {}
                 }
             }
-            let fresh = self.fresh_local(
+            let fresh = self.fresh_local_ii(
                 format!("{}${}", callee.name, local.name),
                 local.ty.clone(),
                 local.rom.clone(),
                 local.bank,
+                local.ii,
             );
             map.push(LocalBinding::Fresh(fresh));
         }

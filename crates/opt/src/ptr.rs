@@ -253,6 +253,7 @@ pub fn lower_pointers(func: &mut HirFunc, stats_out: &mut PtrStats) -> Result<()
                         is_param: false,
                         bank: MemBank::Monolithic,
                         rom: None,
+                        ii: None,
                     });
                     heaps_by_ty.insert(key.clone(), (hl, 0));
                     (hl, 0)

@@ -268,6 +268,49 @@ pub struct State {
 }
 
 
+/// Direction of a blocked channel endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChanDir {
+    /// The process is blocked trying to send.
+    Send,
+    /// The process is blocked trying to receive.
+    Recv,
+}
+
+impl std::fmt::Display for ChanDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChanDir::Send => write!(f, "send"),
+            ChanDir::Recv => write!(f, "recv"),
+        }
+    }
+}
+
+/// One process blocked on one channel endpoint in a stuck configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedOp {
+    /// Human-readable process label (e.g. `arm 0`).
+    pub process: String,
+    /// Channel name from the source program.
+    pub channel: String,
+    /// Which endpoint the process is blocked on.
+    pub dir: ChanDir,
+}
+
+/// A statically identified stuck configuration: a state in which every
+/// live process is blocked on an unmatched rendezvous, so the machine
+/// can never make progress again. Backends that build a product FSM
+/// over concurrent processes (handelc) record these so the simulators
+/// can report a first-class deadlock instead of spinning to the cycle
+/// limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StuckState {
+    /// The deadlocked state.
+    pub state: StateId,
+    /// Every blocked (process, channel, direction) triple.
+    pub blocked: Vec<BlockedOp>,
+}
+
 /// A complete FSMD design.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Fsmd {
@@ -287,6 +330,9 @@ pub struct Fsmd {
     pub entry: StateId,
     /// Value sampled when the machine reaches [`NextState::Done`].
     pub ret: Option<Rv>,
+    /// Statically identified deadlocked configurations (see
+    /// [`StuckState`]). Empty for designs without concurrency.
+    pub stuck: Vec<StuckState>,
 }
 
 impl Fsmd {

@@ -1,0 +1,82 @@
+//! Initiation-interval contract checking.
+//!
+//! A `@ii(N)` annotation on a channel declaration is a *timed-interface
+//! contract* (in the Dahlia sense): the declaring module promises that the
+//! channel is serviced — one rendezvous completes — at least once every N
+//! cycles in steady state. The paper's central complaint is that C-like
+//! languages leave such timing obligations implicit; the contract makes
+//! them part of the interface, and `chls flow` checks them against the
+//! initiation interval the scheduler/backend actually achieves.
+//!
+//! The achieved II is conservative: an *interval* `[min, max]` of cycles
+//! per service, because trip counts and branch-dependent paths make the
+//! exact figure input-dependent. The verdict logic is deliberately strict
+//! in one direction only: a contract is **violated** when even the
+//! best-case achieved interval exceeds the promise (the module cannot
+//! possibly honor it), and merely **at risk** when only the worst case
+//! does.
+
+use std::fmt;
+
+/// Outcome of checking one declared `@ii(n)` contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContractVerdict {
+    /// The achieved interval is wholly within the promise: `max <= declared`.
+    Met,
+    /// The best case honors the promise but the worst case does not
+    /// (`min <= declared < max`, or the worst case is unbounded).
+    AtRisk,
+    /// Even the best case breaks the promise: `min > declared`.
+    /// The declaration over-promises and must be relaxed.
+    Violated,
+}
+
+impl fmt::Display for ContractVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ContractVerdict::Met => "met",
+            ContractVerdict::AtRisk => "at risk",
+            ContractVerdict::Violated => "violated",
+        })
+    }
+}
+
+/// Checks a declared II contract against the achieved service interval
+/// `[achieved_min, achieved_max]` (`None` max = unbounded / unknown).
+pub fn check_contract(
+    declared: u32,
+    achieved_min: u64,
+    achieved_max: Option<u64>,
+) -> ContractVerdict {
+    let declared = u64::from(declared);
+    if achieved_min > declared {
+        ContractVerdict::Violated
+    } else if achieved_max.is_some_and(|mx| mx <= declared) {
+        ContractVerdict::Met
+    } else {
+        ContractVerdict::AtRisk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn met_when_worst_case_within_promise() {
+        assert_eq!(check_contract(4, 2, Some(4)), ContractVerdict::Met);
+        assert_eq!(check_contract(4, 4, Some(4)), ContractVerdict::Met);
+    }
+
+    #[test]
+    fn at_risk_when_only_best_case_holds() {
+        assert_eq!(check_contract(4, 3, Some(9)), ContractVerdict::AtRisk);
+        assert_eq!(check_contract(4, 3, None), ContractVerdict::AtRisk);
+    }
+
+    #[test]
+    fn violated_when_best_case_exceeds_promise() {
+        assert_eq!(check_contract(4, 5, Some(9)), ContractVerdict::Violated);
+        assert_eq!(check_contract(1, 2, None), ContractVerdict::Violated);
+    }
+}

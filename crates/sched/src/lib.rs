@@ -10,15 +10,19 @@
 //!   latency-constrained resource minimization);
 //! * [`modulo`] — iterative modulo scheduling (loop pipelining), with
 //!   ResMII/RecMII bounds;
+//! * [`ii`] — timed-interface contract verdicts: declared `@ii(n)`
+//!   promises checked against achieved initiation intervals;
 //! * [`ilp`] — dynamic-trace ILP measurement (the Wall experiment).
 
 pub mod dfg;
 pub mod fds;
+pub mod ii;
 pub mod ilp;
 pub mod modulo;
 pub mod schedule;
 
 pub use dfg::{dfg_from_block, Dfg, DfgEdge, DfgNode, NodeId};
+pub use ii::{check_contract, ContractVerdict};
 pub use fds::force_directed;
 pub use ilp::{ilp_sweep, measure_ilp, IlpResult};
 pub use modulo::{loop_dfg, modulo_schedule, ModuloSchedule};

@@ -23,7 +23,7 @@
 
 use crate::interp::ArgValue;
 use crate::tape::{self, Step};
-use chls_rtl::fsmd::Fsmd;
+use chls_rtl::fsmd::{BlockedOp, Fsmd};
 use std::fmt;
 
 /// Simulation errors.
@@ -42,6 +42,14 @@ pub enum FsmdSimError {
     CycleLimit(u64),
     /// Missing or mistyped argument.
     BadArgument(usize),
+    /// The process network reached a configuration it can never leave:
+    /// every live process is blocked on an unmatched rendezvous.
+    Deadlock {
+        /// Cycle on which the stuck configuration was entered.
+        cycle: u64,
+        /// Every blocked (process, channel, direction) endpoint.
+        blocked: Vec<BlockedOp>,
+    },
 }
 
 impl fmt::Display for FsmdSimError {
@@ -52,6 +60,14 @@ impl fmt::Display for FsmdSimError {
             }
             FsmdSimError::CycleLimit(n) => write!(f, "exceeded cycle limit of {n}"),
             FsmdSimError::BadArgument(i) => write!(f, "missing or mistyped argument {i}"),
+            FsmdSimError::Deadlock { cycle, blocked } => {
+                write!(f, "deadlock at cycle {cycle}: ")?;
+                let parts: Vec<String> = blocked
+                    .iter()
+                    .map(|b| format!("{} blocked on {}({})", b.process, b.dir, b.channel))
+                    .collect();
+                write!(f, "{}", parts.join(", "))
+            }
         }
     }
 }
@@ -120,7 +136,13 @@ fn simulate_inner(
             &mut mems,
             &mut reg_updates,
             &mut mem_updates,
-        )? {
+        )
+        .map_err(|e| match e {
+            // The tape layer has no cycle counter; stamp the deadlock
+            // with the cycle that entered the stuck configuration.
+            FsmdSimError::Deadlock { blocked, .. } => FsmdSimError::Deadlock { cycle: cycles, blocked },
+            other => other,
+        })? {
             Step::Next(t) => state = t,
             Step::Done(ret) => {
                 let regs = slots[..comp.n_regs].to_vec();
@@ -221,6 +243,34 @@ mod tests {
         let f = b.finish();
         let err = simulate(&f, &[], 50).unwrap_err();
         assert!(matches!(err, FsmdSimError::CycleLimit(50)));
+    }
+
+    #[test]
+    fn stuck_annotation_reports_deadlock() {
+        use chls_rtl::fsmd::{BlockedOp, ChanDir, StuckState};
+        // Same goto-self shape as the livelock test, but carrying a
+        // backend-proved stuck annotation: the simulator must report a
+        // first-class deadlock (on entry, cycle 1) instead of spinning.
+        let mut b = FsmdBuilder::new("dead");
+        let s0 = b.state();
+        b.at(s0).goto(s0);
+        let mut f = b.finish();
+        f.stuck.push(StuckState {
+            state: s0,
+            blocked: vec![BlockedOp {
+                process: "arm 0".into(),
+                channel: "c".into(),
+                dir: ChanDir::Send,
+            }],
+        });
+        let err = simulate(&f, &[], 50).unwrap_err();
+        let FsmdSimError::Deadlock { cycle, blocked } = err else {
+            panic!("expected deadlock, got {err:?}");
+        };
+        assert_eq!(cycle, 1);
+        assert_eq!(blocked.len(), 1);
+        assert_eq!(blocked[0].channel, "c");
+        assert_eq!(blocked[0].dir, ChanDir::Send);
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //! nondeterministic results here exactly as they would in hardware; the
 //! conformance suite only uses race-free programs.
 //!
+//! All channels share one [`ChanMonitor`], so the last thread to block
+//! can see that every live process is now waiting on a channel and
+//! declare a first-class [`InterpError::Deadlock`] (naming each blocked
+//! process/channel/direction) instead of hanging the scope forever.
+//!
 //! Arithmetic semantics are shared with the IR executor through
 //! [`chls_ir::eval_bin`], so the two golden models cannot drift apart.
 
@@ -18,9 +23,11 @@ use chls_frontend::ast::{BinOp, UnOp};
 use chls_frontend::hir::*;
 use chls_frontend::{IntType, Type};
 use chls_ir::{eval_bin, eval_un, BinKind};
+use chls_rtl::fsmd::{BlockedOp, ChanDir};
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// An argument bound to an entry-function parameter.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +63,12 @@ pub enum InterpError {
     NoSuchFunction(String),
     /// A `par` branch panicked or deadlocked.
     ParFailure(String),
+    /// The process network can never make progress: every live process
+    /// is blocked on an unmatched rendezvous.
+    Deadlock {
+        /// Every blocked (process, channel, direction) endpoint.
+        blocked: Vec<BlockedOp>,
+    },
 }
 
 impl fmt::Display for InterpError {
@@ -70,6 +83,14 @@ impl fmt::Display for InterpError {
             InterpError::BadPointer => write!(f, "invalid pointer operation"),
             InterpError::NoSuchFunction(n) => write!(f, "no function named `{n}`"),
             InterpError::ParFailure(m) => write!(f, "par branch failed: {m}"),
+            InterpError::Deadlock { blocked } => {
+                write!(f, "deadlock: ")?;
+                let parts: Vec<String> = blocked
+                    .iter()
+                    .map(|b| format!("{} blocked on {}({})", b.process, b.dir, b.channel))
+                    .collect();
+                write!(f, "{}", parts.join(", "))
+            }
         }
     }
 }
@@ -154,58 +175,184 @@ impl V {
     }
 }
 
-/// A rendezvous (capacity-0) channel.
-#[derive(Debug, Default)]
-struct Rendezvous {
-    inner: Mutex<RendezvousState>,
-    cv: Condvar,
+thread_local! {
+    /// Human-readable label of the current process: `main` outside any
+    /// `par`, else the arm's position in the `par` nest (`arm 1`,
+    /// `arm 1.2`) — matching the labels the handelc backend records in
+    /// its stuck-state annotations.
+    static PROC_LABEL: RefCell<String> = RefCell::new(String::from("main"));
 }
 
+fn current_process() -> String {
+    PROC_LABEL.with(|l| l.borrow().clone())
+}
+
+/// One rendezvous cell.
 #[derive(Debug, Default)]
-struct RendezvousState {
+struct ChanSt {
     /// A sender's value waiting for a receiver.
     value: Option<i64>,
     /// Set by the receiver once it has taken the value.
     taken: bool,
 }
 
-impl Rendezvous {
-    fn send(&self, v: i64) {
-        let mut st = self.inner.lock().expect("channel poisoned");
-        // Wait until no other send is pending.
-        while st.value.is_some() {
-            st = self.cv.wait(st).expect("channel poisoned");
-        }
-        st.value = Some(v);
-        st.taken = false;
-        self.cv.notify_all();
-        // Rendezvous: block until the receiver takes it.
-        while !st.taken {
-            st = self.cv.wait(st).expect("channel poisoned");
-        }
-        st.taken = false;
-        self.cv.notify_all();
+#[derive(Debug, Default)]
+struct MonState {
+    /// One cell per allocated channel (across all frames).
+    chans: Vec<ChanSt>,
+    /// Threads that can still affect the channel fabric: executing or
+    /// blocked on a channel. Parents waiting on a `par` join and
+    /// completed arms are excluded.
+    live: usize,
+    /// One entry per thread currently blocked on a channel.
+    blocked: Vec<BlockedOp>,
+    /// The declared deadlock: a snapshot of `blocked` at the moment the
+    /// last live thread blocked.
+    verdict: Option<Vec<BlockedOp>>,
+}
+
+/// Deadlock-aware rendezvous fabric. Every channel shares this single
+/// monitor so blocking is globally observable: when the set of blocked
+/// threads covers every live thread, no rendezvous can ever complete,
+/// and the last blocker declares the deadlock and wakes everyone with
+/// the blocked set instead of letting the whole scope hang.
+#[derive(Debug, Default)]
+struct ChanMonitor {
+    inner: Mutex<MonState>,
+    cv: Condvar,
+}
+
+impl ChanMonitor {
+    /// A monitor with the entry thread already counted live.
+    fn new() -> Self {
+        let m = ChanMonitor::default();
+        m.inner.lock().expect("monitor").live = 1;
+        m
     }
 
-    fn recv(&self) -> i64 {
-        let mut st = self.inner.lock().expect("channel poisoned");
+    /// Allocates a fresh channel cell, returning its index.
+    fn alloc(&self) -> usize {
+        let mut st = self.inner.lock().expect("monitor");
+        st.chans.push(ChanSt::default());
+        st.chans.len() - 1
+    }
+
+    /// `n` arms spawn; the parent leaves the live set to wait on the join.
+    fn enter_par(&self, n: usize) {
+        let mut st = self.inner.lock().expect("monitor");
+        st.live += n;
+        st.live -= 1;
+        self.check(&mut st);
+    }
+
+    /// The parent returns from the join.
+    fn exit_par(&self) {
+        self.inner.lock().expect("monitor").live += 1;
+    }
+
+    /// One arm finished, normally or with an error. Its siblings may now
+    /// constitute a deadlock (their partner is gone), so re-check.
+    fn exit_arm(&self) {
+        let mut st = self.inner.lock().expect("monitor");
+        st.live -= 1;
+        self.check(&mut st);
+    }
+
+    /// Declares the deadlock if every live thread is blocked.
+    fn check(&self, st: &mut MonState) {
+        if st.verdict.is_none() && !st.blocked.is_empty() && st.blocked.len() >= st.live {
+            st.verdict = Some(st.blocked.clone());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Registers this thread as blocked, waits for one wakeup, and
+    /// deregisters. Errors if a deadlock has been (or just became)
+    /// declared.
+    fn block<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, MonState>,
+        who: &str,
+        chan: &str,
+        dir: ChanDir,
+    ) -> Result<MutexGuard<'a, MonState>, InterpError> {
+        if let Some(b) = &st.verdict {
+            return Err(InterpError::Deadlock { blocked: b.clone() });
+        }
+        st.blocked.push(BlockedOp {
+            process: who.to_string(),
+            channel: chan.to_string(),
+            dir,
+        });
+        self.check(&mut st);
+        if let Some(b) = &st.verdict {
+            return Err(InterpError::Deadlock { blocked: b.clone() });
+        }
+        st = self.cv.wait(st).expect("monitor");
+        // A waker that satisfied us may have already removed our entry.
+        if let Some(i) = st
+            .blocked
+            .iter()
+            .position(|b| b.process == who && b.channel == chan && b.dir == dir)
+        {
+            st.blocked.remove(i);
+        }
+        if let Some(b) = &st.verdict {
+            return Err(InterpError::Deadlock { blocked: b.clone() });
+        }
+        Ok(st)
+    }
+
+    /// Removes blocked entries a state change on channel `chan` just
+    /// gave a genuine wakeup chance (they re-register if still stuck),
+    /// so a finished partner can't be double-counted as blocked by a
+    /// racing [`Self::check`].
+    fn unblock(st: &mut MonState, chan: &str, dir: ChanDir) {
+        st.blocked.retain(|b| !(b.channel == chan && b.dir == dir));
+    }
+
+    /// Rendezvous send: blocks until a receiver takes the value.
+    fn send(&self, ch: usize, v: i64, who: &str, chan: &str) -> Result<(), InterpError> {
+        let mut st = self.inner.lock().expect("monitor");
+        // Wait until no other send is pending on this cell.
+        while st.chans[ch].value.is_some() {
+            st = self.block(st, who, chan, ChanDir::Send)?;
+        }
+        st.chans[ch].value = Some(v);
+        st.chans[ch].taken = false;
+        Self::unblock(&mut st, chan, ChanDir::Recv);
+        self.cv.notify_all();
+        // Rendezvous: block until the receiver takes it.
+        while !st.chans[ch].taken {
+            st = self.block(st, who, chan, ChanDir::Send)?;
+        }
+        st.chans[ch].taken = false;
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Rendezvous receive: blocks until a sender's value arrives.
+    fn recv(&self, ch: usize, who: &str, chan: &str) -> Result<i64, InterpError> {
+        let mut st = self.inner.lock().expect("monitor");
         loop {
-            if let Some(v) = st.value.take() {
-                st.taken = true;
+            if let Some(v) = st.chans[ch].value.take() {
+                st.chans[ch].taken = true;
+                Self::unblock(&mut st, chan, ChanDir::Send);
                 self.cv.notify_all();
-                return v;
+                return Ok(v);
             }
-            st = self.cv.wait(st).expect("channel poisoned");
+            st = self.block(st, who, chan, ChanDir::Recv)?;
         }
     }
 }
 
-/// One function activation: the slots of its locals, channel table, and a
-/// side map holding pointer values stored in pointer-typed locals.
+/// One function activation: the slots of its locals, channel table (cell
+/// indices into the shared [`ChanMonitor`]), and a side map holding
+/// pointer values stored in pointer-typed locals.
 #[derive(Clone)]
 struct Frame {
     slots: Vec<Slot>,
-    chans: Vec<Option<Arc<Rendezvous>>>,
+    chans: Vec<Option<usize>>,
     ptrs: Arc<Mutex<std::collections::HashMap<usize, (Slot, i64)>>>,
 }
 
@@ -250,7 +397,10 @@ pub fn run(
         steps: &steps,
         step_limit: opts.step_limit,
         par_order: opts.par_order,
+        monitor: ChanMonitor::new(),
     };
+    // The entry may run on a reused thread: reset the process label.
+    PROC_LABEL.with(|l| *l.borrow_mut() = String::from("main"));
 
     // Bind the entry frame from the arguments.
     let frame = interp.make_frame(fid)?;
@@ -331,6 +481,7 @@ struct Interp<'p> {
     steps: &'p AtomicU64,
     step_limit: u64,
     par_order: ParOrder,
+    monitor: ChanMonitor,
 }
 
 impl<'p> Interp<'p> {
@@ -364,7 +515,7 @@ impl<'p> Interp<'p> {
                 }
                 Type::Chan(_) => {
                     slots.push(Arc::new(Mutex::new(SlotVal::Scalar(0))));
-                    chans.push(Some(Arc::new(Rendezvous::default())));
+                    chans.push(Some(self.monitor.alloc()));
                 }
                 _ => {
                     slots.push(Arc::new(Mutex::new(SlotVal::Scalar(0))));
@@ -417,11 +568,9 @@ impl<'p> Interp<'p> {
                 Ok(Flow::Normal)
             }
             HirStmt::Recv { dst, chan, .. } => {
-                let ch = frame.chans[chan.0 as usize]
-                    .as_ref()
-                    .ok_or(InterpError::BadPointer)?
-                    .clone();
-                let v = ch.recv();
+                let ch = frame.chans[chan.0 as usize].ok_or(InterpError::BadPointer)?;
+                let who = current_process();
+                let v = self.monitor.recv(ch, &who, &func.local(*chan).name)?;
                 self.store(func, frame, dst, V::Int(v))?;
                 Ok(Flow::Normal)
             }
@@ -431,11 +580,10 @@ impl<'p> Interp<'p> {
                     Type::Chan(e) => (**e).clone(),
                     _ => return Err(InterpError::BadPointer),
                 };
-                let ch = frame.chans[chan.0 as usize]
-                    .as_ref()
-                    .ok_or(InterpError::BadPointer)?
-                    .clone();
-                ch.send(canonical_for(&elem, v));
+                let ch = frame.chans[chan.0 as usize].ok_or(InterpError::BadPointer)?;
+                let who = current_process();
+                self.monitor
+                    .send(ch, canonical_for(&elem, v), &who, &func.local(*chan).name)?;
                 Ok(Flow::Normal)
             }
             HirStmt::If { cond, then, els } => {
@@ -515,27 +663,61 @@ impl<'p> Interp<'p> {
                     ParOrder::Concurrent => {
                         // Each branch runs on its own thread; rendezvous
                         // channels synchronize them. Shared state is
-                        // already behind per-slot mutexes.
-                        let result: Result<Vec<Flow>, InterpError> =
+                        // already behind per-slot mutexes. The monitor
+                        // tracks who is live: arms join it on spawn and
+                        // leave on exit (even an error exit), while the
+                        // parent sits out during the join so a fully
+                        // blocked sibling set is recognized as deadlock.
+                        let parent = current_process();
+                        self.monitor.enter_par(branches.len());
+                        let results: Vec<Result<Flow, InterpError>> =
                             std::thread::scope(|scope| {
                                 let handles: Vec<_> = branches
                                     .iter()
-                                    .map(|branch| {
+                                    .enumerate()
+                                    .map(|(i, branch)| {
+                                        let label = if parent == "main" {
+                                            format!("arm {i}")
+                                        } else {
+                                            format!("{parent}.{i}")
+                                        };
                                         scope.spawn(move || {
-                                            self.exec_block(func, frame, branch, true)
+                                            PROC_LABEL
+                                                .with(|l| *l.borrow_mut() = label);
+                                            let r = self
+                                                .exec_block(func, frame, branch, true);
+                                            self.monitor.exit_arm();
+                                            r
                                         })
                                     })
                                     .collect();
                                 handles
                                     .into_iter()
                                     .map(|h| {
-                                        h.join().map_err(|_| {
-                                            InterpError::ParFailure("panic".to_string())
-                                        })?
+                                        h.join().unwrap_or_else(|_| {
+                                            Err(InterpError::ParFailure(
+                                                "panic".to_string(),
+                                            ))
+                                        })
                                     })
                                     .collect()
                             });
-                        result?;
+                        self.monitor.exit_par();
+                        // An arm that died of a real error (step limit,
+                        // bounds) strands its siblings' rendezvous as a
+                        // side effect; report the root cause, not the
+                        // echo.
+                        if let Some(e) = results.iter().find_map(|r| match r {
+                            Err(e) if !matches!(e, InterpError::Deadlock { .. }) => {
+                                Some(e.clone())
+                            }
+                            _ => None,
+                        }) {
+                            return Err(e);
+                        }
+                        for r in results {
+                            r?;
+                        }
                     }
                     // The sequential orders run arms to completion one at
                     // a time — legal schedules for channel-free `par`,

@@ -371,6 +371,10 @@ pub enum CNext {
     },
     /// Terminal state.
     Done,
+    /// Statically proved deadlock: entering this state can never make
+    /// progress again. The payload indexes [`Fsmd::stuck`] so the
+    /// simulator can report which processes block on which channels.
+    Stuck(u32),
 }
 
 /// One compiled state: a tape range plus the control transfer.
@@ -902,7 +906,14 @@ pub fn compile(f: &Fsmd) -> Tape {
     c.temp_base = c.n_regs + c.n_inputs + c.consts.len() as u32;
     c.max_slots = c.temp_base;
 
-    let states: Vec<CState> = (0..f.states.len()).map(|si| c.compile_state(si)).collect();
+    let mut states: Vec<CState> = (0..f.states.len()).map(|si| c.compile_state(si)).collect();
+    // Backend-proved stuck configurations become first-class deadlock
+    // transfers so the executor reports them instead of spinning.
+    for (k, s) in f.stuck.iter().enumerate() {
+        if let Some(st) = states.get_mut(s.state.0 as usize) {
+            st.next = CNext::Stuck(k as u32);
+        }
+    }
     let const_init = c.consts.iter().map(|(&v, &s)| (s, v)).collect();
     Tape {
         code: c.code,
@@ -1137,6 +1148,12 @@ pub fn exec_state(
             })
         }
         CNext::Done => None,
+        CNext::Stuck(k) => {
+            return Err(FsmdSimError::Deadlock {
+                cycle: 0,
+                blocked: f.stuck[*k as usize].blocked.clone(),
+            })
+        }
     };
     // The return value samples pre-commit state (its slot was filled
     // by this cycle's tape).

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 tests, the CLI integration suite, lint
 # hygiene (clippy + a `chls lint` sweep over the example corpus), a
+# `chls flow` sweep (examples must be deadlock-free, and the seeded
+# deadlock corpus must be proved stuck), a
 # conformance smoke run through the CLI (sequential and parallel must
 # agree), a `chls report` QoR smoke over the example corpus (width
 # narrowing and the AIG logic optimizer must both pay for themselves),
@@ -29,6 +31,32 @@ for f in examples/chl/*.chl; do
     echo "-- lint $f"
     ./target/release/chls lint "$f" main
 done
+
+echo "== chls flow sweep (examples must be deadlock-free) =="
+for f in examples/chl/*.chl; do
+    echo "-- flow $f"
+    ./target/release/chls flow "$f" main
+done
+
+echo "== chls flow smoke (the seeded deadlock must be proved) =="
+if ./target/release/chls flow examples/chl/flow/deadlock_order.chl main > /tmp/flow_dead.txt; then
+    echo "FAIL: seeded ordering deadlock was not flagged" >&2
+    cat /tmp/flow_dead.txt >&2
+    exit 1
+fi
+grep -q "structural deadlock cycle" /tmp/flow_dead.txt
+grep -q "needs capacity" /tmp/flow_dead.txt
+./target/release/chls flow --json examples/chl/stream_multirate.chl main > /tmp/flow_clean.json
+python3 - /tmp/flow_clean.json <<'EOF'
+import json, sys
+env = json.load(open(sys.argv[1]))
+assert env["tool"] == "chls" and env["verb"] == "flow" and env["ok"] is True, env
+data = env["data"]
+assert all(n["deadlock"] is None for n in data["networks"]), data
+assert all(c["balance"] == "balanced" for n in data["networks"] for c in n["channels"]), data
+assert any(c["verdict"] == "met" for c in data["contracts"]), data
+EOF
+echo "flow verdicts valid"
 
 echo "== chls check smoke (jobs=1 vs jobs=4 must match) =="
 tmp="$(mktemp -d)"

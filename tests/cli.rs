@@ -480,6 +480,53 @@ fn lint_json_uses_envelope() {
 }
 
 // ---------------------------------------------------------------------
+// chls flow: process-network analysis through the spec table
+// ---------------------------------------------------------------------
+
+#[test]
+fn flow_json_uses_envelope() {
+    let o = chls(&["flow", "--json", "examples/chl/stream_multirate.chl", "main"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let (ok, data) = envelope(&o, "flow");
+    assert!(ok);
+    assert!(data.get("networks").is_some(), "flow payload inside envelope");
+    assert!(data.get("contracts").is_some());
+    assert!(data.get("diags").is_some());
+}
+
+#[test]
+fn flow_proves_the_ordering_deadlock_and_fails() {
+    let o = chls(&["flow", "examples/chl/flow/deadlock_order.chl", "main"]);
+    assert!(!o.status.success(), "a proved deadlock must exit nonzero");
+    let out = stdout(&o);
+    assert!(out.contains("structural deadlock cycle"), "{out}");
+    assert!(out.contains("arm 0 → arm 1 → arm 0"), "{out}");
+    assert!(out.contains("channel `a` needs capacity ≥ 1"), "{out}");
+}
+
+#[test]
+fn flow_arity_and_flags_are_validated() {
+    // Missing entry argument.
+    let o = chls(&["flow", GCD]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("usage: chls flow"), "{}", stderr(&o));
+
+    // Trailing extras beyond <file> <entry>.
+    let o = chls(&["flow", GCD, "main", "42"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("usage: chls flow"), "{}", stderr(&o));
+
+    // `--jobs` belongs to check, not flow.
+    let o = chls(&["flow", "--jobs", "4", GCD, "main"]);
+    assert!(!o.status.success());
+    assert!(
+        stderr(&o).contains("unknown flag `--jobs` for `chls flow`"),
+        "{}",
+        stderr(&o)
+    );
+}
+
+// ---------------------------------------------------------------------
 // synth / verilog still work through the spec table
 // ---------------------------------------------------------------------
 
