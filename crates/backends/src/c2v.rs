@@ -55,7 +55,7 @@ impl Backend for C2Verilog {
         entry: &str,
         opts: &SynthOptions,
     ) -> Result<Design, SynthError> {
-        let mut prepared = prepare_sequential_opts(prog, entry, false, opts.narrow_widths)?;
+        let mut prepared = prepare_sequential_opts(prog, entry, false, opts.narrow_widths, opts.unroll_factor)?;
         if opts.pipeline_loops && opts.pipeline_if_convert {
             // Modulo scheduling wants single-block loop bodies: forward
             // duplicated loads (so re-loading arms become pure), then

@@ -41,7 +41,7 @@ impl Backend for Cash {
         entry: &str,
         opts: &SynthOptions,
     ) -> Result<Design, SynthError> {
-        let prepared = prepare_sequential_opts(prog, entry, false, opts.narrow_widths)?;
+        let prepared = prepare_sequential_opts(prog, entry, false, opts.narrow_widths, opts.unroll_factor)?;
         let g = build_dataflow(&prepared.func)
             .map_err(|e| SynthError::Transform(e.to_string()))?;
         Ok(Design::Dataflow(g))

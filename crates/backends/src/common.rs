@@ -119,6 +119,10 @@ pub struct SynthOptions {
     /// applies the pass after synthesis so every backend benefits
     /// uniformly.
     pub opt_netlist: bool,
+    /// Unroll factor for canonical counted loops without a
+    /// `#pragma unroll` of their own (`Some(0)` = fully; pragmas always
+    /// win). The `--unroll N` design-space knob.
+    pub unroll_factor: Option<u32>,
 }
 
 impl Default for SynthOptions {
@@ -132,6 +136,7 @@ impl Default for SynthOptions {
             pipeline_if_convert: true,
             narrow_widths: false,
             opt_netlist: false,
+            unroll_factor: None,
         }
     }
 }
@@ -261,11 +266,12 @@ pub fn prepare_sequential(
     entry: &str,
     force_full_unroll: bool,
 ) -> Result<Prepared, SynthError> {
-    prepare_sequential_opts(prog, entry, force_full_unroll, false)
+    prepare_sequential_opts(prog, entry, force_full_unroll, false, None)
 }
 
 /// [`prepare_sequential`] with the width-narrowing transform optionally
-/// appended (narrow → re-simplify) before verification.
+/// appended (narrow → re-simplify) before verification, and an optional
+/// unroll-factor override for unpragma'd counted loops.
 ///
 /// # Errors
 ///
@@ -275,6 +281,7 @@ pub fn prepare_sequential_opts(
     entry: &str,
     force_full_unroll: bool,
     narrow: bool,
+    unroll_factor: Option<u32>,
 ) -> Result<Prepared, SynthError> {
     let _span = chls_trace::span("backend.prepare");
     let (entry_id, _) = prog
@@ -286,6 +293,7 @@ pub fn prepare_sequential_opts(
         &inlined.funcs[0],
         UnrollOptions {
             force_full: force_full_unroll,
+            factor_override: unroll_factor,
         },
     );
     inlined.funcs[0] = unrolled;
@@ -496,6 +504,20 @@ pub fn construct_support(backend: &str) -> Option<&'static ConstructSupport> {
 ///
 /// See [`SynthError`].
 pub fn prepare_structured(prog: &HirProgram, entry: &str) -> Result<HirProgram, SynthError> {
+    prepare_structured_opts(prog, entry, None)
+}
+
+/// [`prepare_structured`] with an optional unroll-factor override for
+/// unpragma'd counted loops (the `--unroll N` knob).
+///
+/// # Errors
+///
+/// See [`SynthError`].
+pub fn prepare_structured_opts(
+    prog: &HirProgram,
+    entry: &str,
+    unroll_factor: Option<u32>,
+) -> Result<HirProgram, SynthError> {
     let _span = chls_trace::span("backend.prepare");
     let (entry_id, _) = prog
         .func_by_name(entry)
@@ -504,7 +526,10 @@ pub fn prepare_structured(prog: &HirProgram, entry: &str) -> Result<HirProgram, 
         .map_err(|e| SynthError::Transform(e.to_string()))?;
     let (unrolled, _) = chls_opt::unroll::unroll_function(
         &inlined.funcs[0],
-        UnrollOptions { force_full: false },
+        UnrollOptions {
+            force_full: false,
+            factor_override: unroll_factor,
+        },
     );
     inlined.funcs[0] = unrolled;
     let mut ptr_stats = PtrStats::default();

@@ -45,7 +45,7 @@ impl Backend for Cones {
         entry: &str,
         opts: &SynthOptions,
     ) -> Result<Design, SynthError> {
-        let prepared = prepare_sequential_opts(prog, entry, true, opts.narrow_widths)?;
+        let prepared = prepare_sequential_opts(prog, entry, true, opts.narrow_widths, opts.unroll_factor)?;
         let f = &prepared.func;
         // Any remaining loop is fatal: Cones has no clock to wait with.
         let loops = chls_ir::loops::LoopForest::compute(f);
@@ -476,7 +476,7 @@ mod tests {
         );
         let mut sim = NetlistSim::new(&nl).unwrap();
         for (j, v) in [10, 20, 30, 40].iter().enumerate() {
-            sim.set_input(&format!("arg0_{j}"), *v);
+            sim.set_input(format!("arg0_{j}"), *v);
         }
         sim.set_input("arg1", 2);
         assert_eq!(sim.output("ret").unwrap(), 30);

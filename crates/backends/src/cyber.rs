@@ -61,7 +61,7 @@ impl Backend for Cyber {
         }
         // Behind the language gate, Cyber is conventional behavioral
         // synthesis — reuse the compiler-scheduled flow.
-        let prepared = prepare_sequential_opts(prog, entry, false, opts.narrow_widths)?;
+        let prepared = prepare_sequential_opts(prog, entry, false, opts.narrow_widths, opts.unroll_factor)?;
         let fsmd = crate::c2v::schedule_to_fsmd(&prepared.func, opts)?;
         Ok(Design::Fsmd(fsmd))
     }

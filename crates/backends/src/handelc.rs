@@ -56,9 +56,9 @@ impl Backend for HandelC {
         &self,
         prog: &HirProgram,
         entry: &str,
-        _opts: &SynthOptions,
+        opts: &SynthOptions,
     ) -> Result<Design, SynthError> {
-        let prepared = prepare_structured(prog, entry)?;
+        let prepared = prepare_structured_opts(prog, entry, opts.unroll_factor)?;
         let fsmd = Compile::new(&prepared)?.run()?;
         Ok(Design::Fsmd(fsmd))
     }

@@ -61,7 +61,7 @@ impl Backend for HardwareC {
         entry: &str,
         opts: &SynthOptions,
     ) -> Result<Design, SynthError> {
-        let prepared = prepare_structured(prog, entry)?;
+        let prepared = prepare_structured_opts(prog, entry, opts.unroll_factor)?;
         let fsmd = Compiler::new(&prepared, opts)?.run()?;
         Ok(Design::Fsmd(fsmd))
     }

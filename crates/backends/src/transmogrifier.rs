@@ -54,7 +54,7 @@ impl Backend for Transmogrifier {
         entry: &str,
         opts: &SynthOptions,
     ) -> Result<Design, SynthError> {
-        let prepared = prepare_sequential_opts(prog, entry, false, opts.narrow_widths)?;
+        let prepared = prepare_sequential_opts(prog, entry, false, opts.narrow_widths, opts.unroll_factor)?;
         let fsmd = build(&prepared.func)?;
         Ok(Design::Fsmd(fsmd))
     }

@@ -1,0 +1,277 @@
+//! `bench_serve` — the daemon performance harness behind
+//! `BENCH_serve.json`.
+//!
+//! Spins up an embedded `chls serve` ([`Server`] on an ephemeral port)
+//! and measures the two numbers the service layer exists for:
+//!
+//! * `warm_report` — wall time of a `report` request against a warm
+//!   artifact cache (a response-memo pointer clone) vs the same report
+//!   through the cold one-shot path. The acceptance floor is **5×**.
+//! * `throughput` — requests/second over several concurrent client
+//!   connections running a mixed, mostly-warm verb workload. The
+//!   acceptance floor is **100 req/s**.
+//! * `cache` — the daemon's hit/miss census for the whole run, so the
+//!   recorded hit rate keeps the cache honest in CI.
+//!
+//! `--check <pct>` gates a run against the absolute floors above *and*
+//! against the throughput recorded in an existing `BENCH_serve.json`
+//! (minus `pct` percent of slack). Like `bench_sim`, a below-floor
+//! measurement on a contended host is re-sampled before it counts as a
+//! regression.
+
+use chls::serve::{Client, ServeConfig, Server};
+use chls::service::{self, Source};
+use chls::{Request, ServiceCtx};
+use std::time::Instant;
+
+/// Acceptance floors (see ISSUE 8): warm daemon `report` must beat the
+/// cold one-shot by at least this factor, and the mixed workload must
+/// clear this many requests per second.
+const SPEEDUP_FLOOR: f64 = 5.0;
+const RPS_FLOOR: f64 = 100.0;
+
+const GCD: &str = "int gcd(int a, int b) {
+    while (b != 0) { int t = b; b = a % b; a = t; }
+    return a;
+}";
+
+const MAC4: &str = "int mac4(int a, int b) {
+    int s = 0;
+    for (int i = 0; i < 4; i++) {
+        s = (s + a * a + b) & 4095;
+    }
+    return s;
+}";
+
+/// The `report` workload: a bit-serial CRC so every backend has real
+/// work (nested data loops, hundreds of simulated cycles). Cold cost is
+/// parse + synthesize + simulate × every backend; warm cost is one
+/// response-memo pointer clone.
+const CRC8: &str = "int crc8(int seed) {
+    int c = seed & 255;
+    for (int i = 0; i < 64; i++) {
+        int b = (c ^ i) & 255;
+        for (int k = 0; k < 8; k++) {
+            c = ((c >> 1) ^ (165 * (c & 1))) & 255;
+        }
+        c = (c + b) & 255;
+    }
+    return c;
+}";
+
+fn req(verb: &str, src: &str, entry: &str, args: &[&str]) -> Request {
+    Request {
+        verb: verb.to_string(),
+        source: Source::Text(src.to_string()),
+        entry: entry.to_string(),
+        args: args.iter().map(ToString::to_string).collect(),
+        ..Request::default()
+    }
+}
+
+/// Best-of-`reps` wall time for `f`, in seconds.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// Pulls `"<key>": <num>` out of a named block of a previous
+/// BENCH_serve.json, by string search (fixed shape; no parser here).
+fn prior_num(json: &str, block: &str, key: &str) -> Option<f64> {
+    let body = &json[json.find(&format!("\"{block}\""))?..];
+    let key = format!("\"{key}\": ");
+    let body = &body[body.find(&key)? + key.len()..];
+    let end = body.find([',', '}'])?;
+    body[..end].trim().parse().ok()
+}
+
+/// Cold one-shot `report`: parse + synthesize + simulate every backend,
+/// no cache anywhere. This is what `chls report` costs from a shell.
+fn cold_report(r: &Request) -> f64 {
+    let (s, h) = best_of(3, || {
+        service::handle(r, &ServiceCtx::uncached()).expect("one-shot report")
+    });
+    assert!(h.response.ok, "report must succeed cold");
+    s
+}
+
+/// Warm daemon `report`: prime once, then time a batch of cache hits.
+fn warm_report(client: &mut Client, r: &Request) -> f64 {
+    const BATCH: usize = 20;
+    let prime = client.call(r).expect("priming report");
+    assert!(prime.contains(r#""ok":true"#), "report must succeed via daemon");
+    let (s, ()) = best_of(3, || {
+        for _ in 0..BATCH {
+            let line = client.call(r).expect("warm report");
+            assert!(line.contains(r#""cached":true"#), "warm report must hit");
+        }
+    });
+    s / BATCH as f64
+}
+
+/// The mixed throughput workload: `clients` threads, each its own
+/// connection, each sending `per_client` requests cycling through a
+/// small verb×source matrix. Returns wall seconds.
+fn throughput(addr: &str, clients: usize, per_client: usize) -> f64 {
+    let work: Vec<Request> = vec![
+        req("run", GCD, "gcd", &["48", "36"]),
+        req("run", MAC4, "mac4", &["3", "5"]),
+        req("check", GCD, "gcd", &["48", "36"]),
+        req("ir", MAC4, "mac4", &[]),
+        {
+            let mut r = req("synth", MAC4, "mac4", &[]);
+            r.options = chls::CompileOptions::new().backend(Some("c2v"));
+            r
+        },
+    ];
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let work = &work;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                for i in 0..per_client {
+                    let k = (c + i) % work.len();
+                    let line = client.call(&work[k]).expect("call succeeds");
+                    assert!(line.contains(r#""ok":true"#), "workload request failed: {line}");
+                }
+            });
+        }
+    });
+    t.elapsed().as_secs_f64()
+}
+
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+fn main() {
+    let mut out_path = None;
+    let mut check_pct: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--check" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("bench_serve: --check needs a percentage");
+                std::process::exit(2);
+            });
+            check_pct = Some(v.parse().unwrap_or_else(|_| {
+                eprintln!("bench_serve: --check wants a number, got `{v}`");
+                std::process::exit(2);
+            }));
+        } else {
+            out_path = Some(a);
+        }
+    }
+    let out_path = out_path
+        .unwrap_or_else(|| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
+
+    let mut server = Server::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.addr.to_string();
+    let workers = server.workers();
+
+    // warm_report: the headline cache win.
+    let report_req = req("report", CRC8, "crc8", &["7"]);
+    let cold_s = cold_report(&report_req);
+    let mut client = Client::connect(&addr).expect("connects");
+    let mut warm_s = warm_report(&mut client, &report_req);
+    let mut report_speedup = cold_s / warm_s;
+
+    // throughput: concurrent mixed workload, mostly warm after the
+    // first lap of each connection.
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 100;
+    let total = (CLIENTS * PER_CLIENT) as f64;
+    let mut wall_s = throughput(&addr, CLIENTS, PER_CLIENT);
+    let mut rps = total / wall_s;
+
+    // Gate before overwriting the file: absolute floors always, prior
+    // throughput with `--check <pct>` slack. Re-sample below-floor
+    // numbers before calling them regressions (shared hosts are noisy).
+    if let Some(pct) = check_pct {
+        let floor = 1.0 - pct / 100.0;
+        let prior_rps = std::fs::read_to_string(&out_path)
+            .ok()
+            .and_then(|prev| prior_num(&prev, "throughput", "requests_per_sec"));
+        let mut failed = false;
+        for attempt in 0..3 {
+            let rps_floor = prior_rps.map_or(RPS_FLOOR, |p| (p * floor).max(RPS_FLOOR));
+            failed = report_speedup < SPEEDUP_FLOOR || rps < rps_floor;
+            if !failed || attempt == 2 {
+                break;
+            }
+            eprintln!(
+                "bench_serve: below floor (speedup {report_speedup:.1}, {rps:.0} req/s), \
+                 re-measuring (attempt {})",
+                attempt + 2
+            );
+            std::thread::sleep(std::time::Duration::from_millis(400));
+            if report_speedup < SPEEDUP_FLOOR {
+                let w = warm_report(&mut client, &report_req);
+                if w < warm_s {
+                    warm_s = w;
+                    report_speedup = cold_s / warm_s;
+                }
+            }
+            if rps < rps_floor {
+                let w = throughput(&addr, CLIENTS, PER_CLIENT);
+                if w < wall_s {
+                    wall_s = w;
+                    rps = total / wall_s;
+                }
+            }
+        }
+        if report_speedup < SPEEDUP_FLOOR {
+            eprintln!(
+                "bench_serve: REGRESSION: warm report speedup {report_speedup:.1}x \
+                 below the {SPEEDUP_FLOOR}x floor (cold {cold_s:.4}s, warm {warm_s:.6}s)"
+            );
+        } else {
+            eprintln!("bench_serve: warm report ok: {report_speedup:.1}x (floor {SPEEDUP_FLOOR}x)");
+        }
+        let rps_floor = prior_rps.map_or(RPS_FLOOR, |p| (p * floor).max(RPS_FLOOR));
+        if rps < rps_floor {
+            eprintln!(
+                "bench_serve: REGRESSION: {rps:.0} req/s below floor {rps_floor:.0} \
+                 (prior {}, -{pct}%)",
+                prior_rps.map_or_else(|| "none".to_string(), |p| format!("{p:.0}")),
+            );
+        } else {
+            eprintln!("bench_serve: throughput ok: {rps:.0} req/s (floor {rps_floor:.0})");
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+
+    let stats = server.cache().stats();
+    let json = format!(
+        "{{\n  \
+         \"harness\": \"bench_serve\",\n  \
+         \"arch\": \"{}\",\n  \
+         \"workers\": {workers},\n  \
+         \"warm_report\": {{\"cold_s\": {cold_s:.4}, \"warm_s\": {warm_s:.6}, \"speedup\": {report_speedup:.1}, \"floor\": {SPEEDUP_FLOOR:.1}}},\n  \
+         \"throughput\": {{\"clients\": {CLIENTS}, \"requests\": {}, \"wall_s\": {wall_s:.4}, \"requests_per_sec\": {rps:.0}, \"floor\": {RPS_FLOOR:.0}}},\n  \
+         \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"bytes\": {}, \"entries\": {}}}\n\
+         }}\n",
+        std::env::consts::ARCH,
+        CLIENTS * PER_CLIENT,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+        stats.bytes,
+        stats.entries,
+    );
+    server.stop();
+    std::fs::write(&out_path, &json).expect("writes BENCH_serve.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -14,24 +14,31 @@
 //!                                              function (SAT/BDD)
 //! chls lint <file.chl> <entry>                 static analysis: races,
 //!                                              per-backend support, cycle bounds
+//! chls flow <file.chl> <entry>                 static process-network analysis
 //! chls report <file.chl> <entry> [args...]     per-backend QoR metrics and
 //!                                              per-phase wall-clock timing
+//! chls schema                                  dump the JSON envelope contract
+//! chls serve [--addr H:P] [--workers N]        persistent synthesis daemon
+//! chls client [--addr H:P] <verb> [args...]    run any verb on a daemon
+//! chls --connect H:P <verb> [args...]          ditto, flag form
 //! ```
+//!
+//! This binary is argument parsing and rendering only: every verb
+//! builds a [`chls::service::Request`] and dispatches through
+//! [`chls::service::handle`] — the same single code path `chls serve`
+//! uses — then prints the response's `text` (or, with `--json`, wraps
+//! its `data` in the unified envelope of DESIGN.md §10/§15).
 //!
 //! Every verb declares its accepted flags and positional arity in
 //! [`VERBS`]; a flag a verb does not declare is an error with that
-//! verb's usage string, never silently accepted. `check`, `lint`, and
-//! `report` accept `--json` and then emit the unified envelope
-//! documented in DESIGN.md §10:
-//! `{"tool":"chls","verb":...,"version":...,"ok":...,"data":...}`.
-//!
-//! Scalar arguments are integers; array arguments are comma-separated
-//! lists like `1,2,3,4`.
+//! verb's usage string, never silently accepted. Scalar arguments are
+//! integers; array arguments are comma-separated lists like `1,2,3,4`.
 
-use chls::interp::ArgValue;
-use chls::prelude::*;
+use chls::jsonin;
 use chls::jsonout;
-use chls_rtl::CostModel;
+use chls::serve::{self, ServeConfig, DEFAULT_ADDR};
+use chls::service::{self, Request, ServiceCtx, Source};
+use chls::CompileOptions;
 use std::process::ExitCode;
 
 /// One flag a verb accepts.
@@ -58,87 +65,74 @@ const JSON: FlagSpec = FlagSpec {
     takes_value: false,
 };
 
+const fn flag(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: false,
+    }
+}
+
+const fn vflag(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: true,
+    }
+}
+
 /// The whole CLI surface, one row per verb.
 const VERBS: &[VerbSpec] = &[
     VerbSpec {
         name: "backends",
-        usage: "chls backends",
+        usage: "chls backends [--json]",
         min_pos: 0,
         max_pos: Some(0),
-        flags: &[],
+        flags: &[JSON],
     },
     VerbSpec {
         name: "run",
-        usage: "chls run [--jit] <file> <entry> [args...]",
+        usage: "chls run [--jit] [--json] <file> <entry> [args...]",
         min_pos: 2,
         max_pos: None,
-        flags: &[FlagSpec {
-            name: "--jit",
-            takes_value: false,
-        }],
+        flags: &[flag("--jit"), JSON],
     },
     VerbSpec {
         name: "check",
         usage: "chls check [--jobs N] [--jit] [--json] <file> <entry> [args...]",
         min_pos: 2,
         max_pos: None,
+        flags: &[vflag("--jobs"), flag("--jit"), JSON],
+    },
+    VerbSpec {
+        name: "ir",
+        usage: "chls ir [--json] <file> <entry>",
+        min_pos: 2,
+        max_pos: Some(2),
+        flags: &[JSON],
+    },
+    VerbSpec {
+        name: "synth",
+        usage: "chls synth [--pipeline] [--narrow] [--opt-netlist] [--unroll N] [--json] <backend> <file> <entry> [args...]",
+        min_pos: 3,
+        max_pos: None,
         flags: &[
-            FlagSpec {
-                name: "--jobs",
-                takes_value: true,
-            },
-            FlagSpec {
-                name: "--jit",
-                takes_value: false,
-            },
+            flag("--pipeline"),
+            flag("--narrow"),
+            flag("--opt-netlist"),
+            vflag("--unroll"),
             JSON,
         ],
     },
     VerbSpec {
-        name: "ir",
-        usage: "chls ir <file> <entry>",
-        min_pos: 2,
-        max_pos: Some(2),
-        flags: &[],
-    },
-    VerbSpec {
-        name: "synth",
-        usage: "chls synth [--pipeline] [--narrow] [--opt-netlist] <backend> <file> <entry> [args...]",
-        min_pos: 3,
-        max_pos: None,
-        flags: &[
-            FlagSpec {
-                name: "--pipeline",
-                takes_value: false,
-            },
-            FlagSpec {
-                name: "--narrow",
-                takes_value: false,
-            },
-            FlagSpec {
-                name: "--opt-netlist",
-                takes_value: false,
-            },
-        ],
-    },
-    VerbSpec {
         name: "verilog",
-        usage: "chls verilog [--pipeline] [--narrow] [--opt-netlist] <backend> <file> <entry>",
+        usage: "chls verilog [--pipeline] [--narrow] [--opt-netlist] [--unroll N] [--json] <backend> <file> <entry>",
         min_pos: 3,
         max_pos: Some(3),
         flags: &[
-            FlagSpec {
-                name: "--pipeline",
-                takes_value: false,
-            },
-            FlagSpec {
-                name: "--narrow",
-                takes_value: false,
-            },
-            FlagSpec {
-                name: "--opt-netlist",
-                takes_value: false,
-            },
+            flag("--pipeline"),
+            flag("--narrow"),
+            flag("--opt-netlist"),
+            vflag("--unroll"),
+            JSON,
         ],
     },
     VerbSpec {
@@ -146,30 +140,14 @@ const VERBS: &[VerbSpec] = &[
         usage: "chls equiv --backend A --backend B [--bound K] [--json] <file> <entry> [entry_b]",
         min_pos: 2,
         max_pos: Some(3),
-        flags: &[
-            FlagSpec {
-                name: "--backend",
-                takes_value: true,
-            },
-            FlagSpec {
-                name: "--bound",
-                takes_value: true,
-            },
-            JSON,
-        ],
+        flags: &[vflag("--backend"), vflag("--bound"), JSON],
     },
     VerbSpec {
         name: "lint",
         usage: "chls lint [--backend B] [--json] <file> <entry>",
         min_pos: 2,
         max_pos: Some(2),
-        flags: &[
-            FlagSpec {
-                name: "--backend",
-                takes_value: true,
-            },
-            JSON,
-        ],
+        flags: &[vflag("--backend"), JSON],
     },
     VerbSpec {
         name: "flow",
@@ -180,31 +158,36 @@ const VERBS: &[VerbSpec] = &[
     },
     VerbSpec {
         name: "report",
-        usage: "chls report [--backend B | --all] [--narrow] [--opt-netlist] [--jit] [--json] <file> <entry> [args...]",
+        usage: "chls report [--backend B | --all] [--narrow] [--opt-netlist] [--unroll N] [--jit] [--json] <file> <entry> [args...]",
         min_pos: 2,
         max_pos: None,
         flags: &[
-            FlagSpec {
-                name: "--backend",
-                takes_value: true,
-            },
-            FlagSpec {
-                name: "--all",
-                takes_value: false,
-            },
-            FlagSpec {
-                name: "--narrow",
-                takes_value: false,
-            },
-            FlagSpec {
-                name: "--opt-netlist",
-                takes_value: false,
-            },
-            FlagSpec {
-                name: "--jit",
-                takes_value: false,
-            },
+            vflag("--backend"),
+            flag("--all"),
+            flag("--narrow"),
+            flag("--opt-netlist"),
+            vflag("--unroll"),
+            flag("--jit"),
             JSON,
+        ],
+    },
+    VerbSpec {
+        name: "schema",
+        usage: "chls schema [--json]",
+        min_pos: 0,
+        max_pos: Some(0),
+        flags: &[JSON],
+    },
+    VerbSpec {
+        name: "serve",
+        usage: "chls serve [--addr HOST:PORT] [--workers N] [--cache-mb M] [--stats]",
+        min_pos: 0,
+        max_pos: Some(0),
+        flags: &[
+            vflag("--addr"),
+            vflag("--workers"),
+            vflag("--cache-mb"),
+            flag("--stats"),
         ],
     },
 ];
@@ -299,448 +282,277 @@ fn usage() -> ExitCode {
     for v in VERBS {
         eprintln!("  {}", v.usage);
     }
+    eprintln!("  chls client [--addr HOST:PORT] <verb> [verb args...]");
+    eprintln!("  chls --connect HOST:PORT <verb> [verb args...]");
     eprintln!("\nargs: integers (42) or comma-separated arrays (1,2,3)");
     ExitCode::FAILURE
 }
 
-fn parse_args(raw: &[String]) -> Result<Vec<ArgValue>, String> {
-    raw.iter()
-        .map(|s| {
-            if s.contains(',') {
-                let vals: Result<Vec<i64>, _> =
-                    s.split(',').map(|p| p.trim().parse::<i64>()).collect();
-                vals.map(ArgValue::Array).map_err(|e| format!("bad array `{s}`: {e}"))
-            } else {
-                s.parse::<i64>()
-                    .map(ArgValue::Scalar)
-                    .map_err(|e| format!("bad integer `{s}`: {e}"))
-            }
-        })
-        .collect()
-}
-
-fn load(path: &str) -> Result<Compiler, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Compiler::parse(&src).map_err(|e| e.render(&src))
-}
-
-fn cmd_backends() -> ExitCode {
-    println!("{}", taxonomy_table());
-    ExitCode::SUCCESS
-}
-
-fn cmd_run(p: &Parsed) -> Result<ExitCode, String> {
-    let (file, entry) = (&p.pos[0], &p.pos[1]);
-    let args = parse_args(&p.pos[2..])?;
-    let compiler = load(file)?;
-    for w in compiler.rendered_warnings() {
-        eprintln!("{w}");
-    }
-    let mut opts = CompileOptions::new();
+/// Builds the service [`Request`] for one parsed verb invocation —
+/// pure translation, no compilation here.
+fn build_request(name: &str, p: &Parsed) -> Result<Request, String> {
+    let mut opts = CompileOptions::new()
+        .pipeline(p.has("--pipeline"))
+        .narrow(p.has("--narrow"))
+        .opt_netlist(p.has("--opt-netlist"));
     if p.has("--jit") {
         opts = opts.jit(true);
     }
-    if opts.jit_requested() {
-        // Native path: synthesize the c2v FSMD and execute it through
-        // the JIT (falling back to the tape interpreter off-x86-64).
-        let backend = chls::backend_by_name("c2v").expect("c2v is registered");
-        let design = compiler
-            .synthesize(backend.as_ref(), entry, &opts.synth_options())
-            .map_err(|e| format!("synthesis error: {e}"))?;
-        let r = chls::simulate_design_with(&design, &args, true)
-            .map_err(|e| format!("simulation error: {e}"))?;
-        if let Some(v) = r.ret {
-            println!("ret = {v}");
-        }
-        for (i, a) in r.arrays {
-            println!("arg{i} = {a:?}");
-        }
-        if let Some(c) = r.cycles {
-            println!("cycles = {c}");
-        }
-        return Ok(ExitCode::SUCCESS);
-    }
-    let r = compiler
-        .interpret(entry, &args)
-        .map_err(|e| format!("interpreter error: {e}"))?;
-    if let Some(v) = r.ret {
-        println!("ret = {v}");
-    }
-    for (i, a) in r.arrays {
-        println!("arg{i} = {a:?}");
-    }
-    Ok(ExitCode::SUCCESS)
-}
-
-fn cmd_check(p: &Parsed) -> Result<ExitCode, String> {
-    let (file, entry) = (&p.pos[0], &p.pos[1]);
-    let json = p.has("--json");
-    let mut opts = CompileOptions::new();
     if let Some(v) = p.value("--jobs") {
         let n: usize = v
             .parse()
             .map_err(|_| "--jobs needs a positive integer".to_string())?;
         opts = opts.jobs(n);
     }
-    if p.has("--jit") {
-        opts = opts.jit(true);
-    }
-    let jobs = opts.effective_jobs();
-    let jit = opts.jit_requested();
-    let args = parse_args(&p.pos[2..])?;
-    let src =
-        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    if let Ok(c) = Compiler::parse(&src) {
-        for w in c.rendered_warnings() {
-            eprintln!("{w}");
-        }
-    }
-    let results = chls::check_conformance_with_compile_options(&src, entry, &args, &opts)?;
-    let bad = results.iter().any(|(_, v)| {
-        matches!(v, Verdict::Mismatch { .. } | Verdict::Error(_))
-    });
-    if json {
-        println!(
-            "{}",
-            jsonout::envelope(
-                "check",
-                !bad,
-                &jsonout::check_json(entry, jobs, jit, &results)
-            )
-        );
-    } else {
-        for (backend, verdict) in &results {
-            match verdict {
-                Verdict::Pass { cycles, time_units } => {
-                    let timing = cycles
-                        .map(|c| format!("{c} cycles"))
-                        .or_else(|| time_units.map(|t| format!("{t} time units")))
-                        .unwrap_or_else(|| "combinational".to_string());
-                    println!("{backend:<16} PASS  ({timing})");
-                }
-                Verdict::Unsupported(why) => println!("{backend:<16} skip  ({why})"),
-                Verdict::Mismatch { got, expected } => {
-                    println!("{backend:<16} FAIL  got {got}, expected {expected}");
-                }
-                Verdict::Error(e) => println!("{backend:<16} ERROR {e}"),
-            }
-        }
-    }
-    Ok(if bad { ExitCode::FAILURE } else { ExitCode::SUCCESS })
-}
-
-fn cmd_ir(p: &Parsed) -> Result<ExitCode, String> {
-    let compiler = load(&p.pos[0])?;
-    let text = compiler.prepared_ir(&p.pos[1]).map_err(|e| e.to_string())?;
-    println!("{text}");
-    Ok(ExitCode::SUCCESS)
-}
-
-fn cmd_lint(p: &Parsed) -> Result<ExitCode, String> {
-    let compiler = load(&p.pos[0])?;
-    let report = compiler
-        .lint(&p.pos[1], p.value("--backend"))
-        .map_err(|e| e.to_string())?;
-    let ok = !report.has_errors();
-    if p.has("--json") {
-        println!("{}", jsonout::envelope("lint", ok, &report.to_json()));
-    } else {
-        print!("{}", report.render(compiler.source()));
-    }
-    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
-}
-
-fn cmd_flow(p: &Parsed) -> Result<ExitCode, String> {
-    let compiler = load(&p.pos[0])?;
-    let report = compiler.flow(&p.pos[1]).map_err(|e| e.to_string())?;
-    let ok = !report.has_errors();
-    if p.has("--json") {
-        println!("{}", jsonout::envelope("flow", ok, &report.to_json()));
-    } else {
-        print!("{}", report.render(compiler.source()));
-    }
-    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
-}
-
-fn cmd_report(p: &Parsed) -> Result<ExitCode, String> {
-    let (file, entry) = (&p.pos[0], &p.pos[1]);
-    let which = p.value("--backend");
-    if which.is_some() && p.has("--all") {
-        return Err("`--backend` and `--all` are mutually exclusive".to_string());
-    }
-    let args = if p.pos.len() > 2 {
-        Some(parse_args(&p.pos[2..])?)
-    } else {
-        None
-    };
-    let compiler = load(file)?;
-    let report = chls::qor_report(
-        &compiler,
-        entry,
-        which,
-        args.as_deref(),
-        &{
-            let mut o = CompileOptions::new()
-                .trace(true)
-                .narrow(p.has("--narrow"))
-                .opt_netlist(p.has("--opt-netlist"));
-            if p.has("--jit") {
-                o = o.jit(true);
-            }
-            o
-        },
-    )
-    .map_err(|e| e.to_string())?;
-    let ok = !report
-        .backends
-        .iter()
-        .any(|q| matches!(q.status, QorStatus::Error(_)));
-    if p.has("--json") {
-        println!(
-            "{}",
-            jsonout::envelope("report", ok, &jsonout::report_json(&report))
-        );
-    } else {
-        print!("{}", report.render());
-    }
-    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
-}
-
-/// Serializes an equivalence report as the `data` of `equiv --json`.
-fn equiv_json(
-    backends: &[&str],
-    entries: (&str, &str),
-    bound: Option<usize>,
-    r: &chls_logic::EquivReport,
-) -> String {
-    use chls_analysis::json::escape;
-    let verdict = match &r.verdict {
-        chls_logic::Verdict::Equivalent => "equivalent".to_string(),
-        chls_logic::Verdict::Differ(_) => "differ".to_string(),
-        chls_logic::Verdict::Unknown(_) => "unknown".to_string(),
-    };
-    let detail = match &r.verdict {
-        chls_logic::Verdict::Unknown(why) => format!("\"{}\"", escape(why)),
-        chls_logic::Verdict::Differ(cex) => {
-            let inputs = cex
-                .inputs
-                .iter()
-                .map(|(n, v)| format!("\"{}\":{v}", escape(n)))
-                .collect::<Vec<_>>()
-                .join(",");
-            let rams = cex
-                .rams
-                .iter()
-                .map(|(n, vs)| {
-                    let vals = vs.iter().map(ToString::to_string).collect::<Vec<_>>();
-                    format!("\"{}\":[{}]", escape(n), vals.join(","))
-                })
-                .collect::<Vec<_>>()
-                .join(",");
-            format!(
-                r#"{{"inputs":{{{inputs}}},"rams":{{{rams}}},"output":"{}","a_value":{},"b_value":{}}}"#,
-                escape(&cex.output),
-                cex.a_value,
-                cex.b_value
-            )
-        }
-        chls_logic::Verdict::Equivalent => "null".to_string(),
-    };
-    format!(
-        r#"{{"backend_a":"{}","backend_b":"{}","entry_a":"{}","entry_b":"{}","bound":{},"verdict":"{verdict}","method":"{}","aig_nodes":{},"sat_conflicts":{},"detail":{detail}}}"#,
-        escape(backends[0]),
-        escape(backends[1]),
-        escape(entries.0),
-        escape(entries.1),
-        bound.map_or_else(|| "null".to_string(), |k| k.to_string()),
-        r.method.name(),
-        r.aig_nodes,
-        r.sat_conflicts,
-    )
-}
-
-fn cmd_equiv(p: &Parsed) -> Result<ExitCode, String> {
-    const USAGE: &str =
-        "chls equiv --backend A --backend B [--bound K] [--json] <file> <entry> [entry_b]";
-    let backends = p.values("--backend");
-    if backends.len() != 2 {
-        return Err(format!(
-            "`chls equiv` needs exactly two --backend flags, got {}\nusage: {USAGE}",
-            backends.len()
-        ));
-    }
-    let (file, entry) = (&p.pos[0], &p.pos[1]);
-    let entry_b = p.pos.get(2).map_or(entry.as_str(), String::as_str);
-    let bound: usize = match p.value("--bound") {
-        Some(v) => v
+    if let Some(v) = p.value("--unroll") {
+        let u: u32 = v
             .parse()
-            .ok()
-            .filter(|&k| k > 0)
-            .ok_or_else(|| format!("--bound needs a positive integer\nusage: {USAGE}"))?,
-        None => 16,
-    };
-    let compiler = load(file)?;
-    let synth = |name: &str, entry: &str| -> Result<Design, String> {
-        let b = backend_by_name(name)
-            .ok_or_else(|| format!("unknown backend `{name}` (try `chls backends`)"))?;
-        compiler
-            .synthesize(b.as_ref(), entry, &SynthOptions::default())
-            .map_err(|e| format!("{name}:{entry}: synthesis failed: {e}"))
-    };
-    let da = synth(backends[0], entry)?;
-    let db = synth(backends[1], entry_b)?;
-    let style = |d: &Design| match d {
-        Design::Comb(_) => "combinational",
-        Design::Fsmd(_) => "fsmd",
-        Design::Dataflow(_) => "dataflow",
-    };
-    let opts = chls_logic::EquivOptions::default();
-    let (report, used_bound) = match (&da, &db) {
-        (Design::Comb(a), Design::Comb(b)) => {
-            (chls_logic::check_comb_equiv(a, b, &opts), None)
-        }
-        (Design::Fsmd(a), Design::Fsmd(b)) => {
-            (chls_logic::check_seq_equiv(a, b, bound, &opts), Some(bound))
-        }
-        _ => {
-            return Err(format!(
-                "cannot compare a {} design ({}) with a {} design ({}); \
-                 equivalence checking supports combinational-vs-combinational \
-                 and fsmd-vs-fsmd only",
-                style(&da),
-                backends[0],
-                style(&db),
-                backends[1]
-            ))
-        }
-    };
-    let report = report.map_err(|e| e.to_string())?;
-    let ok = matches!(report.verdict, chls_logic::Verdict::Equivalent);
-    if p.has("--json") {
-        println!(
-            "{}",
-            jsonout::envelope(
-                "equiv",
-                ok,
-                &equiv_json(&backends, (entry, entry_b), used_bound, &report)
-            )
-        );
-        return Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE });
+            .map_err(|_| "--unroll needs a non-negative integer".to_string())?;
+        opts = opts.unroll(Some(u));
     }
-    let scope = used_bound.map_or_else(
-        || "all inputs".to_string(),
-        |k| format!("all inputs that finish within {k} cycles"),
-    );
-    let stats = format!(
-        "[method {}, {} aig nodes, {} sat conflicts]",
-        report.method.name(),
-        report.aig_nodes,
-        report.sat_conflicts
-    );
-    match &report.verdict {
-        chls_logic::Verdict::Equivalent => {
-            println!(
-                "EQUIVALENT: {}:{entry} and {}:{entry_b} agree on {scope} {stats}",
-                backends[0], backends[1]
-            );
-            Ok(ExitCode::SUCCESS)
-        }
-        chls_logic::Verdict::Differ(cex) => {
-            println!(
-                "DIFFER: {}:{entry} and {}:{entry_b} disagree at `{}` {stats}",
-                backends[0], backends[1], cex.output
-            );
-            println!("counterexample (replayed through the simulator):");
-            for (name, value) in &cex.inputs {
-                println!("  {name} = {value}");
+    let mut req = Request {
+        verb: name.to_string(),
+        ..Request::default()
+    };
+    match name {
+        "backends" | "schema" => {}
+        "run" | "check" | "report" => {
+            req.source = Source::Path(p.pos[0].clone());
+            req.entry = p.pos[1].clone();
+            req.args = p.pos[2..].to_vec();
+            if name == "report" {
+                let which = p.value("--backend");
+                if which.is_some() && p.has("--all") {
+                    return Err("`--backend` and `--all` are mutually exclusive".to_string());
+                }
+                opts = opts.backend(which);
             }
-            for (name, values) in &cex.rams {
-                println!("  {name} = {values:?}");
-            }
-            println!(
-                "  {} = {} on {}, {} on {}",
-                cex.output, cex.a_value, backends[0], cex.b_value, backends[1]
-            );
-            Ok(ExitCode::FAILURE)
         }
-        chls_logic::Verdict::Unknown(why) => {
-            println!("UNKNOWN: {why} {stats}");
-            Ok(ExitCode::FAILURE)
+        "ir" | "flow" => {
+            req.source = Source::Path(p.pos[0].clone());
+            req.entry = p.pos[1].clone();
+        }
+        "lint" => {
+            req.source = Source::Path(p.pos[0].clone());
+            req.entry = p.pos[1].clone();
+            opts = opts.backend(p.value("--backend"));
+        }
+        "synth" | "verilog" => {
+            opts = opts.backend(Some(&p.pos[0]));
+            req.source = Source::Path(p.pos[1].clone());
+            req.entry = p.pos[2].clone();
+            req.args = p.pos[3..].to_vec();
+        }
+        "equiv" => {
+            const USAGE: &str =
+                "chls equiv --backend A --backend B [--bound K] [--json] <file> <entry> [entry_b]";
+            let backends = p.values("--backend");
+            if backends.len() != 2 {
+                return Err(format!(
+                    "`chls equiv` needs exactly two --backend flags, got {}\nusage: {USAGE}",
+                    backends.len()
+                ));
+            }
+            req.backends = backends.iter().map(ToString::to_string).collect();
+            req.source = Source::Path(p.pos[0].clone());
+            req.entry = p.pos[1].clone();
+            req.entry_b = p.pos.get(2).cloned();
+            req.bound = match p.value("--bound") {
+                Some(v) => Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&k| k > 0)
+                        .ok_or_else(|| {
+                            format!("--bound needs a positive integer\nusage: {USAGE}")
+                        })?,
+                ),
+                None => None,
+            };
+        }
+        _ => unreachable!("every dispatched verb is covered"),
+    }
+    req.options = opts;
+    Ok(req)
+}
+
+/// Runs one request in-process and renders it exactly as the historic
+/// per-verb commands did: warnings to stderr, `text` (or the JSON
+/// envelope) to stdout, `ok` as the exit code.
+fn run_local(req: &Request, json: bool) -> ExitCode {
+    match service::handle(req, &ServiceCtx::uncached()) {
+        Ok(h) => {
+            for w in &h.response.warnings {
+                eprintln!("{w}");
+            }
+            if json {
+                println!(
+                    "{}",
+                    jsonout::envelope(&h.response.verb, h.response.ok, &h.response.data)
+                );
+            } else {
+                print!("{}", h.response.text);
+            }
+            if h.response.ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
         }
     }
 }
 
-fn cmd_synth_verilog(verb: &str, p: &Parsed) -> Result<ExitCode, String> {
-    let (backend_name, file, entry) = (&p.pos[0], &p.pos[1], &p.pos[2]);
-    let backend = backend_by_name(backend_name)
-        .ok_or_else(|| format!("unknown backend `{backend_name}` (try `chls backends`)"))?;
-    let compiler = load(file)?;
-    let opts = CompileOptions::new()
-        .pipeline(p.has("--pipeline"))
-        .narrow(p.has("--narrow"))
-        .opt_netlist(p.has("--opt-netlist"));
-    let design = compiler
-        .synthesize(backend.as_ref(), entry, &opts.synth_options())
-        .map_err(|e| format!("synthesis failed: {e}"))?;
-    if verb == "verilog" {
-        match &design {
-            Design::Comb(nl) => println!("{}", chls_rtl::netlist_to_verilog(nl)),
-            Design::Fsmd(f) => println!("{}", chls_rtl::fsmd_to_verilog(f)),
-            Design::Dataflow(_) => {
-                return Err(
-                    "the cash backend emits asynchronous dataflow circuits, \
-                     not synchronous Verilog"
-                        .to_string(),
-                )
+fn cmd_serve(p: &Parsed) -> Result<ExitCode, String> {
+    let mut cfg = ServeConfig::default();
+    if let Some(a) = p.value("--addr") {
+        cfg.addr = a.to_string();
+    }
+    if let Some(w) = p.value("--workers") {
+        cfg.workers = w
+            .parse()
+            .map_err(|_| "--workers needs a non-negative integer".to_string())?;
+    }
+    if let Some(mb) = p.value("--cache-mb") {
+        let mb: usize = mb
+            .parse()
+            .map_err(|_| "--cache-mb needs a non-negative integer".to_string())?;
+        cfg.cache_budget = mb << 20;
+    }
+    cfg.log = p.has("--stats");
+    serve::run(&cfg)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `chls client` / `chls --connect`: ship the request to a daemon and
+/// render its reply like a local invocation would.
+fn run_client(addr: &str, argv: &[String]) -> ExitCode {
+    let Some(verb) = argv.first() else {
+        eprintln!("client needs a verb");
+        return usage();
+    };
+    // Daemon-only verbs have no VerbSpec: a bare request suffices.
+    if verb == "stats" || verb == "shutdown" {
+        let json = argv[1..].iter().any(|a| a == "--json");
+        let req = Request {
+            verb: verb.clone(),
+            ..Request::default()
+        };
+        return match serve::call(addr, &req, 0) {
+            Ok(line) => render_remote(&line, json),
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let Some(spec) = VERBS.iter().find(|v| v.name == verb.as_str()) else {
+        eprintln!("unknown verb `{verb}`");
+        return usage();
+    };
+    if spec.name == "serve" {
+        eprintln!("`serve` cannot be forwarded to a daemon");
+        return ExitCode::FAILURE;
+    }
+    let parsed = match parse_verb_args(spec, &argv[1..]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let req = match build_request(spec.name, &parsed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match serve::call(addr, &req, 0) {
+        Ok(line) => render_remote(&line, parsed.has("--json")),
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Renders one serve envelope line the way the local CLI would have:
+/// warnings to stderr, text (or the raw envelope) to stdout, hard
+/// errors to stderr, `ok` as the exit code.
+fn render_remote(line: &str, json: bool) -> ExitCode {
+    let Ok(v) = jsonin::parse(line) else {
+        eprintln!("malformed response from daemon: {line}");
+        return ExitCode::FAILURE;
+    };
+    let ok = v.get("ok").and_then(jsonin::Value::as_bool).unwrap_or(false);
+    if let Some(warnings) = v.get("warnings").and_then(jsonin::Value::as_arr) {
+        for w in warnings {
+            if let Some(w) = w.as_str() {
+                eprintln!("{w}");
             }
         }
-        return Ok(ExitCode::SUCCESS);
     }
-    // synth report.
-    let model = CostModel::new();
-    println!("backend:  {}", backend.info().models);
-    println!("area:     {:.0} NAND2-equivalent gates", design.area(&model));
-    match &design {
-        Design::Comb(nl) => {
-            println!("style:    combinational ({} cells)", nl.cells.len());
-            println!("delay:    {:.2} ns", nl.critical_path(&model));
-        }
-        Design::Fsmd(f) => {
-            println!(
-                "style:    FSMD ({} states, {} registers, {} memories)",
-                f.states.len(),
-                f.regs.len(),
-                f.mems.len()
-            );
-            println!(
-                "clock:    {:.2} ns min period ({:.0} MHz)",
-                f.critical_path(&model) + model.sequential_overhead_ns,
-                f.fmax_mhz(&model)
-            );
-        }
-        Design::Dataflow(g) => {
-            println!("style:    asynchronous dataflow ({} nodes)", g.nodes.len());
-            println!("nodes:    {:?}", g.histogram());
+    if json {
+        println!("{line}");
+    } else if let Some(err) = v.get("data").and_then(|d| d.str_of("error")) {
+        eprintln!("{err}");
+    } else {
+        match v.str_of("text") {
+            Some(t) if !t.is_empty() => print!("{t}"),
+            // stats/shutdown have no text rendering; show the data.
+            _ => println!("{}", raw_field(line)),
         }
     }
-    // Run it if sample args were provided.
-    if p.pos.len() > 3 {
-        let args = parse_args(&p.pos[3..])?;
-        let out = simulate_design(&design, &args)
-            .map_err(|e| format!("simulation failed: {e}"))?;
-        println!("result:   {:?}", out.ret);
-        if let Some(c) = out.cycles {
-            println!("cycles:   {c}");
-        }
-        if let Some(t) = out.time_units {
-            println!("time:     {t} units");
-        }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-    Ok(ExitCode::SUCCESS)
+}
+
+/// Extracts the raw `"data"` object text from an envelope line (it is
+/// always the `"data":` member; re-serializing the parsed tree would
+/// reorder keys).
+fn raw_field(line: &str) -> &str {
+    if let Some(start) = line.find(r#","data":"#) {
+        let body = &line[start + 8..];
+        // The envelope appends `,"text":` (serve) after data.
+        if let Some(end) = body.find(r#","text":"#) {
+            return &body[..end];
+        }
+        return body.trim_end_matches('}');
+    }
+    line
 }
 
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    // Connection prefix: `--connect H:P <verb> ...` or `client [--addr H:P] <verb> ...`.
+    if argv.first().is_some_and(|a| a == "--connect") {
+        if argv.len() < 2 {
+            eprintln!("--connect needs HOST:PORT");
+            return usage();
+        }
+        let addr = argv[1].clone();
+        return run_client(&addr, &argv[2..]);
+    }
+    if argv.first().is_some_and(|a| a == "client") {
+        argv.remove(0);
+        let addr = if argv.first().is_some_and(|a| a == "--addr") {
+            if argv.len() < 2 {
+                eprintln!("--addr needs HOST:PORT");
+                return usage();
+            }
+            argv.remove(0);
+            argv.remove(0)
+        } else {
+            std::env::var("CHLS_SERVE_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string())
+        };
+        return run_client(&addr, &argv);
+    }
     let Some(cmd) = argv.first() else { return usage() };
     let Some(spec) = VERBS.iter().find(|v| v.name == cmd.as_str()) else {
         eprintln!("unknown verb `{cmd}`");
@@ -753,20 +565,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match spec.name {
-        "backends" => Ok(cmd_backends()),
-        "run" => cmd_run(&parsed),
-        "check" => cmd_check(&parsed),
-        "ir" => cmd_ir(&parsed),
-        "lint" => cmd_lint(&parsed),
-        "flow" => cmd_flow(&parsed),
-        "report" => cmd_report(&parsed),
-        "equiv" => cmd_equiv(&parsed),
-        "synth" | "verilog" => cmd_synth_verilog(spec.name, &parsed),
-        _ => unreachable!("every VERBS row is dispatched"),
-    };
-    match result {
-        Ok(code) => code,
+    if spec.name == "serve" {
+        return match cmd_serve(&parsed) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match build_request(spec.name, &parsed) {
+        Ok(req) => run_local(&req, parsed.has("--json")),
         Err(e) => {
             eprintln!("{e}");
             ExitCode::FAILURE

@@ -1,26 +1,44 @@
 //! The unified machine-readable output surface.
 //!
-//! Every `--json` verb (`check`, `lint`, `report`) emits one envelope
-//! shape, documented in DESIGN.md §10:
+//! Every `--json` verb emits one envelope shape, documented in
+//! DESIGN.md §10 and §15 (and dumped live by `chls schema`):
 //!
 //! ```json
-//! {"tool":"chls","verb":"<verb>","version":"<semver>","ok":<bool>,"data":<verb-specific>}
+//! {"tool":"chls","verb":"<verb>","version":"<semver>","schema":1,"ok":<bool>,"data":<verb-specific>}
 //! ```
 //!
-//! `ok` mirrors the process exit code (`true` ⇔ exit 0), so scripted
-//! consumers can branch without re-deriving verdicts from `data`. Like
-//! the rest of this tree the emitters are hand-rolled — the shapes are
-//! small and fixed, and the container has no registry access for serde.
+//! `schema` is the envelope contract version ([`SCHEMA_VERSION`]): it
+//! bumps only when a field changes meaning or disappears, never when a
+//! verb grows a new field. `ok` mirrors the process exit code (`true` ⇔
+//! exit 0), so scripted consumers can branch without re-deriving
+//! verdicts from `data`. Like the rest of this tree the emitters are
+//! hand-rolled — the shapes are small and fixed, and the container has
+//! no registry access for serde.
 
 use crate::driver::Verdict;
 use crate::qor::{BackendQor, QorReport};
 use chls_analysis::json::escape;
 
+/// Version of the envelope contract (`"schema"` in every envelope).
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// Wraps verb-specific `data` (already-serialized JSON) in the unified
 /// envelope.
 pub fn envelope(verb: &str, ok: bool, data: &str) -> String {
     format!(
-        r#"{{"tool":"chls","verb":"{}","version":"{}","ok":{ok},"data":{data}}}"#,
+        r#"{{"tool":"chls","verb":"{}","version":"{}","schema":{SCHEMA_VERSION},"ok":{ok},"data":{data}}}"#,
+        escape(verb),
+        env!("CARGO_PKG_VERSION"),
+    )
+}
+
+/// [`envelope`] with extra top-level fields appended after `data` —
+/// the wire form `chls serve` sends (`"text"`, `"warnings"`,
+/// `"cached"`, `"id"`). `extra` must be a comma-led fragment of
+/// `"key":value` pairs, already serialized, or empty.
+pub fn envelope_with(verb: &str, ok: bool, data: &str, extra: &str) -> String {
+    format!(
+        r#"{{"tool":"chls","verb":"{}","version":"{}","schema":{SCHEMA_VERSION},"ok":{ok},"data":{data}{extra}}}"#,
         escape(verb),
         env!("CARGO_PKG_VERSION"),
     )
@@ -132,7 +150,15 @@ mod tests {
     fn envelope_shape() {
         let e = envelope("check", true, r#"{"x":1}"#);
         assert!(e.starts_with(r#"{"tool":"chls","verb":"check","version":""#));
+        assert!(e.contains(r#""schema":1"#), "{e}");
         assert!(e.ends_with(r#""ok":true,"data":{"x":1}}"#), "{e}");
+    }
+
+    #[test]
+    fn envelope_with_appends_extra_fields() {
+        let e = envelope_with("run", true, "{}", r#","text":"ret = 1\n""#);
+        assert!(e.ends_with(r#""data":{},"text":"ret = 1\n"}"#), "{e}");
+        assert_eq!(envelope_with("run", true, "{}", ""), envelope("run", true, "{}"));
     }
 
     #[test]

@@ -31,14 +31,19 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod driver;
 pub mod error;
+pub mod executor;
+pub mod jsonin;
 pub mod jsonout;
 pub mod options;
 pub mod programs;
 pub mod qor;
 pub mod registry;
 pub mod report;
+pub mod serve;
+pub mod service;
 
 pub use chls_analysis::{flow_program, lint_program, FlowReport, LintError, LintReport};
 pub use chls_backends::{Backend, BackendInfo, Design, SynthError, SynthOptions};
@@ -52,8 +57,10 @@ pub use error::Error;
 pub use options::CompileOptions;
 pub use programs::{benchmark, benchmarks, Benchmark};
 pub use qor::{default_args, qor_report, BackendQor, QorReport, QorStatus};
+pub use cache::{ArtifactCache, CacheStats};
 pub use registry::{backend_by_name, backends, taxonomy_table};
 pub use report::{fnum, Table};
+pub use service::{Request, Response, ServiceCtx};
 
 /// The stable import surface, in one line: `use chls::prelude::*;`.
 ///

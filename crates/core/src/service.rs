@@ -1,0 +1,1081 @@
+//! The unified service API: every `chls` verb as one typed call.
+//!
+//! [`handle`] is the single code path behind both the one-shot CLI and
+//! the `chls serve` daemon: the binary parses argv into a [`Request`],
+//! the daemon parses a JSON wire line into the *same* [`Request`], and
+//! both render the resulting [`Response`] — the binary to
+//! stdout/stderr/exit-code, the daemon to an envelope line. There is
+//! deliberately no second implementation of any verb anywhere.
+//!
+//! A [`Response`] always carries *both* renderings: `text` is the exact
+//! byte sequence the one-shot CLI prints in human mode (pinned by
+//! `tests/golden_cli.rs`), `data` is the verb-specific JSON documented
+//! in DESIGN.md §15 and dumped live by `chls schema`. `ok` mirrors the
+//! process exit code.
+//!
+//! When the [`ServiceCtx`] carries an [`ArtifactCache`], [`handle`]
+//! memoizes at three levels keyed by content address (FNV-1a of the
+//! source text + [`CompileOptions::cache_key`] + phase): parsed
+//! [`Compiler`]s, synthesized [`Design`]s, and whole [`Response`]s. A
+//! response hit is a pointer clone — bit-identical bytes, microsecond
+//! latency — which is what makes a warm daemon `report` cheap.
+//!
+//! [`CompileOptions::cache_key`]: crate::CompileOptions::cache_key
+
+use crate::cache::{fnv64, Artifact, ArtifactCache};
+use crate::interp::ArgValue;
+use crate::jsonin::{quote, Value};
+use crate::prelude::*;
+use chls_analysis::json::escape;
+use chls_rtl::CostModel;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Where a request's program text comes from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Source {
+    /// No source — `backends`, `schema`.
+    #[default]
+    None,
+    /// Read this file (relative paths resolve against the *handling*
+    /// process's working directory — the daemon's, under `serve`).
+    Path(String),
+    /// Inline program text, shipped in the request itself.
+    Text(String),
+}
+
+/// One verb invocation, fully typed — the service API's input.
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    pub verb: String,
+    pub source: Source,
+    pub entry: String,
+    /// Raw positional arguments (integers like `42` or comma-separated
+    /// arrays like `1,2,3`), parsed by the service, not the transport.
+    pub args: Vec<String>,
+    pub options: CompileOptions,
+    /// `equiv` only: exactly two backend names.
+    pub backends: Vec<String>,
+    /// `equiv` only: entry for the second backend (defaults to `entry`).
+    pub entry_b: Option<String>,
+    /// `equiv` only: sequential bound (defaults to 16).
+    pub bound: Option<usize>,
+    /// Wire-level per-request timeout hint, honored by `chls serve`.
+    pub timeout_ms: Option<u64>,
+}
+
+/// The service API's output: one verdict, both renderings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub verb: String,
+    /// Mirrors the one-shot exit code: `true` ⇔ exit 0.
+    pub ok: bool,
+    /// Verb-specific JSON (the `data` of the envelope).
+    pub data: String,
+    /// The exact bytes the one-shot CLI prints to stdout in text mode.
+    pub text: String,
+    /// Rendered warnings; the CLI prints them to stderr.
+    pub warnings: Vec<String>,
+}
+
+/// A handled request: the response plus whether it came from cache.
+#[derive(Debug, Clone)]
+pub struct Handled {
+    pub response: Arc<Response>,
+    pub cached: bool,
+}
+
+/// Shared service state. One-shot invocations use
+/// [`ServiceCtx::uncached`]; the daemon shares one cache across every
+/// worker via [`ServiceCtx::with_cache`].
+#[derive(Clone, Default)]
+pub struct ServiceCtx {
+    pub cache: Option<Arc<ArtifactCache>>,
+}
+
+impl ServiceCtx {
+    pub fn uncached() -> Self {
+        ServiceCtx { cache: None }
+    }
+
+    pub fn with_cache(cache: Arc<ArtifactCache>) -> Self {
+        ServiceCtx { cache: Some(cache) }
+    }
+}
+
+/// The verbs [`handle`] accepts (the daemon adds `stats`/`shutdown` at
+/// the transport layer — they are server state, not compilation).
+pub const SERVICE_VERBS: &[&str] = &[
+    "backends", "run", "check", "ir", "synth", "verilog", "equiv", "lint", "flow", "report",
+    "schema",
+];
+
+/// `qor_report` resets the global trace collector per backend; under a
+/// concurrent daemon two reports would interleave resets and corrupt
+/// each other's phase timings, so reports serialize here.
+static REPORT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Parses raw positional argument strings into interpreter values.
+pub fn parse_args(raw: &[String]) -> Result<Vec<ArgValue>, String> {
+    raw.iter()
+        .map(|s| {
+            if s.contains(',') {
+                let vals: Result<Vec<i64>, _> =
+                    s.split(',').map(|p| p.trim().parse::<i64>()).collect();
+                vals.map(ArgValue::Array)
+                    .map_err(|e| format!("bad array `{s}`: {e}"))
+            } else {
+                s.parse::<i64>()
+                    .map(ArgValue::Scalar)
+                    .map_err(|e| format!("bad integer `{s}`: {e}"))
+            }
+        })
+        .collect()
+}
+
+/// Handles one request end to end: resolve source, consult the
+/// response memo, dispatch the verb, populate the cache.
+///
+/// `Err` is a *hard* failure (unreadable file, parse error, unknown
+/// backend, synthesis failure): the CLI prints it to stderr, the
+/// daemon wraps it in an `ok:false` error envelope. Verb-level
+/// negative verdicts (conformance mismatch, lint errors, inequivalent
+/// designs) are `Ok` responses with `ok:false`, exactly as the
+/// one-shot exit codes always worked.
+pub fn handle(req: &Request, ctx: &ServiceCtx) -> Result<Handled, String> {
+    if !SERVICE_VERBS.contains(&req.verb.as_str()) {
+        return Err(format!("unknown verb `{}`", req.verb));
+    }
+    let src = resolve_source(req)?;
+    let digest = src.as_deref().map_or(0, |s| fnv64(s.as_bytes()));
+    let key = response_key(req, digest);
+    if let Some(cache) = &ctx.cache {
+        if let Some(Artifact::Response(r)) = cache.get(&key) {
+            return Ok(Handled {
+                response: r,
+                cached: true,
+            });
+        }
+    }
+    let response = Arc::new(dispatch(req, ctx, src.as_deref(), digest)?);
+    if let Some(cache) = &ctx.cache {
+        cache.put(&key, Artifact::Response(response.clone()));
+    }
+    Ok(Handled {
+        response,
+        cached: false,
+    })
+}
+
+fn resolve_source(req: &Request) -> Result<Option<String>, String> {
+    match &req.source {
+        Source::None => {
+            if matches!(req.verb.as_str(), "backends" | "schema") {
+                Ok(None)
+            } else {
+                Err(format!("verb `{}` needs a source file or text", req.verb))
+            }
+        }
+        Source::Path(p) => std::fs::read_to_string(p)
+            .map(Some)
+            .map_err(|e| format!("cannot read {p}: {e}")),
+        Source::Text(t) => Ok(Some(t.clone())),
+    }
+}
+
+/// The whole-response content address. Everything that can change a
+/// single output byte is in here; `trace` is not (the only verb whose
+/// output shows traces, `report`, forces it on itself).
+fn response_key(req: &Request, digest: u64) -> String {
+    format!(
+        "resp|{}|{digest:016x}|{}|a={}|{}|jobs={:?}|eb={:?}|bound={:?}|bk={}",
+        req.verb,
+        req.entry,
+        req.args.join("\u{1f}"),
+        req.options.cache_key(),
+        req.options.jobs_requested(),
+        req.entry_b,
+        req.bound,
+        req.backends.join(","),
+    )
+}
+
+/// Parses (or fetches) the compiler for `src`, caching under the
+/// source digest.
+fn compiler_for(ctx: &ServiceCtx, src: &str, digest: u64) -> Result<Arc<Compiler>, String> {
+    let key = format!("hir|{digest:016x}");
+    if let Some(cache) = &ctx.cache {
+        if let Some(Artifact::Compiler(c)) = cache.get(&key) {
+            return Ok(c);
+        }
+    }
+    let compiler = Arc::new(Compiler::parse(src).map_err(|e| e.render(src))?);
+    if let Some(cache) = &ctx.cache {
+        cache.put(&key, Artifact::Compiler(compiler.clone()));
+    }
+    Ok(compiler)
+}
+
+/// Synthesizes (or fetches) one design. The error is the bare
+/// [`SynthError`] rendering; callers wrap it in their verb's historic
+/// phrasing.
+///
+/// [`SynthError`]: chls_backends::SynthError
+fn design_for(
+    ctx: &ServiceCtx,
+    compiler: &Compiler,
+    digest: u64,
+    backend_name: &str,
+    entry: &str,
+    opts: &CompileOptions,
+) -> Result<Arc<Design>, String> {
+    let key = format!("design|{digest:016x}|{entry}|{backend_name}|{}", opts.cache_key());
+    if let Some(cache) = &ctx.cache {
+        if let Some(Artifact::Design(d)) = cache.get(&key) {
+            return Ok(d);
+        }
+    }
+    let backend = backend_by_name(backend_name)
+        .ok_or_else(|| format!("unknown backend `{backend_name}` (try `chls backends`)"))?;
+    let design = Arc::new(
+        compiler
+            .synthesize(backend.as_ref(), entry, &opts.synth_options())
+            .map_err(|e| e.to_string())?,
+    );
+    if let Some(cache) = &ctx.cache {
+        cache.put(&key, Artifact::Design(design.clone()));
+    }
+    Ok(design)
+}
+
+fn dispatch(
+    req: &Request,
+    ctx: &ServiceCtx,
+    src: Option<&str>,
+    digest: u64,
+) -> Result<Response, String> {
+    match req.verb.as_str() {
+        "backends" => Ok(verb_backends()),
+        "schema" => Ok(verb_schema()),
+        "run" => verb_run(req, ctx, src.expect("source resolved"), digest),
+        "check" => verb_check(req, src.expect("source resolved")),
+        "ir" => verb_ir(req, ctx, src.expect("source resolved"), digest),
+        "lint" => verb_lint(req, ctx, src.expect("source resolved"), digest),
+        "flow" => verb_flow(req, ctx, src.expect("source resolved"), digest),
+        "synth" => verb_synth(req, ctx, src.expect("source resolved"), digest),
+        "verilog" => verb_verilog(req, ctx, src.expect("source resolved"), digest),
+        "equiv" => verb_equiv(req, ctx, src.expect("source resolved"), digest),
+        "report" => verb_report(req, ctx, src.expect("source resolved"), digest),
+        _ => unreachable!("verb validated by handle()"),
+    }
+}
+
+// ---------------------------------------------------------------- verbs
+
+fn verb_backends() -> Response {
+    let table = taxonomy_table();
+    let mut rows = Vec::new();
+    for b in crate::registry::backends() {
+        rows.push(backend_info_json(&b.info(), "compiler"));
+    }
+    for i in crate::registry::structural_rows() {
+        rows.push(backend_info_json(&i, "structural"));
+    }
+    Response {
+        verb: "backends".to_string(),
+        ok: true,
+        data: format!(r#"{{"backends":[{}]}}"#, rows.join(",")),
+        text: format!("{table}\n"),
+        warnings: Vec::new(),
+    }
+}
+
+fn backend_info_json(i: &chls_backends::BackendInfo, kind: &str) -> String {
+    format!(
+        r#"{{"name":"{}","kind":"{kind}","models":"{}","year":{},"concurrency":"{}","timing":"{}","pointers":{},"data_dependent_loops":{},"parallel_constructs":{}}}"#,
+        escape(i.name),
+        escape(i.models),
+        i.year,
+        escape(&i.concurrency.to_string()),
+        escape(&i.timing.to_string()),
+        i.pointers,
+        i.data_dependent_loops,
+        i.parallel_constructs,
+    )
+}
+
+fn sim_result_json(ret: Option<i64>, arrays: &[(usize, Vec<i64>)], cycles: Option<u64>) -> String {
+    let arrs = arrays
+        .iter()
+        .map(|(i, vs)| {
+            let vals = vs.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
+            format!(r#"{{"arg":{i},"values":[{vals}]}}"#)
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        r#"{{"ret":{},"arrays":[{arrs}],"cycles":{}}}"#,
+        ret.map_or_else(|| "null".to_string(), |v| v.to_string()),
+        cycles.map_or_else(|| "null".to_string(), |v| v.to_string()),
+    )
+}
+
+fn verb_run(req: &Request, ctx: &ServiceCtx, src: &str, digest: u64) -> Result<Response, String> {
+    let args = parse_args(&req.args)?;
+    let compiler = compiler_for(ctx, src, digest)?;
+    let warnings = compiler.rendered_warnings();
+    let opts = &req.options;
+    let (ret, arrays, cycles, jit) = if opts.jit_requested() {
+        // Native path: synthesize the c2v FSMD and execute it through
+        // the JIT (falling back to the tape interpreter off-x86-64).
+        let design = design_for(ctx, &compiler, digest, "c2v", &req.entry, opts)
+            .map_err(|e| format!("synthesis error: {e}"))?;
+        let r = crate::simulate_design_with(&design, &args, true)
+            .map_err(|e| format!("simulation error: {e}"))?;
+        (r.ret, r.arrays, r.cycles, true)
+    } else {
+        let r = compiler
+            .interpret(&req.entry, &args)
+            .map_err(|e| format!("interpreter error: {e}"))?;
+        (r.ret, r.arrays, None, false)
+    };
+    let mut text = String::new();
+    if let Some(v) = ret {
+        let _ = writeln!(text, "ret = {v}");
+    }
+    for (i, a) in &arrays {
+        let _ = writeln!(text, "arg{i} = {a:?}");
+    }
+    if let Some(c) = cycles {
+        let _ = writeln!(text, "cycles = {c}");
+    }
+    let sim = sim_result_json(ret, &arrays, cycles);
+    Ok(Response {
+        verb: "run".to_string(),
+        ok: true,
+        data: format!(r#"{{"entry":"{}","jit":{jit},"result":{sim}}}"#, escape(&req.entry)),
+        text,
+        warnings,
+    })
+}
+
+fn verb_check(req: &Request, src: &str) -> Result<Response, String> {
+    let opts = &req.options;
+    let jobs = opts.effective_jobs();
+    let jit = opts.jit_requested();
+    let args = parse_args(&req.args)?;
+    let warnings = Compiler::parse(src)
+        .map(|c| c.rendered_warnings())
+        .unwrap_or_default();
+    let results = crate::check_conformance_with_compile_options(src, &req.entry, &args, opts)?;
+    let bad = results
+        .iter()
+        .any(|(_, v)| matches!(v, Verdict::Mismatch { .. } | Verdict::Error(_)));
+    let mut text = String::new();
+    for (backend, verdict) in &results {
+        match verdict {
+            Verdict::Pass { cycles, time_units } => {
+                let timing = cycles
+                    .map(|c| format!("{c} cycles"))
+                    .or_else(|| time_units.map(|t| format!("{t} time units")))
+                    .unwrap_or_else(|| "combinational".to_string());
+                let _ = writeln!(text, "{backend:<16} PASS  ({timing})");
+            }
+            Verdict::Unsupported(why) => {
+                let _ = writeln!(text, "{backend:<16} skip  ({why})");
+            }
+            Verdict::Mismatch { got, expected } => {
+                let _ = writeln!(text, "{backend:<16} FAIL  got {got}, expected {expected}");
+            }
+            Verdict::Error(e) => {
+                let _ = writeln!(text, "{backend:<16} ERROR {e}");
+            }
+        }
+    }
+    Ok(Response {
+        verb: "check".to_string(),
+        ok: !bad,
+        data: crate::jsonout::check_json(&req.entry, jobs, jit, &results),
+        text,
+        warnings,
+    })
+}
+
+fn verb_ir(req: &Request, ctx: &ServiceCtx, src: &str, digest: u64) -> Result<Response, String> {
+    let compiler = compiler_for(ctx, src, digest)?;
+    let ir = compiler.prepared_ir(&req.entry).map_err(|e| e.to_string())?;
+    Ok(Response {
+        verb: "ir".to_string(),
+        ok: true,
+        data: format!(r#"{{"entry":"{}","ir":{}}}"#, escape(&req.entry), quote(&ir)),
+        text: format!("{ir}\n"),
+        warnings: compiler.rendered_warnings(),
+    })
+}
+
+fn verb_lint(req: &Request, ctx: &ServiceCtx, src: &str, digest: u64) -> Result<Response, String> {
+    let compiler = compiler_for(ctx, src, digest)?;
+    let report = compiler
+        .lint(&req.entry, req.options.backend_requested())
+        .map_err(|e| e.to_string())?;
+    let ok = !report.has_errors();
+    Ok(Response {
+        verb: "lint".to_string(),
+        ok,
+        data: report.to_json(),
+        text: report.render(compiler.source()),
+        warnings: Vec::new(),
+    })
+}
+
+fn verb_flow(req: &Request, ctx: &ServiceCtx, src: &str, digest: u64) -> Result<Response, String> {
+    let compiler = compiler_for(ctx, src, digest)?;
+    let report = compiler.flow(&req.entry).map_err(|e| e.to_string())?;
+    let ok = !report.has_errors();
+    Ok(Response {
+        verb: "flow".to_string(),
+        ok,
+        data: report.to_json(),
+        text: report.render(compiler.source()),
+        warnings: Vec::new(),
+    })
+}
+
+fn verb_synth(req: &Request, ctx: &ServiceCtx, src: &str, digest: u64) -> Result<Response, String> {
+    let backend_name = req
+        .options
+        .backend_requested()
+        .ok_or("`synth` needs a backend")?
+        .to_string();
+    let backend = backend_by_name(&backend_name)
+        .ok_or_else(|| format!("unknown backend `{backend_name}` (try `chls backends`)"))?;
+    let compiler = compiler_for(ctx, src, digest)?;
+    let design = design_for(ctx, &compiler, digest, &backend_name, &req.entry, &req.options)
+        .map_err(|e| format!("synthesis failed: {e}"))?;
+    let model = CostModel::new();
+    let area = design.area(&model);
+    let mut text = String::new();
+    let _ = writeln!(text, "backend:  {}", backend.info().models);
+    let _ = writeln!(text, "area:     {area:.0} NAND2-equivalent gates");
+    let mut detail = String::new();
+    match design.as_ref() {
+        Design::Comb(nl) => {
+            let _ = writeln!(text, "style:    combinational ({} cells)", nl.cells.len());
+            let _ = writeln!(text, "delay:    {:.2} ns", nl.critical_path(&model));
+            let _ = write!(
+                detail,
+                r#""style":"combinational","cells":{},"delay_ns":{:.3}"#,
+                nl.cells.len(),
+                nl.critical_path(&model)
+            );
+        }
+        Design::Fsmd(f) => {
+            let _ = writeln!(
+                text,
+                "style:    FSMD ({} states, {} registers, {} memories)",
+                f.states.len(),
+                f.regs.len(),
+                f.mems.len()
+            );
+            let _ = writeln!(
+                text,
+                "clock:    {:.2} ns min period ({:.0} MHz)",
+                f.critical_path(&model) + model.sequential_overhead_ns,
+                f.fmax_mhz(&model)
+            );
+            let _ = write!(
+                detail,
+                r#""style":"fsmd","states":{},"registers":{},"memories":{},"clock_ns":{:.3},"fmax_mhz":{:.1}"#,
+                f.states.len(),
+                f.regs.len(),
+                f.mems.len(),
+                f.critical_path(&model) + model.sequential_overhead_ns,
+                f.fmax_mhz(&model)
+            );
+        }
+        Design::Dataflow(g) => {
+            let _ = writeln!(text, "style:    asynchronous dataflow ({} nodes)", g.nodes.len());
+            let _ = writeln!(text, "nodes:    {:?}", g.histogram());
+            let _ = write!(detail, r#""style":"dataflow","nodes":{}"#, g.nodes.len());
+        }
+    }
+    // Run it if sample args were provided.
+    let mut result = "null".to_string();
+    if !req.args.is_empty() {
+        let args = parse_args(&req.args)?;
+        let out =
+            simulate_design(&design, &args).map_err(|e| format!("simulation failed: {e}"))?;
+        let _ = writeln!(text, "result:   {:?}", out.ret);
+        if let Some(c) = out.cycles {
+            let _ = writeln!(text, "cycles:   {c}");
+        }
+        if let Some(t) = out.time_units {
+            let _ = writeln!(text, "time:     {t} units");
+        }
+        result = sim_result_json(out.ret, &out.arrays, out.cycles);
+    }
+    Ok(Response {
+        verb: "synth".to_string(),
+        ok: true,
+        data: format!(
+            r#"{{"backend":"{}","models":"{}","entry":"{}","area":{area:.1},{detail},"result":{result}}}"#,
+            escape(&backend_name),
+            escape(backend.info().models),
+            escape(&req.entry),
+        ),
+        text,
+        warnings: compiler.rendered_warnings(),
+    })
+}
+
+fn verb_verilog(
+    req: &Request,
+    ctx: &ServiceCtx,
+    src: &str,
+    digest: u64,
+) -> Result<Response, String> {
+    let backend_name = req
+        .options
+        .backend_requested()
+        .ok_or("`verilog` needs a backend")?
+        .to_string();
+    if backend_by_name(&backend_name).is_none() {
+        return Err(format!("unknown backend `{backend_name}` (try `chls backends`)"));
+    }
+    let compiler = compiler_for(ctx, src, digest)?;
+    let design = design_for(ctx, &compiler, digest, &backend_name, &req.entry, &req.options)
+        .map_err(|e| format!("synthesis failed: {e}"))?;
+    let v = match design.as_ref() {
+        Design::Comb(nl) => chls_rtl::netlist_to_verilog(nl),
+        Design::Fsmd(f) => chls_rtl::fsmd_to_verilog(f),
+        Design::Dataflow(_) => {
+            return Err("the cash backend emits asynchronous dataflow circuits, \
+                 not synchronous Verilog"
+                .to_string())
+        }
+    };
+    Ok(Response {
+        verb: "verilog".to_string(),
+        ok: true,
+        data: format!(
+            r#"{{"backend":"{}","entry":"{}","verilog":{}}}"#,
+            escape(&backend_name),
+            escape(&req.entry),
+            quote(&v)
+        ),
+        text: format!("{v}\n"),
+        warnings: compiler.rendered_warnings(),
+    })
+}
+
+/// Serializes an equivalence report as the `data` of `equiv`.
+fn equiv_json(
+    backends: &[String],
+    entries: (&str, &str),
+    bound: Option<usize>,
+    r: &chls_logic::EquivReport,
+) -> String {
+    let verdict = match &r.verdict {
+        chls_logic::Verdict::Equivalent => "equivalent".to_string(),
+        chls_logic::Verdict::Differ(_) => "differ".to_string(),
+        chls_logic::Verdict::Unknown(_) => "unknown".to_string(),
+    };
+    let detail = match &r.verdict {
+        chls_logic::Verdict::Unknown(why) => format!("\"{}\"", escape(why)),
+        chls_logic::Verdict::Differ(cex) => {
+            let inputs = cex
+                .inputs
+                .iter()
+                .map(|(n, v)| format!("\"{}\":{v}", escape(n)))
+                .collect::<Vec<_>>()
+                .join(",");
+            let rams = cex
+                .rams
+                .iter()
+                .map(|(n, vs)| {
+                    let vals = vs.iter().map(ToString::to_string).collect::<Vec<_>>();
+                    format!("\"{}\":[{}]", escape(n), vals.join(","))
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                r#"{{"inputs":{{{inputs}}},"rams":{{{rams}}},"output":"{}","a_value":{},"b_value":{}}}"#,
+                escape(&cex.output),
+                cex.a_value,
+                cex.b_value
+            )
+        }
+        chls_logic::Verdict::Equivalent => "null".to_string(),
+    };
+    format!(
+        r#"{{"backend_a":"{}","backend_b":"{}","entry_a":"{}","entry_b":"{}","bound":{},"verdict":"{verdict}","method":"{}","aig_nodes":{},"sat_conflicts":{},"detail":{detail}}}"#,
+        escape(&backends[0]),
+        escape(&backends[1]),
+        escape(entries.0),
+        escape(entries.1),
+        bound.map_or_else(|| "null".to_string(), |k| k.to_string()),
+        r.method.name(),
+        r.aig_nodes,
+        r.sat_conflicts,
+    )
+}
+
+fn verb_equiv(req: &Request, ctx: &ServiceCtx, src: &str, digest: u64) -> Result<Response, String> {
+    if req.backends.len() != 2 {
+        return Err(format!(
+            "`chls equiv` needs exactly two --backend flags, got {}",
+            req.backends.len()
+        ));
+    }
+    let entry = req.entry.as_str();
+    let entry_b = req.entry_b.as_deref().unwrap_or(entry);
+    let bound = req.bound.unwrap_or(16);
+    let compiler = compiler_for(ctx, src, digest)?;
+    // Historically `equiv` synthesizes with default options.
+    let default_opts = CompileOptions::new();
+    let synth = |name: &str, entry: &str| -> Result<Arc<Design>, String> {
+        design_for(ctx, &compiler, digest, name, entry, &default_opts)
+            .map_err(|e| {
+                if e.starts_with("unknown backend") {
+                    e
+                } else {
+                    format!("{name}:{entry}: synthesis failed: {e}")
+                }
+            })
+    };
+    let da = synth(&req.backends[0], entry)?;
+    let db = synth(&req.backends[1], entry_b)?;
+    let style = |d: &Design| match d {
+        Design::Comb(_) => "combinational",
+        Design::Fsmd(_) => "fsmd",
+        Design::Dataflow(_) => "dataflow",
+    };
+    let opts = chls_logic::EquivOptions::default();
+    let (report, used_bound) = match (da.as_ref(), db.as_ref()) {
+        (Design::Comb(a), Design::Comb(b)) => (chls_logic::check_comb_equiv(a, b, &opts), None),
+        (Design::Fsmd(a), Design::Fsmd(b)) => {
+            (chls_logic::check_seq_equiv(a, b, bound, &opts), Some(bound))
+        }
+        _ => {
+            return Err(format!(
+                "cannot compare a {} design ({}) with a {} design ({}); \
+                 equivalence checking supports combinational-vs-combinational \
+                 and fsmd-vs-fsmd only",
+                style(&da),
+                req.backends[0],
+                style(&db),
+                req.backends[1]
+            ))
+        }
+    };
+    let report = report.map_err(|e| e.to_string())?;
+    let ok = matches!(report.verdict, chls_logic::Verdict::Equivalent);
+    let scope = used_bound.map_or_else(
+        || "all inputs".to_string(),
+        |k| format!("all inputs that finish within {k} cycles"),
+    );
+    let stats = format!(
+        "[method {}, {} aig nodes, {} sat conflicts]",
+        report.method.name(),
+        report.aig_nodes,
+        report.sat_conflicts
+    );
+    let mut text = String::new();
+    match &report.verdict {
+        chls_logic::Verdict::Equivalent => {
+            let _ = writeln!(
+                text,
+                "EQUIVALENT: {}:{entry} and {}:{entry_b} agree on {scope} {stats}",
+                req.backends[0], req.backends[1]
+            );
+        }
+        chls_logic::Verdict::Differ(cex) => {
+            let _ = writeln!(
+                text,
+                "DIFFER: {}:{entry} and {}:{entry_b} disagree at `{}` {stats}",
+                req.backends[0], req.backends[1], cex.output
+            );
+            let _ = writeln!(text, "counterexample (replayed through the simulator):");
+            for (name, value) in &cex.inputs {
+                let _ = writeln!(text, "  {name} = {value}");
+            }
+            for (name, values) in &cex.rams {
+                let _ = writeln!(text, "  {name} = {values:?}");
+            }
+            let _ = writeln!(
+                text,
+                "  {} = {} on {}, {} on {}",
+                cex.output, cex.a_value, req.backends[0], cex.b_value, req.backends[1]
+            );
+        }
+        chls_logic::Verdict::Unknown(why) => {
+            let _ = writeln!(text, "UNKNOWN: {why} {stats}");
+        }
+    }
+    Ok(Response {
+        verb: "equiv".to_string(),
+        ok,
+        data: equiv_json(&req.backends, (entry, entry_b), used_bound, &report),
+        text,
+        warnings: compiler.rendered_warnings(),
+    })
+}
+
+fn verb_report(req: &Request, ctx: &ServiceCtx, src: &str, digest: u64) -> Result<Response, String> {
+    let args = if req.args.is_empty() {
+        None
+    } else {
+        Some(parse_args(&req.args)?)
+    };
+    let compiler = compiler_for(ctx, src, digest)?;
+    let opts = req.options.clone().trace(true);
+    let report = {
+        let _serialize = REPORT_LOCK.lock().expect("report lock");
+        crate::qor_report(
+            &compiler,
+            &req.entry,
+            req.options.backend_requested(),
+            args.as_deref(),
+            &opts,
+        )
+        .map_err(|e| e.to_string())?
+    };
+    let ok = !report
+        .backends
+        .iter()
+        .any(|q| matches!(q.status, QorStatus::Error(_)));
+    Ok(Response {
+        verb: "report".to_string(),
+        ok,
+        data: crate::jsonout::report_json(&report),
+        text: report.render(),
+        warnings: compiler.rendered_warnings(),
+    })
+}
+
+// ---------------------------------------------------------- schema verb
+
+/// Every verb's `data` shape, one row per verb: (verb, shape, notes).
+/// `stats` and `shutdown` are daemon-only but documented here so the
+/// contract lives in one place.
+const SCHEMAS: &[(&str, &str, &str)] = &[
+    (
+        "backends",
+        r#"{"backends":[{"name":str,"kind":"compiler"|"structural","models":str,"year":int,"concurrency":str,"timing":str,"pointers":bool,"data_dependent_loops":bool,"parallel_constructs":bool}]}"#,
+        "the paper's Table 1, live",
+    ),
+    (
+        "run",
+        r#"{"entry":str,"jit":bool,"result":{"ret":int|null,"arrays":[{"arg":int,"values":[int]}],"cycles":int|null}}"#,
+        "golden interpreter (or --jit native) execution",
+    ),
+    (
+        "check",
+        r#"{"entry":str,"jobs":int,"jit":bool,"results":[{"backend":str,"verdict":"pass"|"unsupported"|"mismatch"|"error","cycles":int|null,"time_units":int|null,"detail":str|null}]}"#,
+        "all backends vs the golden interpreter",
+    ),
+    ("ir", r#"{"entry":str,"ir":str}"#, "prepared SSA IR dump"),
+    (
+        "synth",
+        r#"{"backend":str,"models":str,"entry":str,"area":num,"style":"combinational"|"fsmd"|"dataflow",...style fields...,"result":sim|null}"#,
+        "style fields: cells+delay_ns | states+registers+memories+clock_ns+fmax_mhz | nodes",
+    ),
+    (
+        "verilog",
+        r#"{"backend":str,"entry":str,"verilog":str}"#,
+        "synthesizable Verilog for comb/fsmd designs",
+    ),
+    (
+        "equiv",
+        r#"{"backend_a":str,"backend_b":str,"entry_a":str,"entry_b":str,"bound":int|null,"verdict":"equivalent"|"differ"|"unknown","method":str,"aig_nodes":int,"sat_conflicts":int,"detail":null|str|{"inputs":obj,"rams":obj,"output":str,"a_value":int,"b_value":int}}"#,
+        "SAT/BDD equivalence of two backends",
+    ),
+    (
+        "lint",
+        r#"{"entry":str,"errors":[...],"backends":[...]}"#,
+        "static analysis: races, support matrix, cycle bounds",
+    ),
+    (
+        "flow",
+        r#"{"entry":str,"errors":[...],"processes":[...],"channels":[...]}"#,
+        "static process-network analysis",
+    ),
+    (
+        "report",
+        r#"{"entry":str,"parse_seconds":num,"args":str|null,"backends":[{"backend":str,"status":str,...,"phases":[{"phase":str,"seconds":num}]}]}"#,
+        "per-backend QoR metrics and per-phase timing",
+    ),
+    (
+        "schema",
+        r#"{"schema":int,"verbs":[{"verb":str,"data":str,"notes":str}]}"#,
+        "this contract, machine-readable",
+    ),
+    (
+        "stats",
+        r#"{"uptime_seconds":num,"requests":int,"errors":int,"requests_per_second":num,"busy_seconds":num,"workers":int,"verbs":{str:int},"latency_ms":{"p50":num,"p99":num},"cache":{"hits":int,"misses":int,"hit_rate":num,"insertions":int,"evictions":int,"bytes":int,"entries":int,"budget":int}}"#,
+        "daemon only: service-level metrics",
+    ),
+    (
+        "shutdown",
+        r#"{"shutting_down":true}"#,
+        "daemon only: graceful stop",
+    ),
+];
+
+fn verb_schema() -> Response {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "envelope (schema {}):",
+        crate::jsonout::SCHEMA_VERSION
+    );
+    let _ = writeln!(
+        text,
+        r#"  {{"tool":"chls","verb":<verb>,"version":<semver>,"schema":{},"ok":<bool>,"data":<verb-specific>}}"#,
+        crate::jsonout::SCHEMA_VERSION
+    );
+    let _ = writeln!(
+        text,
+        "  serve adds: \"text\":<str>,\"warnings\":[str],\"cached\":<bool>,\"id\":<int|null>\n"
+    );
+    let _ = writeln!(text, "per-verb data shapes:");
+    for (verb, shape, notes) in SCHEMAS {
+        let _ = writeln!(text, "  {verb:<9} {notes}");
+        let _ = writeln!(text, "            {shape}");
+    }
+    let rows = SCHEMAS
+        .iter()
+        .map(|(verb, shape, notes)| {
+            format!(
+                r#"{{"verb":"{verb}","data":{},"notes":{}}}"#,
+                quote(shape),
+                quote(notes)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    Response {
+        verb: "schema".to_string(),
+        ok: true,
+        data: format!(
+            r#"{{"schema":{},"verbs":[{rows}]}}"#,
+            crate::jsonout::SCHEMA_VERSION
+        ),
+        text,
+        warnings: Vec::new(),
+    }
+}
+
+// ------------------------------------------------------ wire (de)coding
+
+impl Request {
+    /// Serializes for the `chls serve` wire (one line, no newline).
+    pub fn to_json(&self) -> String {
+        let (path, text) = match &self.source {
+            Source::None => ("null".to_string(), "null".to_string()),
+            Source::Path(p) => (quote(p), "null".to_string()),
+            Source::Text(t) => ("null".to_string(), quote(t)),
+        };
+        let args = self.args.iter().map(|a| quote(a)).collect::<Vec<_>>().join(",");
+        let backends = self
+            .backends
+            .iter()
+            .map(|b| quote(b))
+            .collect::<Vec<_>>()
+            .join(",");
+        let o = &self.options;
+        let opt = |b: Option<&str>| b.map_or_else(|| "null".to_string(), quote);
+        let optn = |n: Option<u64>| n.map_or_else(|| "null".to_string(), |v| v.to_string());
+        format!(
+            r#"{{"verb":{},"path":{path},"text":{text},"entry":{},"args":[{args}],"backends":[{backends}],"entry_b":{},"bound":{},"timeout_ms":{},"options":{{"backend":{},"narrow":{},"opt_netlist":{},"pipeline":{},"unroll":{},"jit":{},"jobs":{},"trace":{}}}}}"#,
+            quote(&self.verb),
+            quote(&self.entry),
+            opt(self.entry_b.as_deref()),
+            optn(self.bound.map(|b| b as u64)),
+            optn(self.timeout_ms),
+            opt(o.backend_requested()),
+            o.narrow_requested(),
+            o.opt_netlist_requested(),
+            o.pipeline_requested(),
+            optn(o.unroll_requested().map(u64::from)),
+            o.jit_explicit()
+                .map_or_else(|| "null".to_string(), |b| b.to_string()),
+            optn(o.jobs_requested().map(|j| j as u64)),
+            o.trace_enabled(),
+        )
+    }
+
+    /// Parses a wire request (the dual of [`Request::to_json`]).
+    /// Unknown fields are ignored so older clients keep working as the
+    /// schema grows.
+    pub fn from_json(v: &Value) -> Result<Request, String> {
+        let verb = v
+            .str_of("verb")
+            .ok_or("request needs a string `verb`")?
+            .to_string();
+        let source = match (v.str_of("path"), v.str_of("text")) {
+            (Some(_), Some(_)) => return Err("request has both `path` and `text`".to_string()),
+            (Some(p), None) => Source::Path(p.to_string()),
+            (None, Some(t)) => Source::Text(t.to_string()),
+            (None, None) => Source::None,
+        };
+        let strings = |key: &str| -> Result<Vec<String>, String> {
+            match v.get(key) {
+                None | Some(Value::Null) => Ok(Vec::new()),
+                Some(Value::Arr(items)) => items
+                    .iter()
+                    .map(|i| {
+                        i.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("`{key}` must contain strings"))
+                    })
+                    .collect(),
+                Some(_) => Err(format!("`{key}` must be an array")),
+            }
+        };
+        let mut options = CompileOptions::new();
+        if let Some(o) = v.get("options") {
+            options = options
+                .backend(o.str_of("backend"))
+                .narrow(o.get("narrow").and_then(Value::as_bool).unwrap_or(false))
+                .opt_netlist(o.get("opt_netlist").and_then(Value::as_bool).unwrap_or(false))
+                .pipeline(o.get("pipeline").and_then(Value::as_bool).unwrap_or(false))
+                .trace(o.get("trace").and_then(Value::as_bool).unwrap_or(false));
+            #[allow(clippy::cast_possible_truncation)]
+            if let Some(u) = o.get("unroll").and_then(Value::as_u64) {
+                options = options.unroll(Some(u as u32));
+            }
+            if let Some(j) = o.get("jit").and_then(Value::as_bool) {
+                options = options.jit(j);
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            if let Some(j) = o.get("jobs").and_then(Value::as_u64) {
+                options = options.jobs(j as usize);
+            }
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        Ok(Request {
+            verb,
+            source,
+            entry: v.str_of("entry").unwrap_or_default().to_string(),
+            args: strings("args")?,
+            options,
+            backends: strings("backends")?,
+            entry_b: v.str_of("entry_b").map(str::to_string),
+            bound: v.get("bound").and_then(Value::as_u64).map(|b| b as usize),
+            timeout_ms: v.get("timeout_ms").and_then(Value::as_u64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonin;
+
+    const GCD: &str = "int gcd(int a, int b) {
+        while (b != 0) { int t = b; b = a % b; a = t; }
+        return a;
+    }";
+
+    fn req(verb: &str) -> Request {
+        Request {
+            verb: verb.to_string(),
+            source: Source::Text(GCD.to_string()),
+            entry: "gcd".to_string(),
+            args: vec!["48".to_string(), "36".to_string()],
+            ..Request::default()
+        }
+    }
+
+    #[test]
+    fn run_produces_text_and_data() {
+        let h = handle(&req("run"), &ServiceCtx::uncached()).unwrap();
+        assert!(h.response.ok);
+        assert!(!h.cached);
+        assert_eq!(h.response.text, "ret = 12\n");
+        assert!(h.response.data.contains(r#""ret":12"#), "{}", h.response.data);
+    }
+
+    #[test]
+    fn check_reports_every_backend() {
+        let h = handle(&req("check"), &ServiceCtx::uncached()).unwrap();
+        assert!(h.response.ok);
+        for b in ["cones", "c2v", "cash"] {
+            assert!(h.response.text.contains(b), "missing {b}:\n{}", h.response.text);
+        }
+    }
+
+    #[test]
+    fn response_memo_returns_identical_arc() {
+        let cache = Arc::new(ArtifactCache::default());
+        let ctx = ServiceCtx::with_cache(cache.clone());
+        let cold = handle(&req("run"), &ctx).unwrap();
+        let warm = handle(&req("run"), &ctx).unwrap();
+        assert!(!cold.cached && warm.cached);
+        assert!(Arc::ptr_eq(&cold.response, &warm.response), "hit is a pointer clone");
+        // One byte of source, one different response.
+        let mut r2 = req("run");
+        r2.source = Source::Text(format!("{GCD} "));
+        let other = handle(&r2, &ctx).unwrap();
+        assert!(!other.cached, "source mutation must miss");
+        // One option flips, another miss.
+        let mut r3 = req("run");
+        r3.options = CompileOptions::new().jit(true);
+        let _ = handle(&r3, &ctx); // jit may or may not run on this host; miss either way
+        assert!(cache.stats().misses >= 3);
+    }
+
+    #[test]
+    fn unknown_verb_and_bad_source_are_hard_errors() {
+        assert!(handle(&req("explode"), &ServiceCtx::uncached()).is_err());
+        let mut r = req("run");
+        r.source = Source::Path("/nonexistent/x.chl".to_string());
+        let e = handle(&r, &ServiceCtx::uncached()).unwrap_err();
+        assert!(e.starts_with("cannot read /nonexistent/x.chl"), "{e}");
+    }
+
+    #[test]
+    fn request_round_trips_through_wire_json() {
+        let mut r = req("equiv");
+        r.backends = vec!["handelc".to_string(), "transmogrifier".to_string()];
+        r.entry_b = Some("gcd".to_string());
+        r.bound = Some(60);
+        r.timeout_ms = Some(5000);
+        r.options = CompileOptions::new()
+            .backend(Some("c2v"))
+            .narrow(true)
+            .unroll(Some(4))
+            .jit(false)
+            .jobs(3);
+        let wire = r.to_json();
+        let back = Request::from_json(&jsonin::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back.verb, r.verb);
+        assert_eq!(back.source, r.source);
+        assert_eq!(back.entry, r.entry);
+        assert_eq!(back.args, r.args);
+        assert_eq!(back.backends, r.backends);
+        assert_eq!(back.entry_b, r.entry_b);
+        assert_eq!(back.bound, r.bound);
+        assert_eq!(back.timeout_ms, r.timeout_ms);
+        assert_eq!(back.options, r.options);
+    }
+
+    #[test]
+    fn schema_verb_documents_every_service_verb() {
+        let h = handle(
+            &Request {
+                verb: "schema".to_string(),
+                ..Request::default()
+            },
+            &ServiceCtx::uncached(),
+        )
+        .unwrap();
+        for v in SERVICE_VERBS {
+            assert!(h.response.data.contains(&format!("\"verb\":\"{v}\"")), "{v}");
+        }
+        for v in ["stats", "shutdown"] {
+            assert!(h.response.data.contains(&format!("\"verb\":\"{v}\"")), "{v}");
+        }
+    }
+}

@@ -89,7 +89,7 @@ fn random_netlist(n: usize, seed: u64) -> (Netlist, Vec<(String, IntType)>) {
                 nl.add(CellKind::Const(ty.canonicalize(v)), ty)
             }
             1 => {
-                let op = if rng.next() % 2 == 0 { UnKind::Neg } else { UnKind::Not };
+                let op = if rng.next().is_multiple_of(2) { UnKind::Neg } else { UnKind::Not };
                 nl.add(CellKind::Un(op, x), ty)
             }
             2 => {

@@ -608,7 +608,7 @@ mod tests {
             "f",
             &[],
         );
-        assert_eq!(r, Some(-100 + 0 + 6));
+        assert_eq!(r, Some(-94));
     }
 
     #[test]

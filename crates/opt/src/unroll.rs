@@ -186,6 +186,11 @@ fn has_break_or_continue(block: &HirBlock) -> bool {
 pub struct UnrollOptions {
     /// Unroll every canonical loop fully, regardless of pragmas (Cones).
     pub force_full: bool,
+    /// Unroll factor applied to every canonical counted `for` loop that
+    /// carries no `#pragma unroll` of its own (a pragma always wins).
+    /// `Some(0)` means "fully"; `None` leaves unpragma'd loops rolled.
+    /// This is the `--unroll N` design-space knob.
+    pub factor_override: Option<u32>,
 }
 
 /// Statistics from an unrolling run.
@@ -226,7 +231,11 @@ fn unroll_block(block: &HirBlock, opts: UnrollOptions, stats: &mut UnrollStats) 
                 unroll,
             } => {
                 let body2 = unroll_block(body, opts, stats);
-                let want = if opts.force_full { Some(0) } else { *unroll };
+                let want = if opts.force_full {
+                    Some(0)
+                } else {
+                    unroll.or(opts.factor_override)
+                };
                 match want {
                     None => out.push(HirStmt::For {
                         init: init.clone(),
@@ -418,7 +427,13 @@ mod tests {
         let prog = compile_to_hir(src).expect("frontend ok");
         let (id, _) = prog.func_by_name(entry).expect("entry exists");
         let inlined = crate::inline::inline_program(&prog, id).expect("inline ok");
-        let (func, stats) = unroll_function(&inlined.funcs[0], UnrollOptions { force_full });
+        let (func, stats) = unroll_function(
+            &inlined.funcs[0],
+            UnrollOptions {
+                force_full,
+                factor_override: None,
+            },
+        );
         let mut prog2 = inlined.clone();
         prog2.funcs[0] = func;
         let f = chls_ir::lower_function(&prog2, FuncId(0)).expect("lowering ok");

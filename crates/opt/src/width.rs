@@ -186,7 +186,7 @@ mod tests {
             // declared range is respected.
             assert!(range.lo <= range.hi);
         }
-        assert_eq!(r.ret, Some(9 * (1 + 6 + 4 + 4 + 3 + 6 + 7 + 0)));
+        assert_eq!(r.ret, Some(9 * (1 + 6 + 4 + 4 + 3 + 6 + 7)));
     }
 
     #[test]

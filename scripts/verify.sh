@@ -186,7 +186,49 @@ grep -q "DIFFER" "$tmp/equiv.txt"
 grep -q "arg0" "$tmp/equiv.txt"
 echo "seeded miscompile refuted with a counterexample"
 
+echo "== chls serve smoke (daemon vs one-shot, warm cache, clean shutdown) =="
+./target/release/chls serve --addr 127.0.0.1:0 > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 50); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$tmp/serve.log")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "FAIL: daemon never reported its port" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+addr="127.0.0.1:$port"
+# check: byte-identical through the daemon.
+./target/release/chls check "$tmp/gcd.chl" gcd 48 36 > "$tmp/check_local.txt"
+./target/release/chls --connect "$addr" check "$tmp/gcd.chl" gcd 48 36 > "$tmp/check_remote.txt"
+diff "$tmp/check_local.txt" "$tmp/check_remote.txt"
+# equiv: byte-identical through the daemon.
+./target/release/chls equiv --backend handelc --backend transmogrifier \
+    --bound 60 examples/chl/checksum.chl main > "$tmp/eq_local.txt"
+./target/release/chls --connect "$addr" equiv --backend handelc --backend transmogrifier \
+    --bound 60 examples/chl/checksum.chl main > "$tmp/eq_remote.txt"
+diff "$tmp/eq_local.txt" "$tmp/eq_remote.txt"
+# report: identical modulo wall-clock timings (the only floats in the
+# rendering), and the repeat request must come from the warm cache.
+./target/release/chls report examples/chl/gcd.chl main 48 36 > "$tmp/rep_local.txt"
+./target/release/chls --connect "$addr" report examples/chl/gcd.chl main 48 36 > "$tmp/rep_remote.txt"
+diff <(sed -E 's/[0-9]+\.[0-9]+/N/g' "$tmp/rep_local.txt") \
+     <(sed -E 's/[0-9]+\.[0-9]+/N/g' "$tmp/rep_remote.txt")
+./target/release/chls --connect "$addr" report --json examples/chl/gcd.chl main 48 36 \
+    | grep -q '"cached":true'
+# service metrics, then a graceful stop the daemon acknowledges.
+./target/release/chls client --addr "$addr" stats | grep -q '"requests":'
+./target/release/chls client --addr "$addr" shutdown | grep -q '"shutting_down":true'
+wait "$serve_pid"
+echo "serve smoke OK"
+
 echo "== simulator benchmarks (fail on >10% throughput regression) =="
 cargo run --release -p chls-bench --bin bench_sim -- --check 10
+
+echo "== serve benchmarks (gate warm-report speedup and requests/s) =="
+cargo run --release -p chls-bench --bin bench_serve -- --check 40
 
 echo "== verify OK =="

@@ -1,0 +1,214 @@
+//! Golden pin of every verb's one-shot CLI output (text and `--json`).
+//!
+//! The files under `tests/golden/` were captured from the `chls` binary
+//! immediately *before* the verb dispatch was rerouted through
+//! `chls::service::handle` (and immediately after the envelope gained
+//! its `"schema"` field, the one deliberate JSON change of that PR), so
+//! this suite proves the service-layer refactor is byte-identical: same
+//! stdout, same exit codes, flag for flag.
+//!
+//! Wall-clock fields (`report`'s per-phase timings and parse time) are
+//! the only nondeterministic bytes; [`normalize`] rewrites them — and
+//! nothing else — to a fixed token on both sides of the diff.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::Once;
+
+fn chls_bin() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let bin = root.join("target/release/chls");
+    static BUILD: Once = Once::new();
+    BUILD.call_once(|| {
+        if !bin.exists() {
+            let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+            let status = Command::new(cargo)
+                .args(["build", "--release", "-p", "chls", "--bins"])
+                .current_dir(&root)
+                .status()
+                .expect("spawn cargo build");
+            assert!(status.success(), "building the chls binary failed");
+        }
+    });
+    bin
+}
+
+fn chls(args: &[&str]) -> Output {
+    Command::new(chls_bin())
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("run chls")
+}
+
+/// Rewrites wall-clock measurements to a fixed token.
+///
+/// * Text tables and headers print times with exactly three fractional
+///   digits (`parse 0.034 ms`, `| 0.207    |`); no other field does
+///   (`fnum` emits at most two), so `\d+.\d{3}` → `#` is surgical.
+/// * JSON carries `"parse_seconds":<n>` and `"seconds":<n>`; their
+///   number values become `0`.
+fn normalize(s: &str) -> String {
+    let mut out: Vec<u8> = Vec::with_capacity(s.len());
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        // JSON time keys: skip the number that follows.
+        let mut replaced_key = false;
+        for key in ["\"parse_seconds\":", "\"seconds\":"] {
+            if b[i..].starts_with(key.as_bytes()) {
+                out.extend_from_slice(key.as_bytes());
+                i += key.len();
+                while i < b.len() && matches!(b[i], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+                {
+                    i += 1;
+                }
+                out.push(b'0');
+                replaced_key = true;
+                break;
+            }
+        }
+        if replaced_key {
+            continue;
+        }
+        // Text times: digits '.' exactly three digits, not followed by
+        // another digit.
+        if b[i].is_ascii_digit() {
+            let start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i + 3 < b.len()
+                && b[i] == b'.'
+                && b[i + 1].is_ascii_digit()
+                && b[i + 2].is_ascii_digit()
+                && b[i + 3].is_ascii_digit()
+                && !b.get(i + 4).is_some_and(u8::is_ascii_digit)
+            {
+                out.push(b'#');
+                i += 4;
+            } else {
+                out.extend_from_slice(&b[start..i]);
+            }
+            continue;
+        }
+        out.push(b[i]);
+        i += 1;
+    }
+    String::from_utf8(out).expect("normalization preserves UTF-8")
+}
+
+/// One pinned invocation: args, golden file, expected exit success.
+const CASES: &[(&[&str], &str, bool)] = &[
+    (&["backends"], "backends.golden", true),
+    (&["run", "examples/chl/gcd.chl", "main", "1071", "462"], "run_gcd.golden", true),
+    (
+        &["check", "--jobs", "2", "examples/chl/gcd.chl", "main", "48", "36"],
+        "check_gcd.golden",
+        true,
+    ),
+    (
+        &["check", "--jobs", "2", "--json", "examples/chl/gcd.chl", "main", "48", "36"],
+        "check_gcd_json.golden",
+        true,
+    ),
+    (&["ir", "examples/chl/gcd.chl", "main"], "ir_gcd.golden", true),
+    (
+        &["lint", "examples/chl/par_pipeline.chl", "main"],
+        "lint_par_pipeline.golden",
+        true,
+    ),
+    (
+        &["lint", "--json", "examples/chl/gcd.chl", "main"],
+        "lint_gcd_json.golden",
+        true,
+    ),
+    (
+        &["flow", "examples/chl/stream_multirate.chl", "main"],
+        "flow_stream.golden",
+        true,
+    ),
+    (
+        &["flow", "--json", "examples/chl/stream_multirate.chl", "main"],
+        "flow_stream_json.golden",
+        true,
+    ),
+    (
+        &["synth", "c2v", "examples/chl/gcd.chl", "main", "48", "36"],
+        "synth_gcd.golden",
+        true,
+    ),
+    (
+        &["verilog", "--pipeline", "c2v", "examples/chl/fir.chl", "main"],
+        "verilog_fir.golden",
+        true,
+    ),
+    (
+        &[
+            "equiv", "--backend", "handelc", "--backend", "transmogrifier", "--bound", "60",
+            "examples/chl/checksum.chl", "main",
+        ],
+        "equiv_checksum.golden",
+        true,
+    ),
+    (
+        &[
+            "equiv", "--backend", "handelc", "--backend", "transmogrifier", "--bound", "60",
+            "--json", "examples/chl/checksum.chl", "main",
+        ],
+        "equiv_checksum_json.golden",
+        true,
+    ),
+    (
+        &["report", "--backend", "c2v", "examples/chl/fir.chl", "main"],
+        "report_fir.golden",
+        true,
+    ),
+    (
+        &["report", "--backend", "c2v", "--json", "examples/chl/fir.chl", "main"],
+        "report_fir_json.golden",
+        true,
+    ),
+];
+
+#[test]
+fn every_verb_matches_its_pre_refactor_golden() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    for (args, golden, want_success) in CASES {
+        let o = chls(args);
+        assert_eq!(
+            o.status.success(),
+            *want_success,
+            "exit status changed for {args:?}: stderr: {}",
+            String::from_utf8_lossy(&o.stderr)
+        );
+        let got = normalize(&String::from_utf8_lossy(&o.stdout));
+        let want_raw = std::fs::read_to_string(root.join("tests/golden").join(golden))
+            .unwrap_or_else(|e| panic!("missing golden {golden}: {e}"));
+        let want = normalize(&want_raw);
+        assert_eq!(
+            got, want,
+            "`chls {}` diverged from tests/golden/{golden}",
+            args.join(" ")
+        );
+    }
+}
+
+#[test]
+fn normalizer_touches_only_wall_clock_fields() {
+    assert_eq!(normalize("(parse 0.034 ms)"), "(parse # ms)");
+    assert_eq!(normalize("| 1     | 0.207    |"), "| 1     | #    |");
+    assert_eq!(
+        normalize(r#""parse_seconds":0.000030244,"x":1"#),
+        r#""parse_seconds":0,"x":1"#
+    );
+    assert_eq!(
+        normalize(r#"{"phase":"sim.fsmd","seconds":2.9e-5}"#),
+        r#"{"phase":"sim.fsmd","seconds":0}"#
+    );
+    // Not times: integers, one/two-decimal figures, comma lists.
+    assert_eq!(normalize("area 15740 gates 14276.5"), "area 15740 gates 14276.5");
+    assert_eq!(normalize("args [1,2,3]"), "args [1,2,3]");
+    assert_eq!(normalize("1.2345"), "1.2345");
+    assert_eq!(normalize("clock: 2.00 ns"), "clock: 2.00 ns");
+}

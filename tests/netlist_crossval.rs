@@ -9,11 +9,11 @@ use chls::{backend_by_name, Compiler, Design, SynthOptions};
 use chls_rtl::fsmd_to_netlist;
 use chls_sim::netlist_sim::NetlistSim;
 
+/// (cycles, ret, final RAM images) from a finished netlist run.
+type NetlistRun = (u64, Option<i64>, Vec<Vec<i64>>);
+
 /// Steps the netlist until `done` reads 1, returning (cycles, ret, rams).
-fn run_netlist(
-    nl: &chls_rtl::Netlist,
-    max_cycles: u64,
-) -> Result<(u64, Option<i64>, Vec<Vec<i64>>), String> {
+fn run_netlist(nl: &chls_rtl::Netlist, max_cycles: u64) -> Result<NetlistRun, String> {
     let mut sim = NetlistSim::new(nl).map_err(|e| e.to_string())?;
     let has_ret = nl.outputs.iter().any(|(n, _)| n == "ret");
     for cycle in 1..=max_cycles {

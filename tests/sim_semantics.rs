@@ -115,7 +115,7 @@ fn netlist_register_init_canonicalized_to_width() {
     let mut nl = Netlist::new("init");
     let reg = reg_with_next(&mut nl, u(8), 300, None, |_, reg| reg);
     nl.set_output("q", reg);
-    let mut sim = NetlistSim::new(&nl).unwrap();
+    let sim = NetlistSim::new(&nl).unwrap();
     assert_eq!(sim.output("q").unwrap(), 44);
 }
 
