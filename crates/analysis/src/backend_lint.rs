@@ -31,6 +31,10 @@ pub struct Features {
     pub data_dependent_loops: bool,
     /// Contains `#pragma constraint` regions.
     pub timing_constraints: bool,
+    /// A recursive call cycle is reachable from the entry. Program-level:
+    /// [`detect_features`] leaves it `false`; [`crate::lint_program`]
+    /// sets it from the call graph.
+    pub recursion: bool,
 }
 
 /// Detects the features `func` exercises. `pts` must be the points-to
@@ -112,6 +116,12 @@ pub struct BackendFinding {
     /// What in the program triggered it, when nameable (e.g. the
     /// multi-target pointer names).
     pub detail: Option<String>,
+    /// `chls rewrite` can provably repair every instance of this
+    /// construct (classification is a dry run of the actual rewriter;
+    /// see [`crate::repair`]).
+    pub repairable: bool,
+    /// Name of the repair pass, when one exists for this construct.
+    pub rewrite: Option<&'static str>,
 }
 
 impl BackendFinding {
@@ -148,6 +158,8 @@ fn check_row(f: &Features, row: &ConstructSupport, out: &mut Vec<BackendFinding>
                 status: sup.tag(),
                 reason: reason.to_string(),
                 detail,
+                repairable: false,
+                rewrite: None,
             });
         }
     };
@@ -173,4 +185,20 @@ fn check_row(f: &Features, row: &ConstructSupport, out: &mut Vec<BackendFinding>
         &row.timing_constraints,
         None,
     );
+    if f.recursion {
+        // Not a column of the construct matrix: the paper's surveyed
+        // tools reject recursion unconditionally (no static elaboration
+        // of an unbounded call stack), so every paradigm gets the row.
+        out.push(BackendFinding {
+            backend: row.backend,
+            construct: "recursion",
+            status: "rejected",
+            reason: "recursive calls cannot be elaborated to static hardware; \
+                     an acyclic call graph is required"
+                .to_string(),
+            detail: None,
+            repairable: false,
+            rewrite: None,
+        });
+    }
 }

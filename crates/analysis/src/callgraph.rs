@@ -1,0 +1,92 @@
+//! Call-graph queries over a whole [`HirProgram`].
+//!
+//! Semantic analysis already records per-function callee lists; this
+//! module gives the lint and repair passes the program-level views they
+//! need: reachability from an entry point and the recursive components
+//! (Tarjan SCCs, computed by [`chls_frontend::recursion_cycles`])
+//! restricted to what the entry can actually reach.
+
+use chls_frontend::hir::{FuncId, HirProgram};
+use std::collections::HashSet;
+
+/// The program's call graph, edges taken from `HirFunc::callees`.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `callees[f]` = functions `f` calls directly (deduplicated).
+    pub callees: Vec<Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from the analyzed program.
+    pub fn build(prog: &HirProgram) -> Self {
+        let callees = prog
+            .funcs
+            .iter()
+            .map(|f| {
+                let mut cs = f.callees.clone();
+                cs.sort_by_key(|c| c.0);
+                cs.dedup();
+                cs
+            })
+            .collect();
+        CallGraph { callees }
+    }
+
+    /// Every function reachable from `entry`, including `entry` itself.
+    pub fn reachable(&self, entry: FuncId) -> HashSet<FuncId> {
+        let mut seen = HashSet::from([entry]);
+        let mut work = vec![entry];
+        while let Some(f) = work.pop() {
+            for &c in &self.callees[f.0 as usize] {
+                if seen.insert(c) {
+                    work.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The recursive components (self loops and mutual-recursion cycles)
+    /// that `entry` can reach, in Tarjan discovery order.
+    pub fn reachable_cycles(&self, prog: &HirProgram, entry: FuncId) -> Vec<Vec<FuncId>> {
+        let reach = self.reachable(entry);
+        chls_frontend::recursion_cycles(prog)
+            .into_iter()
+            .filter(|cycle| cycle.iter().any(|f| reach.contains(f)))
+            .collect()
+    }
+
+    /// Whether any recursion is reachable from `entry`.
+    pub fn has_reachable_recursion(&self, prog: &HirProgram, entry: FuncId) -> bool {
+        !self.reachable_cycles(prog, entry).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chls_frontend::compile_to_hir_relaxed;
+
+    #[test]
+    fn reachability_and_cycles() {
+        let prog = compile_to_hir_relaxed(
+            "int dead(int x) { return dead(x - 1); }
+             uint<8> f(uint<4> n) { if (n < 2) return (uint<8>)n; return f(n - 1); }
+             uint<8> main(uint<4> n) { return f(n); }",
+        )
+        .expect("relaxed frontend accepts recursion");
+        let cg = CallGraph::build(&prog);
+        let (main_id, _) = prog.func_by_name("main").unwrap();
+        let (dead_id, _) = prog.func_by_name("dead").unwrap();
+        let reach = cg.reachable(main_id);
+        assert_eq!(reach.len(), 2);
+        assert!(!reach.contains(&dead_id));
+        let cycles = cg.reachable_cycles(&prog, main_id);
+        assert_eq!(cycles.len(), 1, "only `f` recurses reachably");
+        assert!(cg.has_reachable_recursion(&prog, main_id));
+        assert!(!cg
+            .reachable_cycles(&prog, dead_id)
+            .iter()
+            .any(|c| c.contains(&main_id)));
+    }
+}

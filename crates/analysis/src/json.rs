@@ -78,20 +78,31 @@ pub fn report_to_json(r: &LintReport) -> String {
         .collect::<Vec<_>>()
         .join(",");
     let features = format!(
-        r#"{{"par":{},"channels":{},"delay":{},"pointers":{},"multi_target_pointers":[{multi}],"data_dependent_loops":{},"timing_constraints":{}}}"#,
-        f.par, f.channels, f.delay, f.pointers, f.data_dependent_loops, f.timing_constraints
+        r#"{{"par":{},"channels":{},"delay":{},"pointers":{},"multi_target_pointers":[{multi}],"data_dependent_loops":{},"timing_constraints":{},"recursion":{}}}"#,
+        f.par,
+        f.channels,
+        f.delay,
+        f.pointers,
+        f.data_dependent_loops,
+        f.timing_constraints,
+        f.recursion
     );
     let backends = r
         .backend_findings
         .iter()
         .map(|b| {
+            let rewrite = match b.rewrite {
+                Some(p) => format!("\"{p}\""),
+                None => "null".to_string(),
+            };
             format!(
-                r#"{{"backend":"{}","construct":"{}","status":"{}","reason":"{}","detail":{}}}"#,
+                r#"{{"backend":"{}","construct":"{}","status":"{}","reason":"{}","detail":{},"repairable":{},"rewrite":{rewrite}}}"#,
                 b.backend,
                 b.construct,
                 b.status,
                 escape(&b.reason),
-                opt_str(&b.detail)
+                opt_str(&b.detail),
+                b.repairable
             )
         })
         .collect::<Vec<_>>()

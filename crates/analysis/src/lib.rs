@@ -32,14 +32,18 @@
 //! `chls lint` CLI verb and [`json`] serializes the result.
 
 pub mod backend_lint;
+pub mod callgraph;
 pub mod cycles;
 pub mod effects;
 pub mod flow;
 pub mod json;
 pub mod memlint;
 pub mod race;
+pub mod repair;
 
 pub use backend_lint::{check_backends, detect_features, BackendFinding, Features};
+pub use callgraph::CallGraph;
+pub use repair::{assess_repairs, RepairAssessment, RepairVerdict};
 pub use cycles::{handelc_block_interval, handelc_interval, transmogrifier_interval, Interval};
 pub use effects::{block_effects, Access, AccessKind, Loc};
 pub use flow::{flow_program, Balance, FlowReport};
@@ -139,9 +143,16 @@ impl LintReport {
                     .as_ref()
                     .map(|d| format!(" ({d})"))
                     .unwrap_or_default();
+                let repair = match (f.repairable, f.rewrite) {
+                    (true, Some(pass)) => {
+                        format!(" [repairable: `chls rewrite` pass {pass}]")
+                    }
+                    (false, Some(_)) => " [not provably repairable]".to_string(),
+                    _ => String::new(),
+                };
                 out.push_str(&format!(
-                    "  {:<15} {:<9} {}{}: {}\n",
-                    f.backend, f.status, f.construct, detail, f.reason
+                    "  {:<15} {:<9} {}{}: {}{}\n",
+                    f.backend, f.status, f.construct, detail, f.reason, repair
                 ));
             }
         }
@@ -199,6 +210,9 @@ impl LintReport {
         }
         if f.timing_constraints {
             v.push("timing constraints".to_string());
+        }
+        if f.recursion {
+            v.push("recursion".to_string());
         }
         v
     }
@@ -258,8 +272,29 @@ pub fn lint_program(
 
     let pts = points_to(func);
     let races = find_races(func, &pts);
-    let features = detect_features(func, &pts);
-    let backend_findings = check_backends(&features, backend);
+    let mut features = detect_features(func, &pts);
+    // Recursion is a property of the call graph, not of any one body;
+    // the relaxed frontend lets recursive programs reach the lint, and
+    // here they become findings instead of parse-time death.
+    let cg = callgraph::CallGraph::build(prog);
+    features.recursion = cg.has_reachable_recursion(prog, entry_id);
+    let mut backend_findings = check_backends(&features, backend);
+
+    // Classify each rejection as mechanically repairable or not by
+    // dry-running the certified rewriter (`chls rewrite`).
+    if backend_findings.iter().any(|f| {
+        matches!(
+            f.construct,
+            "recursion" | "pointers" | "multi_target_pointers" | "data_dependent_loops"
+        )
+    }) {
+        let assessment = repair::assess_repairs(prog, entry);
+        for f in &mut backend_findings {
+            let v = assessment.verdict_for(f.construct);
+            f.repairable = v.repairable;
+            f.rewrite = v.rewrite;
+        }
+    }
 
     // Dataflow clients. Scalar use-before-init walks the inlined HIR
     // (SSA construction would erase the distinction); the memory and

@@ -1,0 +1,140 @@
+//! Repairability classification for synthesizability rejections.
+//!
+//! The per-backend lint ([`crate::backend_lint`]) tells the user *what*
+//! each paradigm rejects; this module adds *whether the toolchain can
+//! mechanically fix it*. Classification is a dry run of the certified
+//! repair pipeline (`chls_opt::rewrite`): the rewriter's own planning
+//! logic — recursion-depth bounds from the interval engine, trip-count
+//! proofs from branch-guard refinement, Andersen points-to for pointer
+//! regions — is the single source of truth, so the lint can never claim
+//! a repair the rewriter would refuse, or vice versa.
+
+use chls_frontend::hir::HirProgram;
+pub use chls_opt::rewrite::RewriteAction;
+use chls_opt::rewrite::{rewrite_program, RewriteOptions};
+
+/// Outcome of dry-running the repair pipeline against one entry point.
+#[derive(Debug, Clone, Default)]
+pub struct RepairAssessment {
+    /// Every action the rewriter would take (or decline, with a reason).
+    pub actions: Vec<RewriteAction>,
+}
+
+/// How one lint construct maps to a repair pass, and whether the dry run
+/// proved that pass applicable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairVerdict {
+    /// The rewriter can provably repair every instance of the construct.
+    pub repairable: bool,
+    /// Name of the `chls rewrite` pass that performs the repair, when
+    /// one exists for this construct at all.
+    pub rewrite: Option<&'static str>,
+}
+
+impl RepairVerdict {
+    const NONE: RepairVerdict = RepairVerdict {
+        repairable: false,
+        rewrite: None,
+    };
+}
+
+/// Dry-runs the repair pipeline. `entry` must name a function; callers
+/// validate first (mirrors [`crate::lint_program`]'s contract).
+pub fn assess_repairs(prog: &HirProgram, entry: &str) -> RepairAssessment {
+    match rewrite_program(prog, entry, &RewriteOptions::default()) {
+        Ok(res) => RepairAssessment {
+            actions: res.actions,
+        },
+        Err(_) => RepairAssessment::default(),
+    }
+}
+
+impl RepairAssessment {
+    /// True when every action of `pass` either applied or was discharged
+    /// as unreachable (dropped code needs no repair), and at least one
+    /// action of that pass exists.
+    fn pass_succeeds(&self, pass: &str) -> bool {
+        let mut any = false;
+        for a in self.actions.iter().filter(|a| a.pass == pass) {
+            any = true;
+            if !a.applied && !a.detail.starts_with("unreachable from the entry") {
+                return false;
+            }
+        }
+        any
+    }
+
+    /// Classifies one lint construct (the `construct` key of a
+    /// [`crate::BackendFinding`]).
+    pub fn verdict_for(&self, construct: &str) -> RepairVerdict {
+        let pass = match construct {
+            "recursion" => "recursion-to-stack",
+            "pointers" | "multi_target_pointers" => "ptr-to-index",
+            "data_dependent_loops" => "loop-bound",
+            // `par`, `channels`, `delay`, `timing_constraints`: semantic
+            // features, not accidents of style — nothing to rewrite to.
+            _ => return RepairVerdict::NONE,
+        };
+        RepairVerdict {
+            repairable: self.pass_succeeds(pass),
+            rewrite: Some(pass),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chls_frontend::{compile_to_hir, compile_to_hir_relaxed};
+
+    #[test]
+    fn bounded_recursion_is_repairable() {
+        let prog = compile_to_hir_relaxed(
+            "uint<64> fact(uint<4> n) { if (n <= 1) return 1; return (uint<64>)n * fact(n - 1); }",
+        )
+        .unwrap();
+        let a = assess_repairs(&prog, "fact");
+        let v = a.verdict_for("recursion");
+        assert!(v.repairable);
+        assert_eq!(v.rewrite, Some("recursion-to-stack"));
+    }
+
+    #[test]
+    fn gcd_loop_is_not_repairable() {
+        let prog = compile_to_hir(
+            "int gcd(int a, int b) { while (b != 0) { int t = a % b; a = b; b = t; } return a; }",
+        )
+        .unwrap();
+        let a = assess_repairs(&prog, "gcd");
+        let v = a.verdict_for("data_dependent_loops");
+        assert!(!v.repairable);
+        assert_eq!(v.rewrite, Some("loop-bound"));
+    }
+
+    #[test]
+    fn bounded_loop_and_pointers_are_repairable() {
+        let prog = compile_to_hir(
+            "int f(int a[8], uint<3> n) {
+                int *p = &a[0];
+                uint<3> i = n;
+                int s = 0;
+                while (i != 0) { s = s + *p; p = p + 1; i = i - 1; }
+                return s;
+            }",
+        )
+        .unwrap();
+        let a = assess_repairs(&prog, "f");
+        assert!(a.verdict_for("pointers").repairable);
+        assert!(a.verdict_for("data_dependent_loops").repairable);
+        assert!(a.verdict_for("multi_target_pointers").repairable);
+    }
+
+    #[test]
+    fn semantic_constructs_have_no_rewrite() {
+        let prog = compile_to_hir("int f(int a) { par { { a = a + 1; } } return a; }").unwrap();
+        let assess = assess_repairs(&prog, "f");
+        let v = assess.verdict_for("par");
+        assert!(!v.repairable);
+        assert_eq!(v.rewrite, None);
+    }
+}

@@ -15,6 +15,10 @@
 //! chls lint <file.chl> <entry>                 static analysis: races,
 //!                                              per-backend support, cycle bounds
 //! chls flow <file.chl> <entry>                 static process-network analysis
+//! chls rewrite <file.chl> <entry>              certified synthesizability repair:
+//!                                              recursion -> stack machine,
+//!                                              data-dependent loops -> bounded,
+//!                                              pointer arithmetic -> indexed arrays
 //! chls report <file.chl> <entry> [args...]     per-backend QoR metrics and
 //!                                              per-phase wall-clock timing
 //! chls schema                                  dump the JSON envelope contract
@@ -155,6 +159,13 @@ const VERBS: &[VerbSpec] = &[
         min_pos: 2,
         max_pos: Some(2),
         flags: &[JSON],
+    },
+    VerbSpec {
+        name: "rewrite",
+        usage: "chls rewrite [--backend B] [--json] <file> <entry>",
+        min_pos: 2,
+        max_pos: Some(2),
+        flags: &[vflag("--backend"), JSON],
     },
     VerbSpec {
         name: "report",
@@ -332,7 +343,7 @@ fn build_request(name: &str, p: &Parsed) -> Result<Request, String> {
             req.source = Source::Path(p.pos[0].clone());
             req.entry = p.pos[1].clone();
         }
-        "lint" => {
+        "lint" | "rewrite" => {
             req.source = Source::Path(p.pos[0].clone());
             req.entry = p.pos[1].clone();
             opts = opts.backend(p.value("--backend"));

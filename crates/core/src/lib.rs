@@ -42,6 +42,7 @@ pub mod programs;
 pub mod qor;
 pub mod registry;
 pub mod report;
+pub mod rewriter;
 pub mod serve;
 pub mod service;
 
@@ -60,6 +61,7 @@ pub use qor::{default_args, qor_report, BackendQor, QorReport, QorStatus};
 pub use cache::{ArtifactCache, CacheStats};
 pub use registry::{backend_by_name, backends, taxonomy_table};
 pub use report::{fnum, Table};
+pub use rewriter::{rewrite_and_certify, CertCheck, CheckStatus, RewriteOutcome};
 pub use service::{Request, Response, ServiceCtx};
 
 /// The stable import surface, in one line: `use chls::prelude::*;`.

@@ -106,8 +106,8 @@ impl ServiceCtx {
 /// The verbs [`handle`] accepts (the daemon adds `stats`/`shutdown` at
 /// the transport layer — they are server state, not compilation).
 pub const SERVICE_VERBS: &[&str] = &[
-    "backends", "run", "check", "ir", "synth", "verilog", "equiv", "lint", "flow", "report",
-    "schema",
+    "backends", "run", "check", "ir", "synth", "verilog", "equiv", "lint", "flow", "rewrite",
+    "report", "schema",
 ];
 
 /// `qor_report` resets the global trace collector per backend; under a
@@ -262,6 +262,7 @@ fn dispatch(
         "ir" => verb_ir(req, ctx, src.expect("source resolved"), digest),
         "lint" => verb_lint(req, ctx, src.expect("source resolved"), digest),
         "flow" => verb_flow(req, ctx, src.expect("source resolved"), digest),
+        "rewrite" => verb_rewrite(req, src.expect("source resolved")),
         "synth" => verb_synth(req, ctx, src.expect("source resolved"), digest),
         "verilog" => verb_verilog(req, ctx, src.expect("source resolved"), digest),
         "equiv" => verb_equiv(req, ctx, src.expect("source resolved"), digest),
@@ -414,16 +415,123 @@ fn verb_ir(req: &Request, ctx: &ServiceCtx, src: &str, digest: u64) -> Result<Re
 }
 
 fn verb_lint(req: &Request, ctx: &ServiceCtx, src: &str, digest: u64) -> Result<Response, String> {
-    let compiler = compiler_for(ctx, src, digest)?;
-    let report = compiler
-        .lint(&req.entry, req.options.backend_requested())
-        .map_err(|e| e.to_string())?;
+    // The strict frontend rejects recursion at parse time; the lint's
+    // job is to *report* it (as a repairable finding) instead. When the
+    // strict parse fails but the relaxed one succeeds — i.e. the only
+    // errors were recursion — lint the relaxed program.
+    let report = match compiler_for(ctx, src, digest) {
+        Ok(compiler) => compiler
+            .lint(&req.entry, req.options.backend_requested())
+            .map_err(|e| e.to_string())?,
+        Err(strict_err) => {
+            let Ok(hir) = chls_frontend::compile_to_hir_relaxed(src) else {
+                return Err(strict_err);
+            };
+            chls_analysis::lint_program(&hir, &req.entry, req.options.backend_requested())
+                .map_err(|e| e.to_string())?
+        }
+    };
     let ok = !report.has_errors();
     Ok(Response {
         verb: "lint".to_string(),
         ok,
         data: report.to_json(),
-        text: report.render(compiler.source()),
+        text: report.render(src),
+        warnings: Vec::new(),
+    })
+}
+
+fn verb_rewrite(req: &Request, src: &str) -> Result<Response, String> {
+    let backend = req.options.backend_requested();
+    let outcome = crate::rewriter::rewrite_and_certify(
+        src,
+        &req.entry,
+        &chls_opt::rewrite::RewriteOptions::default(),
+        backend,
+    )?;
+    // Under a backend filter the verdict is that backend's alone; bare
+    // `rewrite` succeeds when the result is certified.
+    let ok = outcome.certified
+        && (backend.is_none() || outcome.accepted_after == outcome.backends_total);
+
+    let mut text = String::new();
+    let _ = writeln!(text, "repairs:");
+    for a in &outcome.actions {
+        let _ = writeln!(
+            text,
+            "  {:<18} {:<24} {}: {}",
+            a.pass,
+            a.target,
+            if a.applied { "applied" } else { "skipped" },
+            a.detail
+        );
+    }
+    let _ = writeln!(text, "certification:");
+    for c in &outcome.checks {
+        let _ = writeln!(text, "  {:<18} {:<4} {}", c.name, c.status.label(), c.detail);
+    }
+    let _ = writeln!(
+        text,
+        "accepted backends: {}/{} -> {}/{}",
+        outcome.accepted_before,
+        outcome.backends_total,
+        outcome.accepted_after,
+        outcome.backends_total
+    );
+    let _ = writeln!(
+        text,
+        "certified: {}",
+        if outcome.certified { "yes" } else { "NO" }
+    );
+    let _ = writeln!(text, "--- rewritten CHL ---");
+    text.push_str(&outcome.source);
+
+    let actions = outcome
+        .actions
+        .iter()
+        .map(|a| {
+            format!(
+                r#"{{"pass":"{}","target":"{}","applied":{},"detail":"{}"}}"#,
+                a.pass,
+                escape(&a.target),
+                a.applied,
+                escape(&a.detail)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let checks = outcome
+        .checks
+        .iter()
+        .map(|c| {
+            let status = match c.status {
+                crate::rewriter::CheckStatus::Pass => "pass",
+                crate::rewriter::CheckStatus::Fail => "fail",
+                crate::rewriter::CheckStatus::Skip => "skip",
+            };
+            format!(
+                r#"{{"check":"{}","status":"{status}","detail":"{}"}}"#,
+                c.name,
+                escape(&c.detail)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let data = format!(
+        r#"{{"entry":"{}","changed":{},"certified":{},"accepted_before":{},"accepted_after":{},"backends_total":{},"actions":[{actions}],"certification":[{checks}],"source":{}}}"#,
+        escape(&outcome.entry),
+        outcome.changed,
+        outcome.certified,
+        outcome.accepted_before,
+        outcome.accepted_after,
+        outcome.backends_total,
+        quote(&outcome.source)
+    );
+    Ok(Response {
+        verb: "rewrite".to_string(),
+        ok,
+        data,
+        text,
         warnings: Vec::new(),
     })
 }
@@ -799,6 +907,11 @@ const SCHEMAS: &[(&str, &str, &str)] = &[
         "flow",
         r#"{"entry":str,"errors":[...],"processes":[...],"channels":[...]}"#,
         "static process-network analysis",
+    ),
+    (
+        "rewrite",
+        r#"{"entry":str,"changed":bool,"certified":bool,"accepted_before":int,"accepted_after":int,"backends_total":int,"actions":[{"pass":str,"target":str,"applied":bool,"detail":str}],"certification":[{"check":str,"status":"pass"|"fail"|"skip","detail":str}],"source":str}"#,
+        "certified synthesizability repair: rewritten CHL + proof ladder",
     ),
     (
         "report",

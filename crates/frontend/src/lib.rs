@@ -30,6 +30,7 @@
 //! ```
 
 pub mod ast;
+pub mod chlprint;
 pub mod diag;
 pub mod hir;
 pub mod lexer;
@@ -40,6 +41,8 @@ pub mod token;
 pub mod types;
 
 pub use diag::{Diagnostic, FrontendError, Severity};
-pub use sema::{analyze, compile_to_hir};
+pub use sema::{
+    analyze, analyze_relaxed, compile_to_hir, compile_to_hir_relaxed, recursion_cycles,
+};
 pub use span::Span;
 pub use types::{IntType, Type};

@@ -32,6 +32,17 @@ use std::collections::HashMap;
 ///
 /// Returns all diagnostics collected before analysis had to stop.
 pub fn analyze(program: &ast::Program) -> Result<HirProgram, FrontendError> {
+    let prog = analyze_relaxed(program)?;
+    check_no_recursion(&prog)?;
+    Ok(prog)
+}
+
+/// [`analyze`] without the recursion rejection: every other semantic
+/// check still applies. This is the entry point for the repair pipeline
+/// (`chls rewrite`), which needs typed HIR for recursive programs so it
+/// can bound and rewrite them; ordinary compilation must keep using
+/// [`analyze`].
+pub fn analyze_relaxed(program: &ast::Program) -> Result<HirProgram, FrontendError> {
     let mut ctx = SemaCtx::default();
     ctx.collect_items(program)?;
     let mut funcs = Vec::new();
@@ -43,14 +54,12 @@ pub fn analyze(program: &ast::Program) -> Result<HirProgram, FrontendError> {
     for f in &funcs {
         warnings.extend(unused_local_warnings(f));
     }
-    let prog = HirProgram {
+    Ok(HirProgram {
         funcs,
         globals: ctx.globals,
         clock_period_ps: ctx.clock_period_ps,
         warnings,
-    };
-    check_no_recursion(&prog)?;
-    Ok(prog)
+    })
 }
 
 /// Warns about named scalar locals that are assigned but never read.
@@ -246,20 +255,47 @@ impl SemaCtx {
                 }
                 Item::Pragma(..) => {}
                 Item::Func(f) => {
-                    if self.func_names.contains_key(&f.name) {
-                        return Err(err(format!("duplicate function `{}`", f.name), f.span));
-                    }
-                    if f.body.is_none() {
-                        return Err(err(
-                            format!("function `{}` has no body; CHL has no linker", f.name),
-                            f.span,
-                        ));
+                    if let Some(&id) = self.func_names.get(&f.name) {
+                        // A bodyless forward declaration may be completed
+                        // by exactly one later definition with the same
+                        // signature (this is what lets mutually recursive
+                        // functions name each other before definition).
+                        let prev = &self.func_decls[id.0 as usize];
+                        if prev.body.is_some() || f.body.is_none() {
+                            return Err(err(format!("duplicate function `{}`", f.name), f.span));
+                        }
+                        if prev.ret_ty != f.ret_ty
+                            || prev.params.len() != f.params.len()
+                            || prev
+                                .params
+                                .iter()
+                                .zip(&f.params)
+                                .any(|(a, b)| a.ty != b.ty)
+                        {
+                            return Err(err(
+                                format!(
+                                    "definition of `{}` does not match its forward declaration",
+                                    f.name
+                                ),
+                                f.span,
+                            ));
+                        }
+                        self.func_decls[id.0 as usize] = f.clone();
+                        continue;
                     }
                     let id = FuncId(self.func_decls.len() as u32);
                     self.func_names.insert(f.name.clone(), id);
                     self.func_decls.push(f.clone());
                 }
                 Item::Global(g) => self.collect_global(g)?,
+            }
+        }
+        for f in &self.func_decls {
+            if f.body.is_none() {
+                return Err(err(
+                    format!("function `{}` has no body; CHL has no linker", f.name),
+                    f.span,
+                ));
             }
         }
         Ok(())
@@ -1409,49 +1445,168 @@ fn place_root_is_global(place: &HirPlace) -> bool {
     }
 }
 
-/// Rejects direct or mutual recursion (hardware has no stack).
-fn check_no_recursion(prog: &HirProgram) -> Result<(), FrontendError> {
-    #[derive(Clone, Copy, PartialEq)]
-    enum Mark {
-        White,
-        Grey,
-        Black,
-    }
-    fn dfs(
-        prog: &HirProgram,
-        id: FuncId,
-        marks: &mut [Mark],
-        stack: &mut Vec<String>,
-    ) -> Result<(), FrontendError> {
-        marks[id.0 as usize] = Mark::Grey;
-        stack.push(prog.func(id).name.clone());
-        for &callee in &prog.func(id).callees {
-            match marks[callee.0 as usize] {
-                Mark::Grey => {
-                    stack.push(prog.func(callee).name.clone());
-                    return Err(err(
-                        format!(
-                            "recursion is not synthesizable (cycle: {})",
-                            stack.join(" -> ")
-                        ),
-                        Span::dummy(),
-                    ));
+/// Finds every call cycle in the program, as the exact cycle members in
+/// call order (`f -> g -> f` reports `[f, g]`, a self-call reports
+/// `[f]`). Each strongly connected component of the call graph yields
+/// one representative cycle; cycles are reported in ascending order of
+/// their smallest member's [`FuncId`].
+pub fn recursion_cycles(prog: &HirProgram) -> Vec<Vec<FuncId>> {
+    // Iterative Tarjan SCC over the callee lists.
+    let n = prog.funcs.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // (node, next-callee position)
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = work.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let callees = &prog.funcs[v].callees;
+            if *pos < callees.len() {
+                let w = callees[*pos].0 as usize;
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
                 }
-                Mark::White => dfs(prog, callee, marks, stack)?,
-                Mark::Black => {}
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let cyclic = comp.len() > 1
+                        || prog.funcs[comp[0]].callees.contains(&FuncId(comp[0] as u32));
+                    if cyclic {
+                        comp.sort_unstable();
+                        sccs.push(comp);
+                    }
+                }
+                work.pop();
+                if let Some(&mut (u, _)) = work.last_mut() {
+                    low[u] = low[u].min(low[v]);
+                }
             }
         }
-        stack.pop();
-        marks[id.0 as usize] = Mark::Black;
-        Ok(())
     }
-    let mut marks = vec![Mark::White; prog.funcs.len()];
-    for i in 0..prog.funcs.len() {
-        if marks[i] == Mark::White {
-            dfs(prog, FuncId(i as u32), &mut marks, &mut Vec::new())?;
+    sccs.sort_by_key(|c| c[0]);
+    // Order each SCC as an actual call chain starting from its smallest
+    // member, following in-SCC callee edges.
+    sccs.into_iter()
+        .map(|comp| {
+            let mut order = vec![FuncId(comp[0] as u32)];
+            let mut seen = vec![comp[0]];
+            loop {
+                let cur = order.last().expect("nonempty").0 as usize;
+                let next = prog.funcs[cur]
+                    .callees
+                    .iter()
+                    .find(|c| comp.contains(&(c.0 as usize)) && !seen.contains(&(c.0 as usize)));
+                match next {
+                    Some(&c) => {
+                        seen.push(c.0 as usize);
+                        order.push(c);
+                    }
+                    None => break,
+                }
+            }
+            // Members not on the greedy chain (e.g. diamond SCCs) still
+            // belong to the cycle report; append them in id order.
+            for &m in &comp {
+                if !seen.contains(&m) {
+                    order.push(FuncId(m as u32));
+                }
+            }
+            order
+        })
+        .collect()
+}
+
+/// The source span of the first call from `caller` to `callee`, for
+/// anchoring recursion diagnostics at the offending call site.
+fn first_call_span(prog: &HirProgram, caller: FuncId, callee: FuncId) -> Option<Span> {
+    fn scan(block: &HirBlock, callee: FuncId) -> Option<Span> {
+        for s in &block.stmts {
+            match s {
+                HirStmt::Call { func, span, .. } if *func == callee => return Some(*span),
+                HirStmt::If { then, els, .. } => {
+                    if let Some(sp) = scan(then, callee).or_else(|| scan(els, callee)) {
+                        return Some(sp);
+                    }
+                }
+                HirStmt::While { body, .. }
+                | HirStmt::DoWhile { body, .. }
+                | HirStmt::Block(body)
+                | HirStmt::Constraint { body, .. } => {
+                    if let Some(sp) = scan(body, callee) {
+                        return Some(sp);
+                    }
+                }
+                HirStmt::For {
+                    init, step, body, ..
+                } => {
+                    if let Some(sp) = scan(init, callee)
+                        .or_else(|| scan(step, callee))
+                        .or_else(|| scan(body, callee))
+                    {
+                        return Some(sp);
+                    }
+                }
+                HirStmt::Par(arms) => {
+                    for arm in arms {
+                        if let Some(sp) = scan(arm, callee) {
+                            return Some(sp);
+                        }
+                    }
+                }
+                _ => {}
+            }
         }
+        None
     }
-    Ok(())
+    scan(&prog.func(caller).body, callee)
+}
+
+/// Rejects direct or mutual recursion (hardware has no stack). The
+/// diagnostic names exactly the functions on the cycle — no incidental
+/// call-chain prefix — and is anchored at the recursive call site.
+fn check_no_recursion(prog: &HirProgram) -> Result<(), FrontendError> {
+    let cycles = recursion_cycles(prog);
+    let Some(cycle) = cycles.first() else {
+        return Ok(());
+    };
+    let mut names: Vec<String> = cycle.iter().map(|&f| prog.func(f).name.clone()).collect();
+    names.push(names[0].clone()); // close the loop: f -> g -> f
+    let back_to = cycle[0];
+    let last = *cycle.last().expect("cycle is nonempty");
+    let span = first_call_span(prog, last, back_to)
+        .or_else(|| first_call_span(prog, cycle[0], cycle[1 % cycle.len()]))
+        .unwrap_or_else(Span::dummy);
+    Err(err(
+        format!(
+            "recursion is not synthesizable (cycle: {}); `chls rewrite` can repair bounded recursion",
+            names.join(" -> ")
+        ),
+        span,
+    ))
 }
 
 /// Convenience: parse and analyze in one step.
@@ -1462,6 +1617,17 @@ fn check_no_recursion(prog: &HirProgram) -> Result<(), FrontendError> {
 pub fn compile_to_hir(src: &str) -> Result<HirProgram, FrontendError> {
     let ast = crate::parser::parse(src).map_err(FrontendError::single)?;
     analyze(&ast)
+}
+
+/// Parse and analyze without the recursion rejection (see
+/// [`analyze_relaxed`]).
+///
+/// # Errors
+///
+/// Returns lexical, syntactic, or semantic diagnostics.
+pub fn compile_to_hir_relaxed(src: &str) -> Result<HirProgram, FrontendError> {
+    let ast = crate::parser::parse(src).map_err(FrontendError::single)?;
+    analyze_relaxed(&ast)
 }
 
 #[cfg(test)]
@@ -1566,8 +1732,55 @@ mod tests {
              int f(int n) { return g(n); }
              int g(int n) { return f(n); }",
         );
-        // Bodyless declarations are themselves rejected first.
-        assert!(msg.contains("no body") || msg.contains("recursion"));
+        // The forward declaration merges with the later definition, so
+        // the diagnostic names the actual cycle, not a missing body.
+        assert!(msg.contains("recursion"), "{msg}");
+        assert!(msg.contains("f -> g -> f") || msg.contains("g -> f -> g"), "{msg}");
+    }
+
+    #[test]
+    fn forward_declaration_merges_with_definition() {
+        let p = hir_ok(
+            "int helper(int n);
+             int main(int x) { return helper(x); }
+             int helper(int n) { return n + 1; }",
+        );
+        assert_eq!(p.funcs.len(), 2);
+    }
+
+    #[test]
+    fn forward_declaration_without_definition_is_rejected() {
+        let msg = hir_err("int ghost(int n); int main(int x) { return x; }");
+        assert!(msg.contains("no body"), "{msg}");
+    }
+
+    #[test]
+    fn forward_declaration_signature_mismatch_is_rejected() {
+        let msg = hir_err(
+            "int f(int n);
+             int f(int n, int m) { return n + m; }
+             int main() { return 0; }",
+        );
+        assert!(msg.contains("does not match"), "{msg}");
+    }
+
+    #[test]
+    fn recursion_diagnostic_is_span_anchored() {
+        let e = compile_to_hir("int f(int n) { return n == 0 ? 1 : n * f(n - 1); }")
+            .expect_err("expected recursion error");
+        let d = e.diagnostics.first().expect("one diagnostic");
+        assert!(!d.span.is_dummy(), "cycle diagnostic should anchor at the call site");
+    }
+
+    #[test]
+    fn relaxed_analysis_accepts_recursion() {
+        let p = crate::sema::compile_to_hir_relaxed(
+            "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }",
+        )
+        .expect("relaxed path admits recursion");
+        let cycles = recursion_cycles(&p);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 1);
     }
 
     #[test]

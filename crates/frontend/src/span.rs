@@ -42,6 +42,11 @@ impl Span {
     pub fn is_empty(self) -> bool {
         self.start == self.end
     }
+
+    /// True for the synthesized zero-width span at offset 0.
+    pub fn is_dummy(self) -> bool {
+        self == Span::dummy()
+    }
 }
 
 impl fmt::Display for Span {

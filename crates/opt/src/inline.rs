@@ -22,12 +22,18 @@ pub enum InlineError {
     /// An array argument was not a whole array (should be impossible for
     /// type-checked programs).
     BadArrayArgument,
+    /// A recursive call cycle is reachable from the entry (possible for
+    /// relaxed-frontend programs; `chls rewrite` repairs bounded cases).
+    Recursive(String),
 }
 
 impl fmt::Display for InlineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InlineError::BadArrayArgument => write!(f, "array argument is not a whole array"),
+            InlineError::Recursive(name) => {
+                write!(f, "recursive call cycle through `{name}` cannot be inlined")
+            }
         }
     }
 }
@@ -42,6 +48,12 @@ impl std::error::Error for InlineError {}
 /// See [`InlineError`].
 pub fn inline_program(prog: &HirProgram, entry: FuncId) -> Result<HirProgram, InlineError> {
     let _span = chls_trace::span("opt.inline");
+    // The strict frontend rejects recursion, but the relaxed one (used
+    // by `chls rewrite` and the lint) does not; a cycle here would
+    // otherwise expand forever.
+    if let Some(name) = find_cycle(prog, entry) {
+        return Err(InlineError::Recursive(name));
+    }
     let f = prog.func(entry);
     let mut ctx = Inliner {
         prog,
@@ -68,6 +80,40 @@ pub fn inline_program(prog: &HirProgram, entry: FuncId) -> Result<HirProgram, In
         clock_period_ps: prog.clock_period_ps,
         warnings: Vec::new(),
     })
+}
+
+/// Returns the name of some function on a call cycle reachable from
+/// `entry`, if one exists (iterative three-color DFS).
+fn find_cycle(prog: &HirProgram, entry: FuncId) -> Option<String> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; prog.funcs.len()];
+    // (func, next-callee-index) — entering a node grays it; leaving
+    // blackens it; meeting a gray callee is a cycle.
+    let mut stack = vec![(entry, 0usize)];
+    color[entry.0 as usize] = Color::Gray;
+    while let Some((f, i)) = stack.pop() {
+        let callees = &prog.func(f).callees;
+        if i >= callees.len() {
+            color[f.0 as usize] = Color::Black;
+            continue;
+        }
+        stack.push((f, i + 1));
+        let c = callees[i];
+        match color[c.0 as usize] {
+            Color::Gray => return Some(prog.func(c).name.clone()),
+            Color::White => {
+                color[c.0 as usize] = Color::Gray;
+                stack.push((c, 0));
+            }
+            Color::Black => {}
+        }
+    }
+    None
 }
 
 fn block_has(block: &HirBlock, pred: &mut impl FnMut(&HirStmt) -> bool) -> bool {

@@ -23,6 +23,7 @@ pub mod narrow;
 
 
 pub mod ptr;
+pub mod rewrite;
 pub mod simplify;
 pub mod width;
 pub mod subst;

@@ -2,7 +2,9 @@
 # Repo verification: tier-1 tests, the CLI integration suite, lint
 # hygiene (clippy + a `chls lint` sweep over the example corpus), a
 # `chls flow` sweep (examples must be deadlock-free, and the seeded
-# deadlock corpus must be proved stuck), a
+# deadlock corpus must be proved stuck), a `chls rewrite` sweep (the
+# software-shaped corpus must be repaired, certified, and lint-clean,
+# with at least 4 previously-rejected programs unlocking >=3 backends), a
 # conformance smoke run through the CLI (sequential and parallel must
 # agree), a `chls report` QoR smoke over the example corpus (width
 # narrowing and the AIG logic optimizer must both pay for themselves),
@@ -58,9 +60,43 @@ assert any(c["verdict"] == "met" for c in data["contracts"]), data
 EOF
 echo "flow verdicts valid"
 
-echo "== chls check smoke (jobs=1 vs jobs=4 must match) =="
+echo "== chls rewrite sweep (software corpus repaired + certified) =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+# Each software-shaped program must be auto-rewritten into a certified
+# synthesizable form; the acceptance table shows the before/after
+# backend counts, and the gates below hold the repair to its claims.
+: > "$tmp/rewrite_table.txt"
+for f in examples/chl/software/*.chl; do
+    entry="$(basename "$f" .chl)"
+    echo "-- rewrite $f ($entry)"
+    ./target/release/chls rewrite --json "$f" "$entry" > "$tmp/rewrite.json"
+    python3 - "$tmp/rewrite.json" "$f" "$tmp/rewrite_table.txt" "$tmp" <<'EOF'
+import json, sys
+env = json.load(open(sys.argv[1]))
+assert env["tool"] == "chls" and env["verb"] == "rewrite" and env["ok"] is True, env
+d = env["data"]
+assert d["certified"], (sys.argv[2], d["certification"])
+assert d["changed"], (sys.argv[2], "rewriter left the program alone")
+assert all(c["status"] != "FAIL" for c in d["certification"]), d["certification"]
+with open(sys.argv[3], "a") as out:
+    out.write(f'{sys.argv[2]} {d["accepted_before"]} {d["accepted_after"]} {d["backends_total"]}\n')
+# Hand the rewritten source back to the shell so `chls lint` can vet it
+# exactly as a user would.
+open(f'{sys.argv[4]}/rewritten_{d["entry"]}.chl', "w").write(d["source"])
+EOF
+    ./target/release/chls lint "$tmp/rewritten_$entry.chl" "$entry"
+done
+echo "-- acceptance table (file accepted_before accepted_after total)"
+column -t "$tmp/rewrite_table.txt" 2>/dev/null || cat "$tmp/rewrite_table.txt"
+repaired=$(awk '$2 < $4 && $3 > $2 && $3 >= 3' "$tmp/rewrite_table.txt" | wc -l)
+echo "rewriting unlocks backends on $repaired previously-rejected programs"
+if [ "$repaired" -lt 4 ]; then
+    echo "FAIL: at least 4 previously-rejected programs must synthesize on >=3 backends after rewriting" >&2
+    exit 1
+fi
+
+echo "== chls check smoke (jobs=1 vs jobs=4 must match) =="
 cat > "$tmp/gcd.chl" <<'EOF'
 int gcd(int a, int b) {
     while (b != 0) { int t = b; b = a % b; a = t; }

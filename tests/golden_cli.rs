@@ -124,6 +124,16 @@ const CASES: &[(&[&str], &str, bool)] = &[
         true,
     ),
     (
+        &["rewrite", "examples/chl/software/fact.chl", "fact"],
+        "rewrite_fact.golden",
+        true,
+    ),
+    (
+        &["rewrite", "--json", "examples/chl/software/bitcount.chl", "bitcount"],
+        "rewrite_bitcount_json.golden",
+        true,
+    ),
+    (
         &["flow", "examples/chl/stream_multirate.chl", "main"],
         "flow_stream.golden",
         true,

@@ -26,6 +26,11 @@ const MAC4: &str = "int mac4(int a, int b) {
     return s;
 }";
 
+const FACT: &str = "uint<32> fact(uint<3> n) {
+    if (n <= 1) return 1;
+    return (uint<32>)n * fact(n - 1);
+}";
+
 fn server() -> Server {
     Server::start(&ServeConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -183,6 +188,7 @@ fn daemon_text_is_one_shot_text_for_every_verb() {
         req("ir", MAC4, "mac4", &[]),
         req("lint", GCD, "gcd", &[]),
         req("flow", GCD, "gcd", &[]),
+        req("rewrite", FACT, "fact", &[]),
         verilog,
         equiv,
     ];
