@@ -33,6 +33,43 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Transmogrifier;
 
+/// Largest single-cycle expression (in Rv nodes) the backend will
+/// build. Inlined per-cycle expressions are *trees* — a value feeding
+/// several consumers is cloned into each — so mux chains over a fully
+/// unrolled loop grow exponentially; past this bound the design is not
+/// a circuit anyone would accept from a one-cycle-per-iteration rule,
+/// and building it would hang the compiler.
+const MAX_RV_NODES: usize = 1 << 17;
+
+/// Counts the nodes of `rv`, giving up (`None`) once the count exceeds
+/// `cap` — the early abort is what keeps the guard itself from paying
+/// the exponential cost it exists to detect.
+fn rv_nodes_capped(rv: &Rv, cap: usize) -> Option<usize> {
+    let mut stack = vec![rv];
+    let mut n = 0usize;
+    while let Some(r) = stack.pop() {
+        n += 1;
+        if n > cap {
+            return None;
+        }
+        match &r.kind {
+            RvKind::Const(_) | RvKind::Reg(_) | RvKind::Input(_) => {}
+            RvKind::Un(_, a) | RvKind::Cast(a) => stack.push(a),
+            RvKind::Bin(_, a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            RvKind::Mux(a, b, c) => {
+                stack.push(a);
+                stack.push(b);
+                stack.push(c);
+            }
+            RvKind::MemRead { addr, .. } => stack.push(addr),
+        }
+    }
+    Some(n)
+}
+
 impl Backend for Transmogrifier {
     fn info(&self) -> BackendInfo {
         BackendInfo {
@@ -392,6 +429,16 @@ fn build(f: &Function) -> Result<Fsmd, SynthError> {
                         continue;
                     }
                 };
+                if rv_nodes_capped(&rv, MAX_RV_NODES).is_none() {
+                    return Err(SynthError::Unsupported {
+                        backend: "transmogrifier",
+                        what: format!(
+                            "a single-cycle expression of more than {MAX_RV_NODES} \
+                             operators (fully unrolled loop bodies chain combinationally \
+                             under the one-cycle-per-iteration rule; reduce --unroll)"
+                        ),
+                    });
+                }
                 values.insert(v, rv);
             }
 

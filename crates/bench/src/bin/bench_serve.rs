@@ -273,5 +273,9 @@ fn main() {
     server.stop();
     std::fs::write(&out_path, &json).expect("writes BENCH_serve.json");
     print!("{json}");
+    eprintln!(
+        "bench_serve: warm report {report_speedup:.1}x over cold one-shot \
+         (cold {cold_s:.4}s, warm {warm_s:.6}s); {rps:.0} req/s mixed"
+    );
     eprintln!("wrote {out_path}");
 }

@@ -21,6 +21,9 @@
 //!                                              pointer arithmetic -> indexed arrays
 //! chls report <file.chl> <entry> [args...]     per-backend QoR metrics and
 //!                                              per-phase wall-clock timing
+//! chls explore <file.chl> <entry>              certified design-space
+//!                                              exploration: Pareto frontier
+//!                                              over (area, latency, II)
 //! chls schema                                  dump the JSON envelope contract
 //! chls serve [--addr H:P] [--workers N]        persistent synthesis daemon
 //! chls client [--addr H:P] <verb> [args...]    run any verb on a daemon
@@ -179,6 +182,21 @@ const VERBS: &[VerbSpec] = &[
             flag("--opt-netlist"),
             vflag("--unroll"),
             flag("--jit"),
+            JSON,
+        ],
+    },
+    VerbSpec {
+        name: "explore",
+        usage: "chls explore [--backend B | --all] [--budget N] [--seq-bound K] [--jobs N] [--emit-dir DIR] [--json] <file> <entry>",
+        min_pos: 2,
+        max_pos: Some(2),
+        flags: &[
+            vflag("--backend"),
+            flag("--all"),
+            vflag("--budget"),
+            vflag("--seq-bound"),
+            vflag("--jobs"),
+            vflag("--emit-dir"),
             JSON,
         ],
     },
@@ -347,6 +365,28 @@ fn build_request(name: &str, p: &Parsed) -> Result<Request, String> {
             req.source = Source::Path(p.pos[0].clone());
             req.entry = p.pos[1].clone();
             opts = opts.backend(p.value("--backend"));
+        }
+        "explore" => {
+            req.source = Source::Path(p.pos[0].clone());
+            req.entry = p.pos[1].clone();
+            let which = p.value("--backend");
+            if which.is_some() && p.has("--all") {
+                return Err("`--backend` and `--all` are mutually exclusive".to_string());
+            }
+            opts = opts.backend(which);
+            req.budget = match p.value("--budget") {
+                Some(v) => Some(v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    "--budget needs a positive integer".to_string()
+                })?),
+                None => None,
+            };
+            req.bound = match p.value("--seq-bound") {
+                Some(v) => Some(v.parse().ok().filter(|&k| k > 0).ok_or_else(|| {
+                    "--seq-bound needs a positive integer".to_string()
+                })?),
+                None => None,
+            };
+            req.emit_dir = p.value("--emit-dir").map(str::to_string);
         }
         "synth" | "verilog" => {
             opts = opts.backend(Some(&p.pos[0]));

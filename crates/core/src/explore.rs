@@ -1,0 +1,1085 @@
+//! Certified design-space exploration: `chls explore`.
+//!
+//! One source program admits a whole lattice of implementations —
+//! backend × loop pipelining × width narrowing × netlist optimization ×
+//! unroll factor. This module enumerates that lattice, evaluates every
+//! point (in parallel, on the [`crate::executor`] pool, memoized
+//! through the [`crate::cache`]), reduces the results to the Pareto
+//! frontier over **(NAND2 area, latency, initiation interval)**, and —
+//! the part that distinguishes it from a spreadsheet — *certifies*
+//! every frontier point against an unoptimized reference synthesis of
+//! the same backend:
+//!
+//! * combinational designs get a full [`chls_logic::check_comb_equiv`]
+//!   proof, sequential designs a bounded [`chls_logic::check_seq_equiv`]
+//!   proof (`--seq-bound` cycles, default 16);
+//! * a proof that comes back `Unknown` (bound unreachable, SAT budget)
+//!   demotes the point to a clearly-labeled **sampled** tier backed by
+//!   the 8 seeded differential vectors of the rewriter's certification
+//!   harness — never silently reported as proved;
+//! * a `Differ` verdict or a vector mismatch marks the point
+//!   **refuted** and fails the verb: a config whose output changes is
+//!   a compiler bug surfaced, not a design point.
+//!
+//! With `--budget N` the sweep runs successive halving: every lattice
+//! point is scored by the cheap synthesis-only phase (NAND2 area ×
+//! scheduled cycles, no simulation), the pool is halved on that
+//! estimate until at most `N` candidates remain, and only the
+//! survivors are simulated for real latency.
+//!
+//! `--emit-dir DIR` dumps every frontier netlist as binary AIGER and
+//! BLIF through [`chls_logic::interchange`], and re-proves each AIGER
+//! file equivalent after reading it back — emitted artifacts are
+//! checked, not hoped.
+
+use crate::cache::Artifact;
+use crate::executor::Executor;
+use crate::prelude::*;
+use crate::service::ServiceCtx;
+use crate::Table;
+use chls_analysis::json::escape;
+use chls_backends::SynthError;
+use chls_rtl::CostModel;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Unroll factors swept per backend (with the three binary knobs this
+/// makes 32 configurations per backend).
+const UNROLLS: [Option<u32>; 4] = [None, Some(2), Some(4), Some(8)];
+
+/// Knobs of the `explore` verb itself (the lattice dimensions live in
+/// [`Config`]).
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Restrict the sweep to one backend; `None` sweeps all seven.
+    pub backend: Option<String>,
+    /// Successive-halving budget: at most this many points are fully
+    /// evaluated. `None` evaluates the whole feasible lattice.
+    pub budget: Option<usize>,
+    /// Cycle bound for sequential equivalence certification.
+    pub seq_bound: usize,
+    /// Worker threads for parallel evaluation.
+    pub jobs: usize,
+    /// Dump frontier netlists (AIGER + BLIF) into this directory.
+    pub emit_dir: Option<String>,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            backend: None,
+            budget: None,
+            seq_bound: 16,
+            jobs: 1,
+            emit_dir: None,
+        }
+    }
+}
+
+/// One point of the configuration lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    pub backend: &'static str,
+    pub pipeline: bool,
+    pub narrow: bool,
+    pub opt_netlist: bool,
+    pub unroll: Option<u32>,
+}
+
+impl Config {
+    /// The compile options this point synthesizes under.
+    pub fn compile_options(&self) -> CompileOptions {
+        CompileOptions::new()
+            .backend(Some(self.backend))
+            .pipeline(self.pipeline)
+            .narrow(self.narrow)
+            .opt_netlist(self.opt_netlist)
+            .unroll(self.unroll)
+    }
+
+    /// Filesystem-safe identifier, used for `--emit-dir` filenames.
+    pub fn slug(&self) -> String {
+        format!(
+            "{}-p{}n{}o{}u{}",
+            self.backend,
+            u8::from(self.pipeline),
+            u8::from(self.narrow),
+            u8::from(self.opt_netlist),
+            self.unroll.unwrap_or(0),
+        )
+    }
+
+    /// Human rendering of the non-default knobs (`-` when all default).
+    pub fn knobs(&self) -> String {
+        let mut parts = Vec::new();
+        if self.pipeline {
+            parts.push("pipeline".to_string());
+        }
+        if self.narrow {
+            parts.push("narrow".to_string());
+        }
+        if self.opt_netlist {
+            parts.push("opt".to_string());
+        }
+        if let Some(u) = self.unroll {
+            parts.push(format!("unroll={u}"));
+        }
+        if parts.is_empty() {
+            "-".to_string()
+        } else {
+            parts.join(",")
+        }
+    }
+}
+
+/// Synthesis outcome classification, mirroring `report`'s taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalStatus {
+    Ok,
+    /// The backend's language model rejects this program.
+    Unsupported(String),
+    /// Synthesis or evaluation failed outright.
+    Error(String),
+}
+
+/// Measured metrics of one lattice point. Cached (keyed by source
+/// digest + config) so warm sweeps and daemon re-runs are cheap and —
+/// critically — byte-identical to cold ones: the initiation interval
+/// comes from a per-evaluation trace collector at synthesis time and
+/// is stored here rather than re-derived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRecord {
+    pub status: EvalStatus,
+    /// `comb` / `fsmd` / `dataflow`.
+    pub style: Option<&'static str>,
+    /// NAND2-equivalent area under the default cost model.
+    pub area: Option<f64>,
+    /// Scheduler-emitted cycles (cheap latency estimate).
+    pub sched_cycles: Option<u64>,
+    /// Initiation interval achieved by modulo scheduling, if it ran.
+    pub ii: Option<u64>,
+    /// Measured latency: simulated clock cycles for clocked designs,
+    /// async time units for dataflow, 0 for combinational.
+    pub latency: Option<u64>,
+    /// Why simulation was skipped or failed.
+    pub sim_note: Option<String>,
+    /// Whether the full (simulated) phase ran for this record.
+    pub simulated: bool,
+}
+
+impl EvalRecord {
+    fn error(msg: String) -> Self {
+        EvalRecord {
+            status: EvalStatus::Error(msg),
+            style: None,
+            area: None,
+            sched_cycles: None,
+            ii: None,
+            latency: None,
+            sim_note: None,
+            simulated: false,
+        }
+    }
+
+    /// Rough resident size for the cache's LRU budget.
+    pub fn approx_bytes(&self) -> usize {
+        let strs = match &self.status {
+            EvalStatus::Ok => 0,
+            EvalStatus::Unsupported(s) | EvalStatus::Error(s) => s.len(),
+        };
+        std::mem::size_of::<Self>() + strs + self.sim_note.as_ref().map_or(0, String::len)
+    }
+}
+
+/// How a frontier point's functional correctness was established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tier {
+    /// Proved equivalent to the unoptimized reference (comb: all
+    /// inputs; seq: all inputs completing within the bound).
+    Certified,
+    /// Proof inconclusive; the point passed the seeded differential
+    /// vectors instead. Explicitly weaker, explicitly labeled.
+    Sampled,
+    /// Proof or vectors found a real output difference — a bug.
+    Refuted,
+    /// Neither proof nor vectors were possible (e.g. unseedable
+    /// parameters).
+    Unchecked,
+}
+
+impl Tier {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tier::Certified => "certified",
+            Tier::Sampled => "sampled",
+            Tier::Refuted => "refuted",
+            Tier::Unchecked => "unchecked",
+        }
+    }
+}
+
+/// Certification outcome of one frontier point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certification {
+    pub tier: Tier,
+    /// Proof method (`strash`/`bdd`/`sat`) when certified.
+    pub method: Option<String>,
+    /// Sequential bound used, when a sequential proof ran.
+    pub bound: Option<usize>,
+    /// Differential vectors that passed, when sampled.
+    pub vectors: Option<usize>,
+    /// Why the point was demoted or refuted.
+    pub detail: Option<String>,
+}
+
+/// Where a frontier netlist was dumped, when `--emit-dir` is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Emit {
+    /// Both formats written; the AIGER file was read back and re-proved
+    /// equivalent by the named method.
+    Written {
+        aiger: String,
+        blif: String,
+        roundtrip: String,
+    },
+    /// This design kind or point could not be dumped.
+    Skipped(String),
+}
+
+/// One Pareto-optimal point, fully attributed.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub config: Config,
+    pub eval: EvalRecord,
+    pub cert: Certification,
+    pub emit: Option<Emit>,
+}
+
+/// The whole sweep's result.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    pub entry: String,
+    /// Backends swept, registry order.
+    pub backends: Vec<&'static str>,
+    /// Total lattice points enumerated.
+    pub lattice: usize,
+    /// Points whose synthesis succeeded.
+    pub feasible: usize,
+    /// Points fully evaluated (simulated) after budgeting.
+    pub evaluated: usize,
+    pub budget: Option<usize>,
+    pub seq_bound: usize,
+    pub frontier: Vec<Point>,
+    /// Set when the requested entry was absent and the program's sole
+    /// function was used instead.
+    pub entry_note: Option<String>,
+}
+
+/// Resolves the entry function, falling back to the program's sole
+/// function when the requested name does not exist — `explore` sweeps
+/// whole files often enough that guessing the only candidate beats
+/// erroring.
+///
+/// # Errors
+///
+/// When the entry is absent and the program has several functions.
+pub fn resolve_entry(compiler: &Compiler, entry: &str) -> Result<(String, Option<String>), String> {
+    if compiler.hir().func_by_name(entry).is_some() {
+        return Ok((entry.to_string(), None));
+    }
+    let funcs = &compiler.hir().funcs;
+    if let [only] = funcs.as_slice() {
+        let name = only.name.clone();
+        let note = format!("note: no function named `{entry}`; exploring the sole function `{name}`");
+        return Ok((name, Some(note)));
+    }
+    Err(format!(
+        "no function named `{entry}` (program defines {})",
+        funcs.len()
+    ))
+}
+
+/// Enumerates the configuration lattice for the selected backends, in
+/// deterministic (registry, unroll, pipeline, narrow, opt) order.
+fn lattice(backends: &[&'static str]) -> Vec<Config> {
+    let mut out = Vec::new();
+    for &backend in backends {
+        for unroll in UNROLLS {
+            for pipeline in [false, true] {
+                for narrow in [false, true] {
+                    for opt_netlist in [false, true] {
+                        out.push(Config {
+                            backend,
+                            pipeline,
+                            narrow,
+                            opt_netlist,
+                            unroll,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Cache key for one lattice point's [`EvalRecord`]; `phase` is
+/// `"synth"` (cheap) or `"full"` (with simulation).
+fn eval_key(digest: u64, entry: &str, cfg: &Config, phase: &str) -> String {
+    format!(
+        "exp|{digest:016x}|{entry}|{}|{phase}",
+        cfg.compile_options().cache_key()
+    )
+}
+
+fn cached_eval(ctx: &ServiceCtx, key: &str) -> Option<Arc<EvalRecord>> {
+    match ctx.cache.as_ref()?.get(key) {
+        Some(Artifact::Eval(r)) => Some(r),
+        _ => None,
+    }
+}
+
+fn store_eval(ctx: &ServiceCtx, key: &str, rec: &EvalRecord) {
+    if let Some(cache) = &ctx.cache {
+        cache.put(key, Artifact::Eval(Arc::new(rec.clone())));
+    }
+}
+
+/// The cheap phase: synthesize only, under a private trace collector
+/// so the scheduler's cycle count and initiation interval land in this
+/// evaluation's record. The synthesized design is pushed into the
+/// shared design cache so the full phase, certification, and emission
+/// never re-synthesize.
+fn synth_eval(
+    compiler: &Compiler,
+    entry: &str,
+    cfg: &Config,
+    ctx: &ServiceCtx,
+    digest: u64,
+) -> EvalRecord {
+    let key = eval_key(digest, entry, cfg, "synth");
+    if let Some(r) = cached_eval(ctx, &key) {
+        return (*r).clone();
+    }
+    let copts = cfg.compile_options();
+    let col = chls_trace::Collector::new();
+    col.set_enabled(true);
+    let result = chls_trace::with_collector(&col, || {
+        compiler.synthesize(
+            crate::registry::backend_by_name(cfg.backend)
+                .expect("lattice backends come from the registry")
+                .as_ref(),
+            entry,
+            &copts.synth_options(),
+        )
+    });
+    let rec = match result {
+        Err(
+            e @ (SynthError::Unsupported { .. } | SynthError::Loop(_) | SynthError::Transform(_)),
+        ) => EvalRecord {
+            status: EvalStatus::Unsupported(e.to_string()),
+            ..EvalRecord::error(String::new())
+        },
+        Err(e) => EvalRecord::error(e.to_string()),
+        Ok(design) => {
+            let snap = col.snapshot();
+            let style = match &design {
+                Design::Comb(_) => "comb",
+                Design::Fsmd(_) => "fsmd",
+                Design::Dataflow(_) => "dataflow",
+            };
+            let rec = EvalRecord {
+                status: EvalStatus::Ok,
+                style: Some(style),
+                area: Some(design.area(&CostModel::new())),
+                sched_cycles: snap.counter("sched.cycles").filter(|&c| c > 0),
+                ii: snap.gauge("sched.ii"),
+                latency: None,
+                sim_note: None,
+                simulated: false,
+            };
+            if let Some(cache) = &ctx.cache {
+                cache.put(
+                    &crate::service::design_key(digest, entry, cfg.backend, &copts),
+                    Artifact::Design(Arc::new(design)),
+                );
+            }
+            rec
+        }
+    };
+    store_eval(ctx, &key, &rec);
+    rec
+}
+
+/// The full phase: add measured latency by simulating the design on
+/// the default argument vector.
+fn full_eval(
+    compiler: &Compiler,
+    entry: &str,
+    cfg: &Config,
+    cheap: &EvalRecord,
+    args: Option<&[ArgValue]>,
+    ctx: &ServiceCtx,
+    digest: u64,
+) -> EvalRecord {
+    let key = eval_key(digest, entry, cfg, "full");
+    if let Some(r) = cached_eval(ctx, &key) {
+        return (*r).clone();
+    }
+    let mut rec = cheap.clone();
+    rec.simulated = true;
+    match point_design(compiler, entry, cfg, ctx, digest) {
+        Err(e) => rec.sim_note = Some(e),
+        Ok(design) => match args {
+            None => {
+                rec.sim_note = Some("no argument vector (pointer/channel parameter)".to_string());
+            }
+            Some(a) => match crate::simulate_design(&design, a) {
+                Ok(out) => {
+                    rec.latency = Some(match design.as_ref() {
+                        Design::Comb(_) => 0,
+                        Design::Fsmd(_) => out.cycles.unwrap_or(0),
+                        Design::Dataflow(_) => out.time_units.unwrap_or(0),
+                    });
+                }
+                Err(e) => rec.sim_note = Some(e.to_string()),
+            },
+        },
+    }
+    store_eval(ctx, &key, &rec);
+    rec
+}
+
+/// Fetches (or synthesizes) one point's design via the shared design
+/// cache.
+fn point_design(
+    compiler: &Compiler,
+    entry: &str,
+    cfg: &Config,
+    ctx: &ServiceCtx,
+    digest: u64,
+) -> Result<Arc<Design>, String> {
+    crate::service::design_for(ctx, compiler, digest, cfg.backend, entry, &cfg.compile_options())
+}
+
+/// The Pareto objective of one evaluated point; missing latency or II
+/// is pessimal, so incomparable points never shadow measured ones.
+fn objective(r: &EvalRecord) -> (f64, u64, u64) {
+    (
+        r.area.unwrap_or(f64::INFINITY),
+        r.latency.unwrap_or(u64::MAX),
+        r.ii.unwrap_or(u64::MAX),
+    )
+}
+
+fn dominates(a: (f64, u64, u64), b: (f64, u64, u64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 < b.0 || a.1 < b.1 || a.2 < b.2)
+}
+
+/// Certifies one frontier point against the unoptimized same-backend
+/// reference.
+fn certify(
+    compiler: &Compiler,
+    entry: &str,
+    cfg: &Config,
+    seq_bound: usize,
+    ctx: &ServiceCtx,
+    digest: u64,
+) -> Certification {
+    let unchecked = |detail: String| Certification {
+        tier: Tier::Unchecked,
+        method: None,
+        bound: None,
+        vectors: None,
+        detail: Some(detail),
+    };
+    let reference = match crate::service::design_for(
+        ctx,
+        compiler,
+        digest,
+        cfg.backend,
+        entry,
+        &CompileOptions::new(),
+    ) {
+        Ok(d) => d,
+        Err(e) => return unchecked(format!("reference synthesis failed: {e}")),
+    };
+    let candidate = match point_design(compiler, entry, cfg, ctx, digest) {
+        Ok(d) => d,
+        Err(e) => return unchecked(format!("candidate synthesis failed: {e}")),
+    };
+    let opts = chls_logic::EquivOptions::default();
+    let proof = match (reference.as_ref(), candidate.as_ref()) {
+        (Design::Comb(a), Design::Comb(b)) => {
+            Some((chls_logic::check_comb_equiv(a, b, &opts), None))
+        }
+        (Design::Fsmd(a), Design::Fsmd(b)) => Some((
+            chls_logic::check_seq_equiv(a, b, seq_bound, &opts),
+            Some(seq_bound),
+        )),
+        // Dataflow circuits (and any style disagreement) have no
+        // equivalence checker yet: straight to the sampled tier.
+        _ => None,
+    };
+    let demoted_why = match proof {
+        Some((Ok(report), bound)) => match report.verdict {
+            chls_logic::Verdict::Equivalent => {
+                return Certification {
+                    tier: Tier::Certified,
+                    method: Some(report.method.name().to_string()),
+                    bound,
+                    vectors: None,
+                    detail: None,
+                }
+            }
+            chls_logic::Verdict::Differ(cex) => {
+                return Certification {
+                    tier: Tier::Refuted,
+                    method: Some(report.method.name().to_string()),
+                    bound,
+                    vectors: None,
+                    detail: Some(format!("proof found a counterexample at `{}`", cex.output)),
+                }
+            }
+            chls_logic::Verdict::Unknown(why) => why,
+        },
+        Some((Err(e), _)) => e.to_string(),
+        None => "no equivalence checker for this design style".to_string(),
+    };
+    // Demoted: fall back to the seeded differential vectors.
+    let Some(vectors) = crate::rewriter::seed_vectors(compiler.hir(), entry) else {
+        return unchecked(format!("{demoted_why}; parameters not value-testable"));
+    };
+    let n = vectors.len();
+    for (i, args) in vectors.into_iter().enumerate() {
+        let run = |d: &Design| crate::simulate_design(d, &args);
+        match (run(&reference), run(&candidate)) {
+            (Ok(a), Ok(b)) => {
+                if a.ret != b.ret || a.arrays != b.arrays {
+                    return Certification {
+                        tier: Tier::Refuted,
+                        method: None,
+                        bound: None,
+                        vectors: Some(i + 1),
+                        detail: Some(format!("{demoted_why}; vector {i} output differs")),
+                    };
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                return unchecked(format!("{demoted_why}; vector {i} simulation failed: {e}"))
+            }
+        }
+    }
+    Certification {
+        tier: Tier::Sampled,
+        method: None,
+        bound: None,
+        vectors: Some(n),
+        detail: Some(demoted_why),
+    }
+}
+
+/// Dumps one frontier point as AIGER + BLIF, round-trip-proving the
+/// AIGER file.
+fn emit_point(
+    compiler: &Compiler,
+    entry: &str,
+    cfg: &Config,
+    dir: &str,
+    ctx: &ServiceCtx,
+    digest: u64,
+) -> Emit {
+    use chls_logic::interchange;
+    let design = match point_design(compiler, entry, cfg, ctx, digest) {
+        Ok(d) => d,
+        Err(e) => return Emit::Skipped(format!("synthesis failed: {e}")),
+    };
+    let lowered;
+    let netlist = match design.as_ref() {
+        Design::Comb(nl) => nl,
+        Design::Fsmd(f) => {
+            lowered = chls_rtl::fsmd_to_netlist(f);
+            &lowered
+        }
+        Design::Dataflow(_) => {
+            return Emit::Skipped("dataflow circuits have no netlist form to dump".to_string())
+        }
+    };
+    let doc = match interchange::from_netlist(netlist) {
+        Ok(d) => d,
+        Err(e) => return Emit::Skipped(e.to_string()),
+    };
+    let (bytes, method) = match interchange::roundtrip_aiger(&doc) {
+        Ok(r) => r,
+        Err(e) => return Emit::Skipped(e.to_string()),
+    };
+    let stem = format!("{entry}-{}", cfg.slug());
+    let aiger = format!("{dir}/{stem}.aig");
+    let blif = format!("{dir}/{stem}.blif");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        return Emit::Skipped(format!("cannot create {dir}: {e}"));
+    }
+    if let Err(e) = std::fs::write(&aiger, &bytes) {
+        return Emit::Skipped(format!("cannot write {aiger}: {e}"));
+    }
+    if let Err(e) = std::fs::write(&blif, interchange::write_blif(&doc)) {
+        return Emit::Skipped(format!("cannot write {blif}: {e}"));
+    }
+    Emit::Written {
+        aiger,
+        blif,
+        roundtrip: method.to_string(),
+    }
+}
+
+/// Runs the whole exploration. See the module docs for the phases.
+///
+/// # Errors
+///
+/// Hard failures only: unknown backend, unresolvable entry. Per-point
+/// synthesis failures are excluded from the frontier, not fatal.
+pub fn explore(
+    compiler: &Arc<Compiler>,
+    entry: &str,
+    opts: &ExploreOptions,
+    ctx: &ServiceCtx,
+    digest: u64,
+) -> Result<ExploreReport, String> {
+    let (entry, entry_note) = resolve_entry(compiler, entry)?;
+    let backends: Vec<&'static str> = match &opts.backend {
+        Some(name) => match crate::registry::backend_by_name(name) {
+            Some(b) => vec![b.info().name],
+            None => return Err(format!("unknown backend `{name}` (try `chls backends`)")),
+        },
+        None => crate::registry::backends().iter().map(|b| b.info().name).collect(),
+    };
+    let points = lattice(&backends);
+    let exec = Executor::new(opts.jobs.max(1));
+
+    // Phase 1: cheap synthesis-only evaluation of every lattice point.
+    let tickets: Vec<_> = points
+        .iter()
+        .map(|cfg| {
+            let (compiler, entry, cfg, ctx) =
+                (compiler.clone(), entry.clone(), cfg.clone(), ctx.clone());
+            exec.submit(move || synth_eval(&compiler, &entry, &cfg, &ctx, digest))
+        })
+        .collect();
+    let cheap: Vec<EvalRecord> = tickets
+        .into_iter()
+        .map(|t| t.wait().unwrap_or_else(EvalRecord::error))
+        .collect();
+
+    let mut alive: Vec<usize> = (0..points.len())
+        .filter(|&i| cheap[i].status == EvalStatus::Ok)
+        .collect();
+    let feasible = alive.len();
+
+    // Phase 2: successive halving on the cheap estimate (area ×
+    // scheduled cycles) until the pool fits the budget.
+    if let Some(budget) = opts.budget {
+        let budget = budget.max(1);
+        let estimate = |i: usize| {
+            cheap[i].area.unwrap_or(f64::INFINITY)
+                * cheap[i].sched_cycles.unwrap_or(1).max(1) as f64
+        };
+        while alive.len() > budget {
+            alive.sort_by(|&a, &b| {
+                estimate(a)
+                    .partial_cmp(&estimate(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            // Halve, but never below the budget; `len > budget >= 1`
+            // guarantees progress.
+            alive.truncate(alive.len().div_ceil(2).max(budget));
+        }
+        alive.sort_unstable();
+    }
+
+    // Phase 3: full evaluation (simulation) of the survivors.
+    let owned_args = crate::default_args(compiler, &entry);
+    let args = Arc::new(owned_args);
+    let tickets: Vec<_> = alive
+        .iter()
+        .map(|&i| {
+            let (compiler, entry, cfg, ctx, args, rec) = (
+                compiler.clone(),
+                entry.clone(),
+                points[i].clone(),
+                ctx.clone(),
+                args.clone(),
+                cheap[i].clone(),
+            );
+            exec.submit(move || {
+                full_eval(&compiler, &entry, &cfg, &rec, args.as_deref(), &ctx, digest)
+            })
+        })
+        .collect();
+    let full: Vec<EvalRecord> = tickets
+        .into_iter()
+        .map(|t| t.wait().unwrap_or_else(EvalRecord::error))
+        .collect();
+    let evaluated = full.len();
+
+    // Phase 4: Pareto reduction. Points with identical (backend,
+    // objective) collapse to the plainest config (lowest lattice
+    // index), so a knob that changes nothing never pads the frontier.
+    let evaluated_points: Vec<(usize, (f64, u64, u64))> = alive
+        .iter()
+        .zip(&full)
+        .filter(|(_, r)| r.status == EvalStatus::Ok)
+        .map(|(&i, r)| (i, objective(r)))
+        .collect();
+    let mut frontier_idx: Vec<(usize, usize)> = Vec::new(); // (lattice idx, full idx)
+    for (k, &(i, obj)) in evaluated_points.iter().enumerate() {
+        let dominated = evaluated_points
+            .iter()
+            .any(|&(_, other)| dominates(other, obj) );
+        let duplicate = evaluated_points[..k].iter().any(|&(j, other)| {
+            points[j].backend == points[i].backend
+                && other.0.to_bits() == obj.0.to_bits()
+                && other.1 == obj.1
+                && other.2 == obj.2
+        });
+        if !dominated && !duplicate {
+            let full_idx = alive.iter().position(|&a| a == i).expect("alive index");
+            frontier_idx.push((i, full_idx));
+        }
+    }
+
+    // Phase 5: certification (and optional emission) of each frontier
+    // point, in parallel.
+    let tickets: Vec<_> = frontier_idx
+        .iter()
+        .map(|&(i, _)| {
+            let (compiler, entry, cfg, ctx) =
+                (compiler.clone(), entry.clone(), points[i].clone(), ctx.clone());
+            let seq_bound = opts.seq_bound;
+            let emit_dir = opts.emit_dir.clone();
+            exec.submit(move || {
+                let cert = certify(&compiler, &entry, &cfg, seq_bound, &ctx, digest);
+                let emit = emit_dir
+                    .as_deref()
+                    .map(|dir| emit_point(&compiler, &entry, &cfg, dir, &ctx, digest));
+                (cert, emit)
+            })
+        })
+        .collect();
+    let mut frontier = Vec::new();
+    for (&(i, full_idx), t) in frontier_idx.iter().zip(tickets) {
+        let (cert, emit) = t.wait().map_err(|e| format!("certification worker died: {e}"))?;
+        frontier.push(Point {
+            config: points[i].clone(),
+            eval: full[full_idx].clone(),
+            cert,
+            emit,
+        });
+    }
+    exec.shutdown();
+
+    Ok(ExploreReport {
+        entry,
+        backends,
+        lattice: points.len(),
+        feasible,
+        evaluated,
+        budget: opts.budget,
+        seq_bound: opts.seq_bound,
+        frontier,
+        entry_note,
+    })
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+fn json_opt_str(v: Option<&str>) -> String {
+    v.map_or_else(|| "null".to_string(), |s| format!("\"{}\"", escape(s)))
+}
+
+impl ExploreReport {
+    /// How many distinct backends the frontier spans.
+    pub fn frontier_backends(&self) -> usize {
+        let mut names: Vec<&str> = self.frontier.iter().map(|p| p.config.backend).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+
+    /// The human table rendering (`text` of the service response).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "design-space exploration for `{}`: {} lattice points over {} backend{}, \
+             {} feasible, {} evaluated\n",
+            self.entry,
+            self.lattice,
+            self.backends.len(),
+            if self.backends.len() == 1 { "" } else { "s" },
+            self.feasible,
+            self.evaluated,
+        );
+        if let Some(b) = self.budget {
+            let _ = writeln!(out, "budget: {b} (successive halving on area x scheduled cycles)");
+        }
+        let _ = writeln!(
+            out,
+            "Pareto frontier over (area, latency, II): {} point{} spanning {} backend{}\n",
+            self.frontier.len(),
+            if self.frontier.len() == 1 { "" } else { "s" },
+            self.frontier_backends(),
+            if self.frontier_backends() == 1 { "" } else { "s" },
+        );
+        let mut t = Table::new(vec![
+            "backend", "knobs", "style", "area", "latency", "II", "tier", "proof",
+        ]);
+        for p in &self.frontier {
+            t.row(vec![
+                p.config.backend.to_string(),
+                p.config.knobs(),
+                p.eval.style.unwrap_or("-").to_string(),
+                p.eval.area.map_or_else(|| "-".to_string(), |a| format!("{a:.1}")),
+                opt_u64(p.eval.latency),
+                opt_u64(p.eval.ii),
+                p.cert.tier.name().to_string(),
+                match (&p.cert.method, p.cert.vectors) {
+                    (Some(m), _) => p.cert.bound.map_or_else(
+                        || m.clone(),
+                        |k| format!("{m} (bound {k})"),
+                    ),
+                    (None, Some(v)) => format!("{v} vectors"),
+                    (None, None) => "-".to_string(),
+                },
+            ]);
+        }
+        let _ = write!(out, "{t}");
+        for p in &self.frontier {
+            if let Some(d) = &p.cert.detail {
+                let _ = writeln!(out, "note: {} [{}]: {d}", p.config.backend, p.config.knobs());
+            }
+            match &p.emit {
+                Some(Emit::Written { aiger, roundtrip, .. }) => {
+                    let _ = writeln!(
+                        out,
+                        "emitted: {aiger} (+ .blif), round-trip re-proved by {roundtrip}"
+                    );
+                }
+                Some(Emit::Skipped(why)) => {
+                    let _ = writeln!(
+                        out,
+                        "emit skipped: {} [{}]: {why}",
+                        p.config.backend,
+                        p.config.knobs()
+                    );
+                }
+                None => {}
+            }
+        }
+        out
+    }
+
+    /// The machine rendering (`data` of the service response).
+    pub fn to_json(&self) -> String {
+        let backends = self
+            .backends
+            .iter()
+            .map(|b| format!("\"{b}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        let frontier = self
+            .frontier
+            .iter()
+            .map(|p| {
+                let cert = format!(
+                    r#"{{"tier":"{}","method":{},"bound":{},"vectors":{},"detail":{}}}"#,
+                    p.cert.tier.name(),
+                    json_opt_str(p.cert.method.as_deref()),
+                    p.cert.bound.map_or_else(|| "null".to_string(), |b| b.to_string()),
+                    p.cert
+                        .vectors
+                        .map_or_else(|| "null".to_string(), |v| v.to_string()),
+                    json_opt_str(p.cert.detail.as_deref()),
+                );
+                let emit = match &p.emit {
+                    Some(Emit::Written {
+                        aiger,
+                        blif,
+                        roundtrip,
+                    }) => format!(
+                        r#"{{"aiger":"{}","blif":"{}","roundtrip":"{roundtrip}"}}"#,
+                        escape(aiger),
+                        escape(blif)
+                    ),
+                    Some(Emit::Skipped(why)) => {
+                        format!(r#"{{"skipped":"{}"}}"#, escape(why))
+                    }
+                    None => "null".to_string(),
+                };
+                format!(
+                    r#"{{"backend":"{}","pipeline":{},"narrow":{},"opt_netlist":{},"unroll":{},"style":{},"area":{},"latency":{},"ii":{},"certification":{cert},"emit":{emit}}}"#,
+                    p.config.backend,
+                    p.config.pipeline,
+                    p.config.narrow,
+                    p.config.opt_netlist,
+                    p.config
+                        .unroll
+                        .map_or_else(|| "null".to_string(), |u| u.to_string()),
+                    json_opt_str(p.eval.style),
+                    p.eval
+                        .area
+                        .map_or_else(|| "null".to_string(), |a| format!("{a:.1}")),
+                    json_opt_u64(p.eval.latency),
+                    json_opt_u64(p.eval.ii),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            r#"{{"entry":"{}","backends":[{backends}],"lattice":{},"feasible":{},"evaluated":{},"budget":{},"seq_bound":{},"frontier":[{frontier}]}}"#,
+            escape(&self.entry),
+            self.lattice,
+            self.feasible,
+            self.evaluated,
+            self.budget.map_or_else(|| "null".to_string(), |b| b.to_string()),
+            self.seq_bound,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ArtifactCache;
+
+    const MAC: &str = "int mac(int a, int b, int acc) { return acc + a * b; }";
+
+    fn sweep(src: &str, entry: &str, opts: &ExploreOptions) -> ExploreReport {
+        let compiler = Arc::new(Compiler::parse(src).unwrap());
+        let digest = crate::cache::fnv64(src.as_bytes());
+        let ctx = ServiceCtx::with_cache(Arc::new(ArtifactCache::default()));
+        explore(&compiler, entry, opts, &ctx, digest).unwrap()
+    }
+
+    #[test]
+    fn single_backend_lattice_is_32_points() {
+        let r = sweep(
+            MAC,
+            "mac",
+            &ExploreOptions {
+                backend: Some("c2v".to_string()),
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(r.lattice, 32);
+        assert!(r.feasible > 0);
+        assert!(!r.frontier.is_empty());
+        // A straight-line function: every config computes the same
+        // thing, so nothing may be refuted.
+        for p in &r.frontier {
+            assert_ne!(p.cert.tier, Tier::Refuted, "{:?}", p.config);
+        }
+    }
+
+    #[test]
+    fn frontier_points_are_mutually_nondominated() {
+        let r = sweep(MAC, "mac", &ExploreOptions::default());
+        for a in &r.frontier {
+            for b in &r.frontier {
+                assert!(
+                    !dominates(objective(&a.eval), objective(&b.eval)),
+                    "{:?} dominates {:?}",
+                    a.config,
+                    b.config
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_limits_full_evaluations() {
+        let r = sweep(
+            MAC,
+            "mac",
+            &ExploreOptions {
+                budget: Some(6),
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(r.evaluated <= 6, "evaluated {} > budget 6", r.evaluated);
+        assert!(!r.frontier.is_empty());
+    }
+
+    #[test]
+    fn entry_falls_back_to_sole_function() {
+        let r = sweep(
+            MAC,
+            "top",
+            &ExploreOptions {
+                backend: Some("cones".to_string()),
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(r.entry, "mac");
+        assert!(r.entry_note.is_some());
+        let two = "int f(int a) { return a; } int g(int a) { return a + 1; }";
+        let compiler = Arc::new(Compiler::parse(two).unwrap());
+        let err = explore(
+            &compiler,
+            "top",
+            &ExploreOptions::default(),
+            &ServiceCtx::uncached(),
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("no function named `top`"), "{err}");
+    }
+
+    #[test]
+    fn json_is_identical_across_jobs_counts() {
+        let one = sweep(
+            MAC,
+            "mac",
+            &ExploreOptions {
+                jobs: 1,
+                ..ExploreOptions::default()
+            },
+        );
+        let eight = sweep(
+            MAC,
+            "mac",
+            &ExploreOptions {
+                jobs: 8,
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(one.to_json(), eight.to_json());
+        assert_eq!(one.render(), eight.render());
+    }
+
+    #[test]
+    fn comb_frontier_points_certify_equivalent() {
+        let r = sweep(
+            MAC,
+            "mac",
+            &ExploreOptions {
+                backend: Some("cones".to_string()),
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(
+            r.frontier.iter().any(|p| p.cert.tier == Tier::Certified),
+            "no certified point: {:?}",
+            r.frontier.iter().map(|p| p.cert.clone()).collect::<Vec<_>>()
+        );
+        for p in &r.frontier {
+            if p.cert.tier == Tier::Certified {
+                assert!(p.cert.method.is_some());
+            }
+        }
+    }
+}

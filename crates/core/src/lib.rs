@@ -35,6 +35,7 @@ pub mod cache;
 pub mod driver;
 pub mod error;
 pub mod executor;
+pub mod explore;
 pub mod jsonin;
 pub mod jsonout;
 pub mod options;

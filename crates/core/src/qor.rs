@@ -169,16 +169,18 @@ fn extract_design(q: &mut BackendQor, design: &Design, opts: &CompileOptions) {
 
 /// Synthesizes (and, when arguments are available, simulates) `entry`
 /// on the selected backends, collecting QoR metrics and per-phase
-/// wall-clock time through the global trace collector.
+/// wall-clock time through a private, per-call trace collector.
 ///
 /// `which` restricts to one backend by name; `None` means all registered
 /// backends. `args` supplies simulation inputs; `None` falls back to
 /// [`default_args`] (all zeros), and simulation is skipped with a note
 /// when no argument vector can be built.
 ///
-/// Tracing is force-enabled for the duration of the call and restored
-/// afterward; the global collector is reset per backend, so concurrent
-/// tracing users should not run while a report is being built.
+/// The call owns its collector (installed with
+/// [`chls_trace::with_collector`] for the duration), so any number of
+/// reports may run concurrently — on the service executor, across
+/// `explore` lattice points — without serializing on or corrupting the
+/// global collector.
 ///
 /// # Errors
 ///
@@ -214,20 +216,45 @@ pub fn qor_report(
         }
     };
 
-    let was_enabled = chls_trace::enabled();
-    chls_trace::set_enabled(true);
+    // Every call owns its collector: runs on different threads never
+    // share spans, resets, or the enabled flag.
+    let col = chls_trace::Collector::new();
+    col.set_enabled(true);
+    let (parse_seconds, rows) = chls_trace::with_collector(&col, || {
+        measure_backends(compiler, entry, &backends, sim_args, opts, &synth_opts, &col)
+    });
 
+    Ok(QorReport {
+        entry: entry.to_string(),
+        parse_seconds,
+        args_used: sim_args.map(render_args),
+        backends: rows,
+    })
+}
+
+/// The measured body of [`qor_report`]; must run inside a
+/// [`chls_trace::with_collector`] scope bound to `col` so the driver's
+/// free-function instrumentation lands in this run's collector.
+fn measure_backends(
+    compiler: &Compiler,
+    entry: &str,
+    backends: &[Box<dyn chls_backends::Backend>],
+    sim_args: Option<&[ArgValue]>,
+    opts: &CompileOptions,
+    synth_opts: &chls_backends::SynthOptions,
+    col: &chls_trace::Collector,
+) -> (f64, Vec<BackendQor>) {
     // Time the frontend once, by re-parsing the stored source — the
-    // original parse may have happened before tracing was on.
-    chls_trace::reset();
+    // original parse happened outside this collector's scope.
     let _ = Compiler::parse(compiler.source());
-    let parse_seconds = chls_trace::snapshot()
+    let parse_seconds = col
+        .snapshot()
         .span("frontend.parse")
         .map_or(0.0, chls_trace::SpanStat::seconds);
 
     let mut rows = Vec::with_capacity(backends.len());
-    for backend in &backends {
-        chls_trace::reset();
+    for backend in backends {
+        col.reset();
         let name = backend.info().name;
         let mut q = BackendQor {
             backend: name,
@@ -250,7 +277,7 @@ pub fn qor_report(
             jit_fallbacks: None,
             phases: Vec::new(),
         };
-        match compiler.synthesize(backend.as_ref(), entry, &synth_opts) {
+        match compiler.synthesize(backend.as_ref(), entry, synth_opts) {
             Err(
                 e @ (SynthError::Unsupported { .. }
                 | SynthError::Loop(_)
@@ -274,7 +301,7 @@ pub fn qor_report(
                 }
             }
         }
-        let snap = chls_trace::snapshot();
+        let snap = col.snapshot();
         q.sched_cycles = snap.counter("sched.cycles").filter(|&c| c > 0);
         q.ii = snap.gauge("sched.ii");
         q.jit_blocks = snap.counter("jit.blocks");
@@ -313,14 +340,7 @@ pub fn qor_report(
         }
         rows.push(q);
     }
-    chls_trace::set_enabled(was_enabled);
-
-    Ok(QorReport {
-        entry: entry.to_string(),
-        parse_seconds,
-        args_used: sim_args.map(render_args),
-        backends: rows,
-    })
+    (parse_seconds, rows)
 }
 
 fn opt_num<T: ToString>(v: Option<T>) -> String {
@@ -407,10 +427,6 @@ impl QorReport {
 mod tests {
     use super::*;
 
-    // `qor_report` resets the shared global trace collector, so the
-    // tests that call it serialize on this lock.
-    static QOR_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
     const GCD: &str = "int gcd(int a, int b) {
         while (b != 0) { int t = b; b = a % b; a = t; }
         return a;
@@ -418,7 +434,6 @@ mod tests {
 
     #[test]
     fn qor_covers_all_backends_with_metrics() {
-        let _l = QOR_LOCK.lock().unwrap();
         let compiler = Compiler::parse(GCD).unwrap();
         let r = qor_report(
             &compiler,
@@ -453,7 +468,6 @@ mod tests {
 
     #[test]
     fn opt_area_never_exceeds_area_and_tracks_baseline() {
-        let _l = QOR_LOCK.lock().unwrap();
         let compiler = Compiler::parse(GCD).unwrap();
         let r = qor_report(&compiler, "gcd", None, None, &CompileOptions::new()).unwrap();
         let mut some = 0;
@@ -478,7 +492,6 @@ mod tests {
 
     #[test]
     fn default_args_fill_zeros() {
-        let _l = QOR_LOCK.lock().unwrap();
         let compiler =
             Compiler::parse("int f(int a, int b[4]) { return a + b[0]; }").unwrap();
         let args = default_args(&compiler, "f").unwrap();
@@ -492,7 +505,6 @@ mod tests {
 
     #[test]
     fn single_backend_filter_and_unknown() {
-        let _l = QOR_LOCK.lock().unwrap();
         let compiler = Compiler::parse(GCD).unwrap();
         let r = qor_report(
             &compiler,
@@ -509,12 +521,59 @@ mod tests {
 
     #[test]
     fn render_is_aligned_and_noted() {
-        let _l = QOR_LOCK.lock().unwrap();
         let compiler = Compiler::parse(GCD).unwrap();
         let r = qor_report(&compiler, "gcd", None, None, &CompileOptions::new()).unwrap();
         let s = r.render();
         assert!(s.contains("| backend"), "{s}");
         assert!(s.contains("wall-clock per phase"), "{s}");
         assert!(s.contains("note: cones:"), "{s}");
+    }
+
+    /// Strips wall-clock fields so reports can be compared across runs.
+    fn deterministic(mut r: QorReport) -> QorReport {
+        r.parse_seconds = 0.0;
+        for q in &mut r.backends {
+            // Phase *names* must survive in order; only times vary.
+            for p in &mut q.phases {
+                p.1 = 0.0;
+            }
+        }
+        r
+    }
+
+    /// The satellite guarantee behind removing `REPORT_LOCK`: reports
+    /// running concurrently on many threads produce exactly the rows a
+    /// serial run produces — per-run collectors never cross-talk.
+    #[test]
+    fn concurrent_reports_equal_serial_ones() {
+        let programs = [
+            ("int gcd(int a, int b) { while (b != 0) { int t = b; b = a % b; a = t; } return a; }",
+             "gcd"),
+            ("int mac4(int a, int b) { int s = 0; for (int i = 0; i < 4; i++) { s = (s + a * a + b) & 4095; } return s; }",
+             "mac4"),
+            ("int sq(int x) { return x * x; }", "sq"),
+        ];
+        let serial: Vec<QorReport> = programs
+            .iter()
+            .map(|(src, entry)| {
+                let c = Compiler::parse(src).unwrap();
+                deterministic(qor_report(&c, entry, None, None, &CompileOptions::new()).unwrap())
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let serial = &serial;
+                let programs = &programs;
+                scope.spawn(move || {
+                    for (i, (src, entry)) in programs.iter().enumerate() {
+                        let c = Compiler::parse(src).unwrap();
+                        let got = deterministic(
+                            qor_report(&c, entry, None, None, &CompileOptions::new()).unwrap(),
+                        );
+                        assert_eq!(got, serial[i], "report drift under concurrency ({entry})");
+                    }
+                });
+            }
+        });
     }
 }

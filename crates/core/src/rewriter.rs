@@ -156,7 +156,7 @@ fn scalar_range(ty: &Type) -> Option<(i128, i128)> {
 /// so proved depth/trip bounds are exercised at their extremes; the
 /// rest are seeded draws. Returns `None` when a parameter is not
 /// value-testable (channels, raw pointers).
-fn seed_vectors(prog: &HirProgram, entry: &str) -> Option<Vec<Vec<ArgValue>>> {
+pub(crate) fn seed_vectors(prog: &HirProgram, entry: &str) -> Option<Vec<Vec<ArgValue>>> {
     let (_, func) = prog.func_by_name(entry)?;
     let mut rng = Rng(0x43484c53); // "CHLS"
     let mut vectors = Vec::with_capacity(VECTORS);

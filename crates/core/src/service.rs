@@ -29,7 +29,7 @@ use crate::prelude::*;
 use chls_analysis::json::escape;
 use chls_rtl::CostModel;
 use std::fmt::Write as _;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Where a request's program text comes from.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -58,8 +58,12 @@ pub struct Request {
     pub backends: Vec<String>,
     /// `equiv` only: entry for the second backend (defaults to `entry`).
     pub entry_b: Option<String>,
-    /// `equiv` only: sequential bound (defaults to 16).
+    /// `equiv`/`explore`: sequential equivalence bound (defaults to 16).
     pub bound: Option<usize>,
+    /// `explore` only: successive-halving budget.
+    pub budget: Option<usize>,
+    /// `explore` only: dump frontier netlists (AIGER + BLIF) here.
+    pub emit_dir: Option<String>,
     /// Wire-level per-request timeout hint, honored by `chls serve`.
     pub timeout_ms: Option<u64>,
 }
@@ -107,13 +111,8 @@ impl ServiceCtx {
 /// the transport layer — they are server state, not compilation).
 pub const SERVICE_VERBS: &[&str] = &[
     "backends", "run", "check", "ir", "synth", "verilog", "equiv", "lint", "flow", "rewrite",
-    "report", "schema",
+    "report", "explore", "schema",
 ];
-
-/// `qor_report` resets the global trace collector per backend; under a
-/// concurrent daemon two reports would interleave resets and corrupt
-/// each other's phase timings, so reports serialize here.
-static REPORT_LOCK: Mutex<()> = Mutex::new(());
 
 /// Parses raw positional argument strings into interpreter values.
 pub fn parse_args(raw: &[String]) -> Result<Vec<ArgValue>, String> {
@@ -188,7 +187,7 @@ fn resolve_source(req: &Request) -> Result<Option<String>, String> {
 /// output shows traces, `report`, forces it on itself).
 fn response_key(req: &Request, digest: u64) -> String {
     format!(
-        "resp|{}|{digest:016x}|{}|a={}|{}|jobs={:?}|eb={:?}|bound={:?}|bk={}",
+        "resp|{}|{digest:016x}|{}|a={}|{}|jobs={:?}|eb={:?}|bound={:?}|bk={}|budget={:?}|emit={:?}",
         req.verb,
         req.entry,
         req.args.join("\u{1f}"),
@@ -197,6 +196,8 @@ fn response_key(req: &Request, digest: u64) -> String {
         req.entry_b,
         req.bound,
         req.backends.join(","),
+        req.budget,
+        req.emit_dir,
     )
 }
 
@@ -221,7 +222,14 @@ fn compiler_for(ctx: &ServiceCtx, src: &str, digest: u64) -> Result<Arc<Compiler
 /// phrasing.
 ///
 /// [`SynthError`]: chls_backends::SynthError
-fn design_for(
+/// The design cache's content address; `explore` writes freshly
+/// synthesized designs under the same key [`design_for`] reads, so the
+/// two never duplicate work.
+pub(crate) fn design_key(digest: u64, entry: &str, backend_name: &str, opts: &CompileOptions) -> String {
+    format!("design|{digest:016x}|{entry}|{backend_name}|{}", opts.cache_key())
+}
+
+pub(crate) fn design_for(
     ctx: &ServiceCtx,
     compiler: &Compiler,
     digest: u64,
@@ -229,7 +237,7 @@ fn design_for(
     entry: &str,
     opts: &CompileOptions,
 ) -> Result<Arc<Design>, String> {
-    let key = format!("design|{digest:016x}|{entry}|{backend_name}|{}", opts.cache_key());
+    let key = design_key(digest, entry, backend_name, opts);
     if let Some(cache) = &ctx.cache {
         if let Some(Artifact::Design(d)) = cache.get(&key) {
             return Ok(d);
@@ -267,6 +275,7 @@ fn dispatch(
         "verilog" => verb_verilog(req, ctx, src.expect("source resolved"), digest),
         "equiv" => verb_equiv(req, ctx, src.expect("source resolved"), digest),
         "report" => verb_report(req, ctx, src.expect("source resolved"), digest),
+        "explore" => verb_explore(req, ctx, src.expect("source resolved"), digest),
         _ => unreachable!("verb validated by handle()"),
     }
 }
@@ -837,17 +846,16 @@ fn verb_report(req: &Request, ctx: &ServiceCtx, src: &str, digest: u64) -> Resul
     };
     let compiler = compiler_for(ctx, src, digest)?;
     let opts = req.options.clone().trace(true);
-    let report = {
-        let _serialize = REPORT_LOCK.lock().expect("report lock");
-        crate::qor_report(
-            &compiler,
-            &req.entry,
-            req.options.backend_requested(),
-            args.as_deref(),
-            &opts,
-        )
-        .map_err(|e| e.to_string())?
-    };
+    // `qor_report` owns a per-call trace collector, so concurrent
+    // reports (daemon workers, explore evaluations) never serialize.
+    let report = crate::qor_report(
+        &compiler,
+        &req.entry,
+        req.options.backend_requested(),
+        args.as_deref(),
+        &opts,
+    )
+    .map_err(|e| e.to_string())?;
     let ok = !report
         .backends
         .iter()
@@ -858,6 +866,40 @@ fn verb_report(req: &Request, ctx: &ServiceCtx, src: &str, digest: u64) -> Resul
         data: crate::jsonout::report_json(&report),
         text: report.render(),
         warnings: compiler.rendered_warnings(),
+    })
+}
+
+fn verb_explore(
+    req: &Request,
+    ctx: &ServiceCtx,
+    src: &str,
+    digest: u64,
+) -> Result<Response, String> {
+    let compiler = compiler_for(ctx, src, digest)?;
+    let opts = crate::explore::ExploreOptions {
+        backend: req.options.backend_requested().map(str::to_string),
+        budget: req.budget,
+        seq_bound: req.bound.unwrap_or(16),
+        jobs: req.options.effective_jobs(),
+        emit_dir: req.emit_dir.clone(),
+    };
+    let report = crate::explore::explore(&compiler, &req.entry, &opts, ctx, digest)?;
+    // A refuted frontier point is a synthesized design whose output
+    // provably changed — that is a failure, not a finding.
+    let ok = !report
+        .frontier
+        .iter()
+        .any(|p| p.cert.tier == crate::explore::Tier::Refuted);
+    let mut warnings = compiler.rendered_warnings();
+    if let Some(note) = &report.entry_note {
+        warnings.push(note.clone());
+    }
+    Ok(Response {
+        verb: "explore".to_string(),
+        ok,
+        data: report.to_json(),
+        text: report.render(),
+        warnings,
     })
 }
 
@@ -917,6 +959,11 @@ const SCHEMAS: &[(&str, &str, &str)] = &[
         "report",
         r#"{"entry":str,"parse_seconds":num,"args":str|null,"backends":[{"backend":str,"status":str,...,"phases":[{"phase":str,"seconds":num}]}]}"#,
         "per-backend QoR metrics and per-phase timing",
+    ),
+    (
+        "explore",
+        r#"{"entry":str,"backends":[str],"lattice":int,"feasible":int,"evaluated":int,"budget":int|null,"seq_bound":int,"frontier":[{"backend":str,"pipeline":bool,"narrow":bool,"opt_netlist":bool,"unroll":int|null,"style":str,"area":num,"latency":int|null,"ii":int|null,"certification":{"tier":"certified"|"sampled"|"refuted"|"unchecked","method":str|null,"bound":int|null,"vectors":int|null,"detail":str|null},"emit":{"aiger":str,"blif":str,"roundtrip":str}|{"skipped":str}|null}]}"#,
+        "certified design-space exploration: Pareto frontier over (area, latency, II)",
     ),
     (
         "schema",
@@ -1000,11 +1047,13 @@ impl Request {
         let opt = |b: Option<&str>| b.map_or_else(|| "null".to_string(), quote);
         let optn = |n: Option<u64>| n.map_or_else(|| "null".to_string(), |v| v.to_string());
         format!(
-            r#"{{"verb":{},"path":{path},"text":{text},"entry":{},"args":[{args}],"backends":[{backends}],"entry_b":{},"bound":{},"timeout_ms":{},"options":{{"backend":{},"narrow":{},"opt_netlist":{},"pipeline":{},"unroll":{},"jit":{},"jobs":{},"trace":{}}}}}"#,
+            r#"{{"verb":{},"path":{path},"text":{text},"entry":{},"args":[{args}],"backends":[{backends}],"entry_b":{},"bound":{},"budget":{},"emit_dir":{},"timeout_ms":{},"options":{{"backend":{},"narrow":{},"opt_netlist":{},"pipeline":{},"unroll":{},"jit":{},"jobs":{},"trace":{}}}}}"#,
             quote(&self.verb),
             quote(&self.entry),
             opt(self.entry_b.as_deref()),
             optn(self.bound.map(|b| b as u64)),
+            optn(self.budget.map(|b| b as u64)),
+            opt(self.emit_dir.as_deref()),
             optn(self.timeout_ms),
             opt(o.backend_requested()),
             o.narrow_requested(),
@@ -1076,6 +1125,8 @@ impl Request {
             backends: strings("backends")?,
             entry_b: v.str_of("entry_b").map(str::to_string),
             bound: v.get("bound").and_then(Value::as_u64).map(|b| b as usize),
+            budget: v.get("budget").and_then(Value::as_u64).map(|b| b as usize),
+            emit_dir: v.str_of("emit_dir").map(str::to_string),
             timeout_ms: v.get("timeout_ms").and_then(Value::as_u64),
         })
     }
@@ -1154,6 +1205,8 @@ mod tests {
         r.backends = vec!["handelc".to_string(), "transmogrifier".to_string()];
         r.entry_b = Some("gcd".to_string());
         r.bound = Some(60);
+        r.budget = Some(12);
+        r.emit_dir = Some("/tmp/frontier".to_string());
         r.timeout_ms = Some(5000);
         r.options = CompileOptions::new()
             .backend(Some("c2v"))
@@ -1170,6 +1223,8 @@ mod tests {
         assert_eq!(back.backends, r.backends);
         assert_eq!(back.entry_b, r.entry_b);
         assert_eq!(back.bound, r.bound);
+        assert_eq!(back.budget, r.budget);
+        assert_eq!(back.emit_dir, r.emit_dir);
         assert_eq!(back.timeout_ms, r.timeout_ms);
         assert_eq!(back.options, r.options);
     }

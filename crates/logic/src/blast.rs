@@ -496,6 +496,20 @@ pub enum RamSpec {
 // Symbolic machine.
 // ---------------------------------------------------------------------
 
+/// One symbolic state bit created by [`SymMachine::symbolize_state`]:
+/// the fresh AIG input variable carrying the bit's cycle-0 value, its
+/// reset value, and a diagnostic label (`reg{cell}.{bit}` or
+/// `{ram}.{word}.{bit}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateBit {
+    /// AIG input variable holding the current-state value.
+    pub var: u32,
+    /// Reset value of the bit.
+    pub init: bool,
+    /// Diagnostic label.
+    pub label: String,
+}
+
 /// A symbolic mirror of one netlist: registers and RAM words are
 /// [`Word`]s over the shared environment; `step` advances one cycle.
 pub struct SymMachine<'n> {
@@ -537,6 +551,66 @@ impl<'n> SymMachine<'n> {
             rams.push(words);
         }
         Ok(SymMachine { nl, topo, regs, rams })
+    }
+
+    /// Replaces the committed cycle-0 state (every register word and
+    /// every RAM word) with fresh AIG inputs, one per bit.
+    ///
+    /// After this call a single [`SymMachine::step`] computes each
+    /// state bit's *next-state function* over (primary inputs × current
+    /// state) — exactly the latch form the AIGER interchange needs.
+    /// Returns one [`StateBit`] per created input in the canonical
+    /// order of [`SymMachine::state_bits`]: registers in cell order,
+    /// then RAM words in (ram, index) order, LSB first throughout.
+    pub fn symbolize_state(&mut self, g: &mut Aig) -> Vec<StateBit> {
+        let mut bits = Vec::new();
+        let mut fresh = |g: &mut Aig, w: &Word, init: i64, label: &str| -> Word {
+            let lits: Vec<Lit> = (0..w.bits.len())
+                .map(|i| {
+                    let l = g.input();
+                    bits.push(StateBit {
+                        var: l.var(),
+                        init: (init >> i) & 1 != 0,
+                        label: format!("{label}.{i}"),
+                    });
+                    l
+                })
+                .collect();
+            Word { bits: lits, ty: w.ty }
+        };
+        for (i, cell) in self.nl.cells.iter().enumerate() {
+            if let CellKind::Reg { init, .. } = cell.kind {
+                let old = self.regs[i].clone().expect("reg state");
+                self.regs[i] = Some(fresh(g, &old, init, &format!("reg{i}")));
+            }
+        }
+        for (ri, r) in self.nl.rams.iter().enumerate() {
+            for j in 0..r.len {
+                let init = r.init.as_ref().and_then(|v| v.get(j)).copied().unwrap_or(0);
+                let old = self.rams[ri][j].clone();
+                self.rams[ri][j] = fresh(g, &old, init, &format!("{}.{j}", r.name));
+            }
+        }
+        bits
+    }
+
+    /// The committed state, flattened in the canonical order of
+    /// [`SymMachine::symbolize_state`]. Called right after
+    /// `symbolize_state` this yields the state-input literals; called
+    /// after a [`SymMachine::step`] it yields the next-state functions.
+    pub fn state_bits(&self) -> Vec<Lit> {
+        let mut out = Vec::new();
+        for (i, cell) in self.nl.cells.iter().enumerate() {
+            if matches!(cell.kind, CellKind::Reg { .. }) {
+                out.extend(self.regs[i].as_ref().expect("reg state").bits.iter().copied());
+            }
+        }
+        for words in &self.rams {
+            for w in words {
+                out.extend(w.bits.iter().copied());
+            }
+        }
+        out
     }
 
     /// Evaluates every cell combinationally (the symbolic

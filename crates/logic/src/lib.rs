@@ -25,6 +25,7 @@
 pub mod aig;
 pub mod blast;
 pub mod equiv;
+pub mod interchange;
 pub mod opt;
 pub mod sat;
 

@@ -32,6 +32,11 @@ pub fn merge_monolithic(f: &mut Function) -> usize {
             groups.entry(m.elem).or_default().push(MemId(mi as u32));
         }
     }
+    // HashMap iteration order is randomized per process; merge order
+    // decides base offsets (and so downstream addresses, schedules, and
+    // areas), so it must be deterministic.
+    let mut groups: Vec<(IntType, Vec<MemId>)> = groups.into_iter().collect();
+    groups.sort_by_key(|(t, _)| (t.width, t.signed));
     let mut merged = 0;
     for (elem, members) in groups {
         if members.len() < 2 {

@@ -202,7 +202,11 @@ pub fn dfg_from_block(
     }
     // Data edges between in-block nodes. Operands produced by free
     // instructions (constants/params/phis) or in other blocks are ambient.
-    for (&v, &id) in &node_of {
+    // Iterate `values` (block order), not the map: edge insertion order
+    // shapes adjacency lists and thus scheduler tie-breaking, so it must
+    // be deterministic.
+    for &v in &values {
+        let id = node_of[&v];
         f.inst(v).kind.for_each_operand(|o| {
             if let Some(&src) = node_of.get(&o) {
                 dfg.add_edge(src, id);

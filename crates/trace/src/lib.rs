@@ -19,29 +19,34 @@
 //!   length, an initiation interval); like spans they lock briefly and
 //!   are never on a per-cycle path.
 //!
-//! Everything funnels into one global [`Collector`]; [`snapshot`] drains
-//! an aggregated, allocation-light view for reporting, and [`reset`]
-//! rewinds between measured sections (e.g. between backends in
-//! `chls report`). A [`Collector`] can also be instantiated directly for
-//! tests.
+//! The free functions funnel into the *current* collector: by default
+//! the process-wide global one, but [`with_collector`] rebinds the
+//! calling thread to a private [`Collector`] for the duration of a
+//! closure. That is how `chls report` (and the `explore` engine fanning
+//! reports out across a thread pool) collects per-run phase timings
+//! without any cross-thread serialization: each run owns its collector,
+//! and concurrent runs never observe each other's spans or resets.
+//! [`snapshot`] drains an aggregated, allocation-light view for
+//! reporting, and [`reset`] rewinds between measured sections (e.g.
+//! between backends in `chls report`).
 //!
 //! ```
-//! chls_trace::set_enabled(true);
-//! chls_trace::reset();
-//! {
+//! let col = chls_trace::Collector::new();
+//! col.set_enabled(true);
+//! chls_trace::with_collector(&col, || {
 //!     let _s = chls_trace::span("demo.phase");
 //!     chls_trace::add("demo.items", 3);
 //!     chls_trace::gauge("demo.depth", 7);
-//! }
-//! let snap = chls_trace::snapshot();
+//! });
+//! let snap = col.snapshot();
 //! assert_eq!(snap.counter("demo.items"), Some(3));
 //! assert_eq!(snap.gauge("demo.depth"), Some(7));
 //! assert!(snap.span("demo.phase").is_some());
-//! chls_trace::set_enabled(false);
 //! ```
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, LazyLock, Mutex};
 use std::time::Instant;
 
 /// Aggregated timings of one named span.
@@ -111,7 +116,7 @@ impl Snapshot {
 #[derive(Debug, Clone)]
 pub struct Counter {
     cell: Arc<AtomicU64>,
-    enabled: &'static AtomicBool,
+    enabled: Arc<AtomicBool>,
 }
 
 impl Counter {
@@ -126,43 +131,51 @@ impl Counter {
 
 /// RAII span guard: records elapsed wall-clock time on drop.
 ///
-/// Inert (records nothing, skips the clock read) when tracing was
-/// disabled at construction.
+/// Inert (records nothing, skips the clock read) when the collector was
+/// disabled at construction. The sink is captured at construction, so a
+/// span opened inside a [`with_collector`] scope records there even if
+/// the guard outlives the scope.
 #[must_use = "a span records its time when dropped; binding it to `_` drops it immediately"]
 pub struct Span {
     name: &'static str,
-    start: Option<Instant>,
-    collector: &'static Collector,
+    active: Option<(Instant, Collector)>,
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(start) = self.start {
+        if let Some((start, collector)) = self.active.take() {
             let ns = start.elapsed().as_nanos() as u64;
-            self.collector.record_span(self.name, ns);
+            collector.record_span(self.name, ns);
         }
     }
 }
 
 /// A thread-safe trace collector.
 ///
-/// One global instance backs the free functions in this crate; tests can
-/// construct their own.
+/// Cloning is cheap and shares the same underlying store (`Arc`
+/// internally). One process-wide instance backs the free functions by
+/// default; [`with_collector`] rebinds a thread to a private instance,
+/// which is how per-run collection (e.g. one `qor_report` per pool
+/// worker) stays isolated.
+#[derive(Debug, Clone)]
 pub struct Collector {
-    enabled: AtomicBool,
-    spans: Mutex<Vec<SpanStat>>,
-    counters: Mutex<Vec<(&'static str, Arc<AtomicU64>)>>,
-    gauges: Mutex<Vec<GaugeStat>>,
+    enabled: Arc<AtomicBool>,
+    spans: Arc<Mutex<Vec<SpanStat>>>,
+    counters: Arc<Mutex<CounterCells>>,
+    gauges: Arc<Mutex<Vec<GaugeStat>>>,
 }
+
+/// Registered counter cells: name → shared atomic, in registration order.
+type CounterCells = Vec<(&'static str, Arc<AtomicU64>)>;
 
 impl Collector {
     /// A fresh, disabled collector.
-    pub const fn new() -> Self {
+    pub fn new() -> Self {
         Collector {
-            enabled: AtomicBool::new(false),
-            spans: Mutex::new(Vec::new()),
-            counters: Mutex::new(Vec::new()),
-            gauges: Mutex::new(Vec::new()),
+            enabled: Arc::new(AtomicBool::new(false)),
+            spans: Arc::new(Mutex::new(Vec::new())),
+            counters: Arc::new(Mutex::new(Vec::new())),
+            gauges: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -188,7 +201,7 @@ impl Collector {
         }
     }
 
-    fn record_span(&'static self, name: &'static str, ns: u64) {
+    fn record_span(&self, name: &'static str, ns: u64) {
         let mut spans = self.spans.lock().expect("trace spans poisoned");
         if let Some(s) = spans.iter_mut().find(|s| s.name == name) {
             s.count += 1;
@@ -204,21 +217,20 @@ impl Collector {
 
     /// Opens a scoped span; its wall time is recorded when the returned
     /// guard drops. Inert while disabled.
-    pub fn span(&'static self, name: &'static str) -> Span {
+    pub fn span(&self, name: &'static str) -> Span {
         Span {
             name,
-            start: if self.enabled() {
-                Some(Instant::now())
+            active: if self.enabled() {
+                Some((Instant::now(), self.clone()))
             } else {
                 None
             },
-            collector: self,
         }
     }
 
     /// Registers (or finds) the counter `name` and returns a lock-free
     /// handle to it.
-    pub fn counter(&'static self, name: &'static str) -> Counter {
+    pub fn counter(&self, name: &'static str) -> Counter {
         let mut counters = self.counters.lock().expect("trace counters poisoned");
         let cell = if let Some((_, c)) = counters.iter().find(|(n, _)| *n == name) {
             c.clone()
@@ -229,14 +241,14 @@ impl Collector {
         };
         Counter {
             cell,
-            enabled: &self.enabled,
+            enabled: self.enabled.clone(),
         }
     }
 
     /// Adds `delta` to counter `name` (registering it on first use).
     /// Convenience for cold call sites; hot loops should hold a
     /// [`Counter`].
-    pub fn add(&'static self, name: &'static str, delta: u64) {
+    pub fn add(&self, name: &'static str, delta: u64) {
         if self.enabled() {
             self.counter(name).add(delta);
         }
@@ -244,7 +256,7 @@ impl Collector {
 
     /// Records a point-in-time value for gauge `name` (last and max are
     /// kept). No-op while disabled.
-    pub fn gauge(&'static self, name: &'static str, value: u64) {
+    pub fn gauge(&self, name: &'static str, value: u64) {
         if !self.enabled() {
             return;
         }
@@ -286,57 +298,98 @@ impl Default for Collector {
     }
 }
 
-static GLOBAL: Collector = Collector::new();
+static GLOBAL: LazyLock<Collector> = LazyLock::new(Collector::new);
 
-/// The global collector behind the free functions.
+thread_local! {
+    /// Per-thread stack of scoped collectors; the top (if any) is the
+    /// sink for this thread's free-function calls.
+    static SCOPED: RefCell<Vec<Collector>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f(current)` where `current` is the innermost scoped collector
+/// on this thread, or the global one. Avoids cloning on the fast path.
+fn with_current<R>(f: impl FnOnce(&Collector) -> R) -> R {
+    SCOPED.with(|s| {
+        let stack = s.borrow();
+        match stack.last() {
+            Some(c) => f(c),
+            None => f(&GLOBAL),
+        }
+    })
+}
+
+/// The process-wide collector behind the free functions when no scoped
+/// collector is installed.
 pub fn global() -> &'static Collector {
     &GLOBAL
 }
 
-/// Is global collection on?
+/// Rebinds the calling thread's free-function sink to `collector` for
+/// the duration of `f`. Scopes nest (innermost wins) and unwind safely:
+/// the previous sink is restored even if `f` panics.
+///
+/// Only the calling thread is rebound — threads spawned inside `f` fall
+/// back to the global collector (or their own scopes).
+pub fn with_collector<R>(collector: &Collector, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SCOPED.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    SCOPED.with(|s| s.borrow_mut().push(collector.clone()));
+    let _guard = Guard;
+    f()
+}
+
+/// Is the current collector collecting?
 #[inline]
 pub fn enabled() -> bool {
-    GLOBAL.enabled()
+    with_current(Collector::enabled)
 }
 
-/// Turns global collection on or off (off is the default).
+/// Turns the current collector on or off (off is the default).
 pub fn set_enabled(on: bool) {
-    GLOBAL.set_enabled(on);
+    with_current(|c| c.set_enabled(on));
 }
 
-/// Clears the global collector (see [`Collector::reset`]).
+/// Clears the current collector (see [`Collector::reset`]).
 pub fn reset() {
-    GLOBAL.reset();
+    with_current(Collector::reset);
 }
 
-/// Opens a scoped span on the global collector.
+/// Opens a scoped span on the current collector.
 pub fn span(name: &'static str) -> Span {
-    GLOBAL.span(name)
+    with_current(|c| c.span(name))
 }
 
-/// Registers (or finds) a global counter and returns its handle.
+/// Registers (or finds) a counter on the current collector and returns
+/// its handle.
 pub fn counter(name: &'static str) -> Counter {
-    GLOBAL.counter(name)
+    with_current(|c| c.counter(name))
 }
 
-/// Adds to a global counter (cold-path convenience).
+/// Adds to a counter on the current collector (cold-path convenience).
 pub fn add(name: &'static str, delta: u64) {
-    GLOBAL.add(name, delta);
+    with_current(|c| c.add(name, delta));
 }
 
-/// Records a global gauge value.
+/// Records a gauge value on the current collector.
 pub fn gauge(name: &'static str, value: u64) {
-    GLOBAL.gauge(name, value);
+    with_current(|c| c.gauge(name, value));
 }
 
-/// Snapshots the global collector.
+/// Snapshots the current collector.
 pub fn snapshot() -> Snapshot {
-    GLOBAL.snapshot()
+    with_current(Collector::snapshot)
 }
 
-/// Times `f` under span `name` and returns its result.
+/// Times `f` under span `name` (on the current collector) and returns
+/// its result.
 pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
-    let _span = GLOBAL.span(name);
+    let _span = span(name);
     f()
 }
 
@@ -344,8 +397,9 @@ pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
 mod tests {
     use super::*;
 
-    // The tests below share the one global collector, so they run under
-    // a lock to keep enable/reset from interleaving.
+    // The tests that exercise the *global* collector share it, so they
+    // run under a lock to keep enable/reset from interleaving. Tests
+    // using scoped collectors need no lock — that is the point.
     static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
@@ -426,5 +480,89 @@ mod tests {
         let snap = snapshot();
         set_enabled(false);
         assert_eq!(snap.counter("t.parallel"), Some(4000));
+    }
+
+    #[test]
+    fn scoped_collector_captures_and_global_stays_clean() {
+        // No TEST_LOCK: scoped collection must not touch the global.
+        let before = global().snapshot();
+        let col = Collector::new();
+        col.set_enabled(true);
+        with_collector(&col, || {
+            let _s = span("t.scoped.phase");
+            add("t.scoped.count", 11);
+            gauge("t.scoped.depth", 3);
+        });
+        let snap = col.snapshot();
+        assert_eq!(snap.counter("t.scoped.count"), Some(11));
+        assert_eq!(snap.gauge("t.scoped.depth"), Some(3));
+        assert!(snap.span("t.scoped.phase").is_some());
+        let after = global().snapshot();
+        assert!(after.span("t.scoped.phase").is_none());
+        assert_eq!(
+            before.counter("t.scoped.count"),
+            after.counter("t.scoped.count")
+        );
+    }
+
+    #[test]
+    fn scopes_nest_innermost_wins() {
+        let outer = Collector::new();
+        outer.set_enabled(true);
+        let inner = Collector::new();
+        inner.set_enabled(true);
+        with_collector(&outer, || {
+            add("t.nest", 1);
+            with_collector(&inner, || add("t.nest", 10));
+            add("t.nest", 2);
+        });
+        assert_eq!(outer.snapshot().counter("t.nest"), Some(3));
+        assert_eq!(inner.snapshot().counter("t.nest"), Some(10));
+    }
+
+    #[test]
+    fn scope_unwinds_on_panic() {
+        let col = Collector::new();
+        col.set_enabled(true);
+        let caught = std::panic::catch_unwind(|| {
+            with_collector(&col, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        // The sink is restored: this add goes to the global collector,
+        // not the scoped one.
+        add("t.unwind", 5);
+        assert_eq!(col.snapshot().counter("t.unwind"), None);
+    }
+
+    #[test]
+    fn concurrent_scoped_collectors_never_interleave() {
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                s.spawn(move || {
+                    let col = Collector::new();
+                    col.set_enabled(true);
+                    with_collector(&col, || {
+                        for _ in 0..100 {
+                            add("t.iso", t + 1);
+                        }
+                        gauge("t.iso.id", t);
+                        let _sp = span("t.iso.span");
+                    });
+                    let snap = col.snapshot();
+                    assert_eq!(snap.counter("t.iso"), Some(100 * (t + 1)));
+                    assert_eq!(snap.gauge("t.iso.id"), Some(t));
+                    assert_eq!(snap.span("t.iso.span").map(|s| s.count), Some(1));
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn span_outliving_its_scope_still_records_to_it() {
+        let col = Collector::new();
+        col.set_enabled(true);
+        let guard = with_collector(&col, || span("t.escaped"));
+        drop(guard); // dropped outside the scope
+        assert_eq!(col.snapshot().span("t.escaped").map(|s| s.count), Some(1));
     }
 }

@@ -10,8 +10,10 @@
 # narrowing and the AIG logic optimizer must both pay for themselves),
 # a `chls equiv` smoke (two backends proven bounded-equivalent on real
 # examples, and a seeded miscompile refuted with a counterexample), and
-# the simulator benchmark harness (refreshes BENCH_sim.json at the repo
-# root, failing on a >10% throughput regression).
+# a `chls explore` sweep (fir + crc8: non-empty certified frontiers,
+# every emitted AIGER re-proved equivalent after re-reading), and the
+# benchmark harnesses (refresh BENCH_sim.json / BENCH_serve.json /
+# BENCH_explore.json at the repo root, failing on regressions).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -261,10 +263,41 @@ diff <(sed -E 's/[0-9]+\.[0-9]+/N/g' "$tmp/rep_local.txt") \
 wait "$serve_pid"
 echo "serve smoke OK"
 
+echo "== chls explore sweep (certified frontiers + AIGER round-trips) =="
+for f in examples/chl/fir.chl examples/chl/crc8.chl; do
+    echo "-- explore $f"
+    emit_dir="$tmp/explore_$(basename "$f" .chl)"
+    ./target/release/chls explore --all --emit-dir "$emit_dir" --json "$f" main \
+        > "$tmp/explore.json"
+    python3 - "$tmp/explore.json" "$emit_dir" <<'EOF'
+import json, os, sys
+env = json.load(open(sys.argv[1]))
+assert env["tool"] == "chls" and env["verb"] == "explore" and env["ok"] is True, env
+d = env["data"]
+frontier = d["frontier"]
+assert frontier, "empty Pareto frontier"
+for p in frontier:
+    cert = p["certification"]
+    # The tier taxonomy is closed; `certified` means an Equivalent proof
+    # with a named method, and nothing on a frontier may be refuted.
+    assert cert["tier"] in ("certified", "sampled", "unchecked"), p
+    if cert["tier"] == "certified":
+        assert cert["method"] in ("strash", "bdd", "sat"), p
+    em = p["emit"]
+    assert em and "roundtrip" in em, ("frontier point not emitted", p)
+    assert em["roundtrip"] in ("strash", "sat"), ("round-trip not re-proved", p)
+    assert os.path.getsize(em["aiger"]) > 0 and os.path.getsize(em["blif"]) > 0, p
+print(f"  frontier {len(frontier)} points, all emitted + round-trip re-proved")
+EOF
+done
+
 echo "== simulator benchmarks (fail on >10% throughput regression) =="
 cargo run --release -p chls-bench --bin bench_sim -- --check 10
 
 echo "== serve benchmarks (gate warm-report speedup and requests/s) =="
 cargo run --release -p chls-bench --bin bench_serve -- --check 40
+
+echo "== explore benchmarks (gate jobs scaling, points/s, warm sweep) =="
+cargo run --release -p chls-bench --bin bench_explore -- --check 40
 
 echo "== verify OK =="

@@ -170,6 +170,16 @@ const CASES: &[(&[&str], &str, bool)] = &[
         true,
     ),
     (
+        &["explore", "--all", "--seq-bound", "24", "examples/chl/blend.chl", "main"],
+        "explore_blend.golden",
+        true,
+    ),
+    (
+        &["explore", "--all", "--seq-bound", "24", "--json", "examples/chl/blend.chl", "main"],
+        "explore_blend_json.golden",
+        true,
+    ),
+    (
         &["report", "--backend", "c2v", "examples/chl/fir.chl", "main"],
         "report_fir.golden",
         true,
